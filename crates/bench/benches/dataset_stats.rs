@@ -1,0 +1,26 @@
+//! T1 (Section 2): computing the dataset statistical profile.
+//!
+//! Benchmarks the full `GraphStats` computation (SCC + WCC + degrees +
+//! clustering coefficient + power-law fit) over calibrated company graphs
+//! of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gen::company::{generate, CompanyGraphConfig};
+use pgraph::GraphStats;
+
+fn bench_dataset_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_dataset_stats");
+    group.sample_size(10);
+    for &nodes in &[3_000usize, 10_000, 30_000] {
+        let out = generate(&CompanyGraphConfig::scaled(nodes, 0xEDB7));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &out.graph, |b, g| {
+            b.iter(|| black_box(GraphStats::compute(g, "w")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_stats);
+criterion_main!(benches);

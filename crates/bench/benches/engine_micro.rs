@@ -1,0 +1,150 @@
+//! Microbenchmarks of the substrates: the Datalog engine's semi-naive
+//! fixpoint, node2vec walk generation and SGNS training, and the string
+//! distances of the linkage toolkit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use datalog::{Database, Engine, Program};
+use embed::{generate_walks, train_sgns, SgnsConfig, WalkConfig};
+use gen::ba::{generate_ba, BaConfig};
+use linkage::distance::{jaro_winkler, levenshtein, soundex};
+use pgraph::Csr;
+
+fn bench_datalog_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_transitive_closure");
+    group.sample_size(10);
+    let program =
+        Program::parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+    let engine = Engine::new(&program).unwrap();
+    for &n in &[200usize, 1_000] {
+        // A set of disjoint chains: linear-size closure per chain.
+        let mut base = Database::new();
+        for chain in 0..n / 20 {
+            for i in 0..19 {
+                let a = format!("c{chain}_{i}");
+                let b = format!("c{chain}_{}", i + 1);
+                base.fact("e").sym(&a).sym(&b).assert();
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &base, |b, base| {
+            b.iter(|| {
+                let mut db = base.clone();
+                black_box(engine.run(&mut db).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_datalog_control(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_control_aggregate");
+    group.sample_size(10);
+    let program = Program::parse(
+        "control(X, X) :- company(X).\n\
+         control(X, Y) :- control(X, Z), own(Z, Y, W), Z != Y, X != Y, msum(W, <Z>) > 0.5.",
+    )
+    .unwrap();
+    let engine = Engine::new(&program).unwrap();
+    // A deep control chain: a0 controls a1 controls a2 ...
+    let mut base = Database::new();
+    for i in 0..300 {
+        let a = format!("a{i}");
+        let b = format!("a{}", i + 1);
+        base.fact("company").sym(&a).assert();
+        base.fact("own").sym(&a).sym(&b).float(0.6).assert();
+    }
+    group.bench_function("chain_300", |b| {
+        b.iter(|| {
+            let mut db = base.clone();
+            black_box(engine.run(&mut db).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_node2vec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node2vec");
+    group.sample_size(10);
+    let g = generate_ba(&BaConfig {
+        nodes: 2_000,
+        edges_per_node: 2,
+        seed: 7,
+        ..Default::default()
+    });
+    let csr = Csr::from_graph(&g, "w");
+    group.bench_function("walks_2k_nodes", |b| {
+        b.iter(|| {
+            black_box(generate_walks(
+                &csr,
+                &WalkConfig {
+                    walk_length: 10,
+                    walks_per_node: 2,
+                    ..Default::default()
+                },
+            ))
+        });
+    });
+    let walks = generate_walks(
+        &csr,
+        &WalkConfig {
+            walk_length: 10,
+            walks_per_node: 2,
+            ..Default::default()
+        },
+    );
+    group.bench_function("sgns_2k_nodes", |b| {
+        b.iter(|| {
+            black_box(train_sgns(
+                csr.node_count(),
+                &walks,
+                &SgnsConfig {
+                    dims: 32,
+                    epochs: 1,
+                    ..Default::default()
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_distances");
+    let pairs = [
+        ("Rossi", "Rosso"),
+        ("Giandomenico", "Giandoménico"),
+        ("Esposito", "Espósito Russo"),
+    ];
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (a, s) in &pairs {
+                black_box(levenshtein(a, s));
+            }
+        });
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (a, s) in &pairs {
+                black_box(jaro_winkler(a, s));
+            }
+        });
+    });
+    group.bench_function("soundex", |b| {
+        b.iter(|| {
+            for (a, _) in &pairs {
+                black_box(soundex(a));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_datalog_tc,
+    bench_datalog_control,
+    bench_node2vec,
+    bench_distances
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 4(a): VADA-LINK vs naive all-pairs on real-world-like graphs.
+//!
+//! The paper's headline scalability claim: blocked+clustered augmentation
+//! grows near-linearly with the node count while the naive baseline is
+//! quadratic. One benchmark per approach per size (naive capped at 2k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::experiments::person_workload;
+use vada_link::augment::{augment, AugmentOptions};
+use vada_link::naive::naive_augment;
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_nodes_real");
+    group.sample_size(10);
+    for &persons in &[500usize, 1_000, 2_000, 4_000] {
+        let (g, cand) = person_workload(persons, 0xEDB7);
+        group.bench_with_input(
+            BenchmarkId::new("vadalink", persons),
+            &persons,
+            |b, _| {
+                b.iter(|| {
+                    let mut gg = g.clone();
+                    black_box(augment(&mut gg, &[&cand], &AugmentOptions::default()))
+                });
+            },
+        );
+        if persons <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("naive", persons), &persons, |b, _| {
+                b.iter(|| {
+                    let mut gg = g.clone();
+                    black_box(naive_augment(&mut gg, &[&cand]))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

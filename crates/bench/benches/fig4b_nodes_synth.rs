@@ -1,0 +1,29 @@
+//! Figure 4(b): augmentation over dense synthetic BA graphs (m = 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::synth::SyntheticCandidate;
+use gen::ba::{generate_ba, BaConfig, DensityPreset};
+use vada_link::augment::{augment, AugmentOptions};
+use vada_link::model::CompanyGraph;
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_nodes_synth");
+    group.sample_size(10);
+    for &nodes in &[500usize, 1_000, 2_000] {
+        let g = generate_ba(&BaConfig::with_density(nodes, DensityPreset::Superdense, 0xEDB7));
+        let cg = CompanyGraph::new(g);
+        let cand = SyntheticCandidate;
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut gg = cg.clone();
+                black_box(augment(&mut gg, &[&cand], &AugmentOptions::default()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4b);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 4(c): execution time as a function of the cluster count.
+//!
+//! Fixed graph; the Section 6.1 feature hijack maps the blocking keys
+//! into 1..500 clusters. Time should fall steeply up to ~10 clusters and
+//! flatten after (the comparison count scales as n²/k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::experiments::person_workload;
+use vada_link::augment::{augment, AugmentOptions};
+use vada_link::recall::HijackedCandidate;
+
+fn bench_fig4c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c_clusters_time");
+    group.sample_size(10);
+    let (g, cand) = person_workload(1_500, 0xEDB7);
+    for &k in &[1usize, 10, 50, 200, 500] {
+        let hijacked = HijackedCandidate::new(&cand, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut gg = g.clone();
+                black_box(augment(
+                    &mut gg,
+                    &[&hijacked],
+                    &AugmentOptions {
+                        block_count: Some(k),
+                        ..Default::default()
+                    },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4c);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 4(d): execution time as a function of graph density.
+//!
+//! Four Barabási–Albert density presets at a fixed size; node2vec's walk
+//! transitions and the candidate evaluation both grow with density, so
+//! superdense graphs are markedly slower — the paper's observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::synth::SyntheticCandidate;
+use gen::ba::{generate_ba, BaConfig, DensityPreset};
+use vada_link::augment::{augment, AugmentOptions};
+use vada_link::model::CompanyGraph;
+
+fn bench_fig4d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4d_density");
+    group.sample_size(10);
+    for preset in DensityPreset::all() {
+        let g = generate_ba(&BaConfig::with_density(800, preset, 0xEDB7));
+        let cg = CompanyGraph::new(g);
+        let cand = SyntheticCandidate;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(preset.name()),
+            &preset,
+            |b, _| {
+                b.iter(|| {
+                    let mut gg = cg.clone();
+                    black_box(augment(&mut gg, &[&cand], &AugmentOptions::default()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4d);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 4(e): the recall protocol at representative cluster counts.
+//!
+//! Wall-clock of one full protocol round (removal + clustered re-run +
+//! recovery measurement); the recall *values* are reported by the `repro`
+//! binary — Criterion tracks the cost of the protocol itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::experiments::person_workload;
+use vada_link::augment::AugmentOptions;
+use vada_link::recall::{ground_links, recall_protocol, HijackedCandidate};
+
+fn bench_fig4e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4e_recall");
+    group.sample_size(10);
+    let (g, cand) = person_workload(800, 0xEDB7);
+    let ground = ground_links(&g, &cand);
+    let opts = AugmentOptions {
+        clusters: 1,
+        max_rounds: 2,
+        ..Default::default()
+    };
+    for &k in &[20usize, 100, 400] {
+        let hijacked = HijackedCandidate::new(&cand, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(recall_protocol(&g, &hijacked, &ground, k, 0.2, &opts, 7))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4e);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation benches: native algorithms vs the declarative Datalog path,
+//! and exact vs walk-sum accumulated ownership (DESIGN.md §7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gen::company::{generate, CompanyGraphConfig};
+use pgraph::algo::PathLimits;
+use vada_link::closelink::{accumulated_from, close_links, walk_ownership_from};
+use vada_link::control::all_control;
+use vada_link::model::CompanyGraph;
+use vada_link::programs::{run_close_links, run_control};
+
+fn company_graph(nodes: usize) -> CompanyGraph {
+    let out = generate(&CompanyGraphConfig::scaled(nodes, 0xEDB7));
+    CompanyGraph::new(out.graph)
+}
+
+fn bench_control(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_native_vs_datalog");
+    group.sample_size(10);
+    for &nodes in &[1_000usize, 3_000] {
+        let g = company_graph(nodes);
+        group.bench_with_input(BenchmarkId::new("native", nodes), &g, |b, g| {
+            b.iter(|| black_box(all_control(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("datalog", nodes), &g, |b, g| {
+            b.iter(|| black_box(run_control(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_closelink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closelink_exact_vs_walksum");
+    group.sample_size(10);
+    let g = company_graph(2_000);
+    let sources: Vec<pgraph::NodeId> = g
+        .graph()
+        .node_ids()
+        .filter(|&n| g.graph().out_degree(n) > 0)
+        .take(100)
+        .collect();
+    group.bench_function("exact_simple_paths", |b| {
+        b.iter(|| {
+            for &s in &sources {
+                black_box(accumulated_from(&g, s, PathLimits::default()));
+            }
+        });
+    });
+    group.bench_function("walk_sum", |b| {
+        b.iter(|| {
+            for &s in &sources {
+                black_box(walk_ownership_from(&g, s, 32, 1e-12));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_closelink_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closelink_native_vs_datalog");
+    group.sample_size(10);
+    let g = company_graph(800);
+    group.bench_function("native", |b| {
+        b.iter(|| black_box(close_links(&g, 0.2, PathLimits::default())));
+    });
+    group.bench_function("datalog", |b| {
+        b.iter(|| black_box(run_close_links(&g, 0.2)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_control, bench_closelink, bench_closelink_all);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! `vadalink` — command-line interface to the reproduction.
+//!
+//! ```text
+//! vadalink stats     --nodes nodes.csv --edges edges.csv
+//! vadalink control   --nodes nodes.csv --edges edges.csv [--explain X,Y]
+//! vadalink closelink --nodes nodes.csv --edges edges.csv [--threshold 0.2]
+//! vadalink demo      [--out DIR]      # writes the Figure 1 graph as CSV
+//! ```
+//!
+//! Node files: `id,label[,k=v;k=v...]` with dense integer ids; edge files:
+//! `src,dst,label[,k=v;...]` (see `pgraph::io`). Control and close-link
+//! results are printed as `x,y` pairs of node ids, one per line.
+
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+use pgraph::{io, NodeId};
+use vada_link::kg::KnowledgeGraph;
+use vada_link::model::CompanyGraph;
+use vada_link::paper_graphs::figure1;
+use vada_link::programs::run_close_links;
+
+struct Opts {
+    cmd: String,
+    nodes: Option<String>,
+    edges: Option<String>,
+    threshold: f64,
+    explain: Option<(u32, u32)>,
+    out: String,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts {
+        cmd: argv.first().cloned().ok_or("missing subcommand")?,
+        nodes: None,
+        edges: None,
+        threshold: 0.2,
+        explain: None,
+        out: ".".to_owned(),
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let next = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--nodes" => opts.nodes = Some(next(&mut i)?),
+            "--edges" => opts.edges = Some(next(&mut i)?),
+            "--threshold" => {
+                opts.threshold = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?
+            }
+            "--explain" => {
+                let v = next(&mut i)?;
+                let (a, b) = v.split_once(',').ok_or("--explain expects X,Y")?;
+                opts.explain = Some((
+                    a.trim().parse().map_err(|e| format!("bad node id: {e}"))?,
+                    b.trim().parse().map_err(|e| format!("bad node id: {e}"))?,
+                ));
+            }
+            "--out" => opts.out = next(&mut i)?,
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn load_graph(opts: &Opts) -> Result<CompanyGraph, String> {
+    let nodes = opts.nodes.as_ref().ok_or("--nodes is required")?;
+    let edges = opts.edges.as_ref().ok_or("--edges is required")?;
+    let nf = BufReader::new(File::open(nodes).map_err(|e| format!("{nodes}: {e}"))?);
+    let ef = BufReader::new(File::open(edges).map_err(|e| format!("{edges}: {e}"))?);
+    let g = io::read_csv(nf, ef).map_err(|e| format!("parse error: {e}"))?;
+    Ok(CompanyGraph::new(g))
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_opts()?;
+    match opts.cmd.as_str() {
+        "stats" => {
+            let g = load_graph(&opts)?;
+            let stats = pgraph::GraphStats::compute(g.graph(), "w");
+            print!("{}", stats.report());
+        }
+        "control" => {
+            let g = load_graph(&opts)?;
+            let mut kg = KnowledgeGraph::new(g).with_provenance();
+            kg.derive_control();
+            for (x, y) in kg.control_pairs() {
+                println!("{},{}", x.0, y.0);
+            }
+            if let Some((a, b)) = opts.explain {
+                match kg.explain_control(NodeId(a), NodeId(b), 8) {
+                    Some(tree) => eprintln!("\n{}", tree.render()),
+                    None => eprintln!("\nno control({a}, {b}) fact derived"),
+                }
+            }
+        }
+        "closelink" => {
+            let g = load_graph(&opts)?;
+            for (x, y) in run_close_links(&g, opts.threshold) {
+                println!("{},{}", x.0, y.0);
+            }
+        }
+        "demo" => {
+            let fig = figure1();
+            let nodes_path = format!("{}/figure1_nodes.csv", opts.out);
+            let edges_path = format!("{}/figure1_edges.csv", opts.out);
+            let mut nf = File::create(&nodes_path).map_err(|e| e.to_string())?;
+            let mut ef = File::create(&edges_path).map_err(|e| e.to_string())?;
+            io::write_csv(fig.graph.graph(), &mut nf, &mut ef).map_err(|e| e.to_string())?;
+            nf.flush().map_err(|e| e.to_string())?;
+            ef.flush().map_err(|e| e.to_string())?;
+            eprintln!("wrote {nodes_path} and {edges_path} (the paper's Figure 1)");
+            eprintln!("try: vadalink control --nodes {nodes_path} --edges {edges_path} --explain 0,4");
+        }
+        other => return Err(format!("unknown subcommand {other} (stats|control|closelink|demo)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vadalink: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! Accumulated ownership (Definition 2.5) and close links (Definition 2.6).
+//!
+//! The accumulated ownership `Φ(x, y)` is the sum over all **simple paths**
+//! from `x` to `y` of the product of the share fractions along each path.
+//! Two companies `x`, `y` are *closely linked* for threshold `t` when
+//! `Φ(x, y) ≥ t`, `Φ(y, x) ≥ t`, or some third party `z` has `Φ(z, x) ≥ t`
+//! and `Φ(z, y) ≥ t` — the European Central Bank's collateral-eligibility
+//! rule with `t = 0.2`.
+//!
+//! Two implementations are provided:
+//!
+//! * [`accumulated_from`] — **exact** per-source simple-path enumeration
+//!   (one DFS enumerates the paths to *all* destinations simultaneously);
+//!   exponential in the worst case, guarded by [`pgraph::algo::PathLimits`]
+//!   — exactly the caveat Section 4.4 of the paper raises;
+//! * [`walk_ownership_from`] — the **walk-sum** relaxation that the
+//!   recursive Datalog formulation (Algorithm 6) computes: it counts
+//!   non-simple walks too, over-approximating `Φ` on cyclic graphs while
+//!   coinciding with it on DAGs. The difference is benchmarked as an
+//!   ablation.
+
+use std::collections::HashMap;
+
+use pgraph::algo::PathLimits;
+use pgraph::NodeId;
+
+use crate::model::CompanyGraph;
+
+/// Why a pair is closely linked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CloseLinkReason {
+    /// `Φ(x, y) ≥ t` (Definition 2.6-i; the symmetric case ii is reported
+    /// with the roles swapped).
+    Accumulated(f64),
+    /// A common third party `z` with `Φ(z, x) ≥ t` and `Φ(z, y) ≥ t`.
+    CommonOwner(NodeId),
+}
+
+/// A close-link finding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloseLink {
+    /// One endpoint.
+    pub x: NodeId,
+    /// The other endpoint.
+    pub y: NodeId,
+    /// Why the pair is linked.
+    pub reason: CloseLinkReason,
+}
+
+/// Exact accumulated ownership `Φ(x, y)` (simple-path semantics).
+pub fn accumulated_ownership(g: &CompanyGraph, x: NodeId, y: NodeId, limits: PathLimits) -> f64 {
+    accumulated_from(g, x, limits).get(&y).copied().unwrap_or(0.0)
+}
+
+/// Exact accumulated ownership from `x` to every reachable node: one DFS
+/// enumerating all simple paths, accumulating `Σ Π w` per destination.
+pub fn accumulated_from(
+    g: &CompanyGraph,
+    x: NodeId,
+    limits: PathLimits,
+) -> HashMap<NodeId, f64> {
+    let mut acc: HashMap<NodeId, f64> = HashMap::new();
+    let mut on_path = vec![false; g.node_count()];
+    on_path[x.index()] = true;
+    let mut paths_seen = 0usize;
+    dfs(g, x, 1.0, 1, &mut on_path, &mut acc, &mut paths_seen, &limits);
+    acc
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &CompanyGraph,
+    v: NodeId,
+    prod: f64,
+    depth: usize,
+    on_path: &mut Vec<bool>,
+    acc: &mut HashMap<NodeId, f64>,
+    paths_seen: &mut usize,
+    limits: &PathLimits,
+) {
+    if depth > limits.max_len || *paths_seen >= limits.max_paths {
+        return;
+    }
+    for (y, w) in g.holdings(v) {
+        if on_path[y.index()] {
+            continue; // simple paths only
+        }
+        *acc.entry(y).or_insert(0.0) += prod * w;
+        *paths_seen += 1;
+        on_path[y.index()] = true;
+        dfs(g, y, prod * w, depth + 1, on_path, acc, paths_seen, limits);
+        on_path[y.index()] = false;
+    }
+}
+
+/// Exact accumulated ownership *into* `y`: `Φ(z, y)` for every upstream
+/// node `z`, via one reverse DFS over simple paths (the mirror image of
+/// [`accumulated_from`]). Used by pairwise close-link decisions, which
+/// need the common-owner set of a company.
+pub fn accumulated_into(
+    g: &CompanyGraph,
+    y: NodeId,
+    limits: PathLimits,
+) -> HashMap<NodeId, f64> {
+    let mut acc: HashMap<NodeId, f64> = HashMap::new();
+    let mut on_path = vec![false; g.node_count()];
+    on_path[y.index()] = true;
+    let mut paths_seen = 0usize;
+    rdfs(g, y, 1.0, 1, &mut on_path, &mut acc, &mut paths_seen, &limits);
+    acc
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rdfs(
+    g: &CompanyGraph,
+    v: NodeId,
+    prod: f64,
+    depth: usize,
+    on_path: &mut Vec<bool>,
+    acc: &mut HashMap<NodeId, f64>,
+    paths_seen: &mut usize,
+    limits: &PathLimits,
+) {
+    if depth > limits.max_len || *paths_seen >= limits.max_paths {
+        return;
+    }
+    for (z, w) in g.shareholders(v) {
+        if on_path[z.index()] {
+            continue;
+        }
+        *acc.entry(z).or_insert(0.0) += prod * w;
+        *paths_seen += 1;
+        on_path[z.index()] = true;
+        rdfs(g, z, prod * w, depth + 1, on_path, acc, paths_seen, limits);
+        on_path[z.index()] = false;
+    }
+}
+
+/// Walk-sum ownership from `x`: `Σ_{k=1..max_len} (W^k)_{x·}` computed by
+/// sparse vector-matrix iteration, truncated when the residual mass falls
+/// under `tol`. Counts non-simple walks; exact on DAGs.
+pub fn walk_ownership_from(
+    g: &CompanyGraph,
+    x: NodeId,
+    max_len: usize,
+    tol: f64,
+) -> HashMap<NodeId, f64> {
+    let mut acc: HashMap<NodeId, f64> = HashMap::new();
+    let mut frontier: HashMap<NodeId, f64> = HashMap::new();
+    frontier.insert(x, 1.0);
+    for _ in 0..max_len {
+        let mut next: HashMap<NodeId, f64> = HashMap::new();
+        for (&v, &mass) in &frontier {
+            for (y, w) in g.holdings(v) {
+                *next.entry(y).or_insert(0.0) += mass * w;
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        let total: f64 = next.values().sum();
+        for (&y, &m) in &next {
+            *acc.entry(y).or_insert(0.0) += m;
+        }
+        if total < tol {
+            break;
+        }
+        frontier = next;
+    }
+    acc
+}
+
+/// All close links for threshold `t` (Definition 2.6), between companies.
+///
+/// Pairs are reported once with `x < y`; a pair linked both by accumulated
+/// ownership and by a common owner is reported with the accumulated-
+/// ownership reason (condition (i)/(ii) takes precedence).
+pub fn close_links(g: &CompanyGraph, t: f64, limits: PathLimits) -> Vec<CloseLink> {
+    let mut found: HashMap<(NodeId, NodeId), CloseLinkReason> = HashMap::new();
+    // Φ from every node with holdings (persons count as third parties z,
+    // and company-to-company accumulation covers conditions (i)/(ii)).
+    for z in g.graph().node_ids() {
+        if g.graph().out_degree(z) == 0 {
+            continue;
+        }
+        let phi = accumulated_from(g, z, limits);
+        // Condition (i)/(ii): z itself is a company.
+        if g.is_company(z) {
+            for (&y, &v) in &phi {
+                if v >= t && g.is_company(y) && y != z {
+                    // Accumulated ownership (conditions i/ii) takes
+                    // precedence over a previously found common owner.
+                    let key = ordered(z, y);
+                    let slot = found.entry(key).or_insert(CloseLinkReason::Accumulated(v));
+                    if matches!(slot, CloseLinkReason::CommonOwner(_)) {
+                        *slot = CloseLinkReason::Accumulated(v);
+                    }
+                }
+            }
+        }
+        // Condition (iii): companies x ≠ y with Φ(z,x) ≥ t and Φ(z,y) ≥ t.
+        let over: Vec<NodeId> = phi
+            .iter()
+            .filter(|(n, &v)| v >= t && g.is_company(**n) && **n != z)
+            .map(|(n, _)| *n)
+            .collect();
+        for i in 0..over.len() {
+            for j in i + 1..over.len() {
+                let key = ordered(over[i], over[j]);
+                found.entry(key).or_insert(CloseLinkReason::CommonOwner(z));
+            }
+        }
+    }
+    let mut out: Vec<CloseLink> = found
+        .into_iter()
+        .map(|((x, y), reason)| CloseLink { x, y, reason })
+        .collect();
+    out.sort_by_key(|l| (l.x, l.y));
+    out
+}
+
+/// Family close link (Definition 2.9 / Algorithm 9): companies `x`, `y`
+/// such that two *different* members `i ≠ j` of the family have
+/// `Φ(i, x) ≥ t` and `Φ(j, y) ≥ t`.
+pub fn family_close_links(
+    g: &CompanyGraph,
+    members: &[NodeId],
+    t: f64,
+    limits: PathLimits,
+) -> Vec<(NodeId, NodeId)> {
+    let reach: Vec<Vec<NodeId>> = members
+        .iter()
+        .map(|&m| {
+            accumulated_from(g, m, limits)
+                .into_iter()
+                .filter(|(n, v)| *v >= t && g.is_company(*n))
+                .map(|(n, _)| n)
+                .collect()
+        })
+        .collect();
+    let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+    for i in 0..members.len() {
+        for j in 0..members.len() {
+            if i == j {
+                continue;
+            }
+            for &x in &reach[i] {
+                for &y in &reach[j] {
+                    if x != y {
+                        let p = ordered(x, y);
+                        if !out.contains(&p) {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CompanyGraphBuilder;
+    use crate::paper_graphs::{figure1, figure2};
+
+    const LIM: PathLimits = PathLimits {
+        max_len: 32,
+        max_paths: 1_000_000,
+    };
+
+    #[test]
+    fn diamond_accumulation() {
+        let mut b = CompanyGraphBuilder::new();
+        let x = b.company("x");
+        let a = b.company("a");
+        let c = b.company("c");
+        let y = b.company("y");
+        b.share(x, a, 0.5);
+        b.share(a, y, 0.5);
+        b.share(x, c, 0.4);
+        b.share(c, y, 0.25);
+        let g = b.build();
+        assert!((accumulated_ownership(&g, x, y, LIM) - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_example_2_7() {
+        let f = figure2();
+        // Φ(C4, C7) = 0.2 → close link at t = 0.2 (Def 2.6-i).
+        let phi = accumulated_ownership(&f.graph, f.node("C4"), f.node("C7"), LIM);
+        assert!((phi - 0.2).abs() < 1e-9, "Φ(C4,C7) = {phi}");
+        let links = close_links(&f.graph, 0.2, LIM);
+        let c4c7 = links
+            .iter()
+            .find(|l| (l.x, l.y) == (f.node("C4"), f.node("C7")))
+            .expect("C4-C7 closely linked");
+        assert!(matches!(c4c7.reason, CloseLinkReason::Accumulated(_)));
+        // P3 owns ≥20% of both C4 and C6 → close link via common owner.
+        let c4c6 = links
+            .iter()
+            .find(|l| (l.x, l.y) == (f.node("C4"), f.node("C6")))
+            .expect("C4-C6 closely linked via P3");
+        assert_eq!(c4c6.reason, CloseLinkReason::CommonOwner(f.node("P3")));
+    }
+
+    #[test]
+    fn figure1_g_and_i_via_p2() {
+        // Introduction: "G and I are closely linked since P2 owns more
+        // than 20% of both".
+        let f = figure1();
+        let links = close_links(&f.graph, 0.2, LIM);
+        let gi = ordered(f.node("G"), f.node("I"));
+        let found = links.iter().find(|l| (l.x, l.y) == gi).expect("G-I close");
+        // G: 0.6 direct; I: 0.5 direct (+0.036 via G,H) — common owner P2.
+        assert!(matches!(found.reason, CloseLinkReason::CommonOwner(z) if z == f.node("P2")));
+    }
+
+    #[test]
+    fn walk_sum_matches_exact_on_dags() {
+        let f = figure1();
+        for x in f.graph.graph().node_ids() {
+            let exact = accumulated_from(&f.graph, x, LIM);
+            let walk = walk_ownership_from(&f.graph, x, 32, 1e-12);
+            for (n, v) in &exact {
+                let wv = walk.get(n).copied().unwrap_or(0.0);
+                assert!((v - wv).abs() < 1e-9, "mismatch at {n}: {v} vs {wv}");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_sum_overapproximates_on_cycles() {
+        let mut b = CompanyGraphBuilder::new();
+        let a = b.company("a");
+        let c = b.company("c");
+        let d = b.company("d");
+        b.share(a, c, 0.5);
+        b.share(c, a, 0.5);
+        b.share(c, d, 0.8);
+        let g = b.build();
+        let exact = accumulated_ownership(&g, a, d, LIM);
+        assert!((exact - 0.4).abs() < 1e-12, "single simple path a→c→d");
+        let walk = walk_ownership_from(&g, a, 64, 1e-15)
+            .get(&d)
+            .copied()
+            .unwrap();
+        // Walks a→(c→a)^k→c→d sum to 0.4/(1−0.25) = 0.5333…
+        assert!(walk > exact + 0.1, "walk {walk} must exceed exact {exact}");
+        assert!((walk - 0.4 / 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_condition_ii() {
+        let mut b = CompanyGraphBuilder::new();
+        let x = b.company("x");
+        let y = b.company("y");
+        b.share(y, x, 0.3);
+        let g = b.build();
+        let links = close_links(&g, 0.2, LIM);
+        assert_eq!(links.len(), 1);
+        assert_eq!((links[0].x, links[0].y), (x, y));
+    }
+
+    #[test]
+    fn below_threshold_no_link() {
+        let mut b = CompanyGraphBuilder::new();
+        let x = b.company("x");
+        let y = b.company("y");
+        b.share(x, y, 0.19);
+        let g = b.build();
+        assert!(close_links(&g, 0.2, LIM).is_empty());
+    }
+
+    #[test]
+    fn persons_are_third_parties_not_endpoints() {
+        let mut b = CompanyGraphBuilder::new();
+        let p = b.person("p");
+        let x = b.company("x");
+        let y = b.company("y");
+        b.share(p, x, 0.5);
+        b.share(p, y, 0.5);
+        let g = b.build();
+        let links = close_links(&g, 0.2, LIM);
+        assert_eq!(links.len(), 1);
+        assert_eq!((links[0].x, links[0].y), (x, y));
+        assert_eq!(links[0].reason, CloseLinkReason::CommonOwner(p));
+    }
+
+    #[test]
+    fn family_close_link_definition_2_9() {
+        // Figure 1-style: P1 reaches D (75%), P2 reaches G (60%).
+        // As a family, D and G become closely linked (Definition 2.9-ii) —
+        // the Introduction's "prevent G from acting as a guarantor for D".
+        let f = figure1();
+        let pairs = family_close_links(&f.graph, &[f.node("P1"), f.node("P2")], 0.2, LIM);
+        let dg = ordered(f.node("D"), f.node("G"));
+        assert!(pairs.contains(&dg), "D-G family close link, got {pairs:?}");
+    }
+
+    #[test]
+    fn family_close_link_requires_two_distinct_members() {
+        let mut b = CompanyGraphBuilder::new();
+        let p = b.person("p");
+        let x = b.company("x");
+        let y = b.company("y");
+        b.share(p, x, 0.5);
+        b.share(p, y, 0.5);
+        let g = b.build();
+        // One-member family: Definition 2.9-(ii) needs i ≠ j.
+        assert!(family_close_links(&g, &[p], 0.2, LIM).is_empty());
+    }
+
+    #[test]
+    fn path_limit_guards_blowup() {
+        // Layered graph with exponentially many paths — truncated cleanly.
+        let mut b = CompanyGraphBuilder::new();
+        let mut layer = vec![b.company("s0"), b.company("s1")];
+        for l in 1..12 {
+            let n0 = b.company(&format!("a{l}"));
+            let n1 = b.company(&format!("b{l}"));
+            for &u in &layer {
+                b.share(u, n0, 0.4);
+                b.share(u, n1, 0.4);
+            }
+            layer = vec![n0, n1];
+        }
+        let g = b.build();
+        let lim = PathLimits {
+            max_len: 32,
+            max_paths: 1000,
+        };
+        let acc = accumulated_from(&g, pgraph::NodeId(0), lim);
+        assert!(!acc.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::model::CompanyGraphBuilder;
+
+    const LIM: PathLimits = PathLimits {
+        max_len: 32,
+        max_paths: 1_000_000,
+    };
+
+    #[test]
+    fn threshold_boundary_inclusive() {
+        // Definition 2.6 uses ≥ t: exactly 0.2 qualifies.
+        let mut b = CompanyGraphBuilder::new();
+        let x = b.company("x");
+        let y = b.company("y");
+        b.share(x, y, 0.2);
+        let g = b.build();
+        assert_eq!(close_links(&g, 0.2, LIM).len(), 1);
+        assert!(close_links(&g, 0.2000001, LIM).is_empty());
+    }
+
+    #[test]
+    fn common_owner_must_reach_both_over_threshold() {
+        let mut b = CompanyGraphBuilder::new();
+        let p = b.person("p");
+        let x = b.company("x");
+        let y = b.company("y");
+        b.share(p, x, 0.5);
+        b.share(p, y, 0.19); // below threshold on one side
+        let g = b.build();
+        assert!(close_links(&g, 0.2, LIM).is_empty());
+    }
+
+    #[test]
+    fn accumulated_from_self_is_empty_on_simple_edge() {
+        let mut b = CompanyGraphBuilder::new();
+        let x = b.company("x");
+        let y = b.company("y");
+        b.share(x, y, 0.5);
+        let g = b.build();
+        let acc = accumulated_from(&g, x, LIM);
+        assert_eq!(acc.get(&x), None, "no path from x back to x");
+        assert_eq!(acc.get(&y).copied(), Some(0.5));
+    }
+}
+
+#[cfg(test)]
+mod reverse_tests {
+    use super::*;
+    use crate::paper_graphs::figure2;
+
+    const LIM: PathLimits = PathLimits {
+        max_len: 32,
+        max_paths: 1_000_000,
+    };
+
+    #[test]
+    fn into_mirrors_from() {
+        let f = figure2();
+        let g = &f.graph;
+        for y in g.graph().node_ids() {
+            let up = accumulated_into(g, y, LIM);
+            for (z, v) in up {
+                let fwd = accumulated_ownership(g, z, y, LIM);
+                assert!(
+                    (v - fwd).abs() < 1e-9,
+                    "Φ({z},{y}) mismatch: into {v} vs from {fwd}"
+                );
+            }
+        }
+    }
+}

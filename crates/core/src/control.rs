@@ -1,0 +1,225 @@
+//! Company control (Definition 2.3) and family control (Definition 2.8).
+//!
+//! `x` controls `y` when `x` directly owns more than 50% of `y`, or when
+//! the set of companies `x` controls — possibly together with `x` itself —
+//! jointly owns more than 50% of `y`. The native implementation is a
+//! worklist fixpoint: once a company joins the controlled set, its holdings
+//! are credited to the accumulated share of each target, and targets whose
+//! accumulated share crosses 1/2 join the set in turn. Each edge is
+//! processed at most once per source, so a single-source query costs
+//! `O(|E|)` and the all-pairs variant `O(|N|·|E|)`.
+//!
+//! The same fixpoint seeded with all members of a family computes *family
+//! control* (Definition 2.8: are there groups of people, e.g. of the same
+//! family, in control of a certain company?).
+//!
+//! The declarative counterpart — Algorithm 5 of the paper, a Vadalog
+//! program with a monotonic `msum` — lives in [`crate::programs`] and is
+//! differentially tested against this module.
+
+use std::collections::HashMap;
+
+use pgraph::NodeId;
+
+use crate::model::CompanyGraph;
+
+/// Companies controlled by `x` (excluding `x` itself).
+pub fn controls(g: &CompanyGraph, x: NodeId) -> Vec<NodeId> {
+    controls_of_group(g, std::slice::from_ref(&x))
+}
+
+/// Companies controlled jointly by a *group* acting as a single centre of
+/// interest (Definition 2.8 with the family replaced by an arbitrary set).
+/// Group members themselves are never reported as controlled.
+pub fn controls_of_group(g: &CompanyGraph, group: &[NodeId]) -> Vec<NodeId> {
+    let mut acc: HashMap<NodeId, f64> = HashMap::new();
+    let mut controlled: Vec<NodeId> = Vec::new();
+    let mut in_set = vec![false; g.node_count()];
+    let mut worklist: Vec<NodeId> = Vec::new();
+    for &m in group {
+        if !in_set[m.index()] {
+            in_set[m.index()] = true;
+            worklist.push(m);
+        }
+    }
+    while let Some(z) = worklist.pop() {
+        for (y, w) in g.holdings(z) {
+            if in_set[y.index()] {
+                continue;
+            }
+            // Self-loops (treasury shares) never grant control to the
+            // holder of the loop — skip y's own shares of itself.
+            if y == z {
+                continue;
+            }
+            let total = acc.entry(y).or_insert(0.0);
+            *total += w;
+            if *total > 0.5 {
+                in_set[y.index()] = true;
+                controlled.push(y);
+                worklist.push(y);
+            }
+        }
+    }
+    controlled.sort_unstable();
+    controlled
+}
+
+/// All control pairs `(x, y)` with `x ≠ y`, for every person and company
+/// that owns at least one share.
+pub fn all_control(g: &CompanyGraph) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for x in g.graph().node_ids() {
+        if g.graph().out_degree(x) == 0 {
+            continue;
+        }
+        for y in controls(g, x) {
+            out.push((x, y));
+        }
+    }
+    out
+}
+
+/// Family control: companies controlled jointly by the members of a
+/// family (Definition 2.8). `members` are the person nodes of the family.
+pub fn family_control(g: &CompanyGraph, members: &[NodeId]) -> Vec<NodeId> {
+    controls_of_group(g, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CompanyGraphBuilder;
+    use crate::paper_graphs::{figure1, figure2};
+
+    #[test]
+    fn direct_majority_controls() {
+        let mut b = CompanyGraphBuilder::new();
+        let p = b.person("P");
+        let c = b.company("C");
+        b.share(p, c, 0.51);
+        let g = b.build();
+        assert_eq!(controls(&g, p), vec![c]);
+    }
+
+    #[test]
+    fn exactly_half_does_not_control() {
+        let mut b = CompanyGraphBuilder::new();
+        let p = b.person("P");
+        let c = b.company("C");
+        b.share(p, c, 0.5);
+        let g = b.build();
+        assert!(controls(&g, p).is_empty());
+    }
+
+    #[test]
+    fn joint_control_through_subsidiaries() {
+        // P controls A and B (60% each); A and B each own 30% of C.
+        let mut b = CompanyGraphBuilder::new();
+        let p = b.person("P");
+        let a = b.company("A");
+        let bb = b.company("B");
+        let c = b.company("C");
+        b.share(p, a, 0.6);
+        b.share(p, bb, 0.6);
+        b.share(a, c, 0.3);
+        b.share(bb, c, 0.3);
+        let g = b.build();
+        assert_eq!(controls(&g, p), vec![a, bb, c]);
+    }
+
+    #[test]
+    fn own_plus_subsidiary_shares_combine() {
+        // Paper Figure 1, E: P1 controls D (75%); D owns 40% of E and P1
+        // directly owns 20% of E → jointly 60%.
+        let f = figure1();
+        let controlled = controls(&f.graph, f.node("P1"));
+        assert!(controlled.contains(&f.node("E")));
+    }
+
+    #[test]
+    fn figure1_full_ground_truth() {
+        let f = figure1();
+        let p1 = controls(&f.graph, f.node("P1"));
+        for c in ["C", "D", "E", "F"] {
+            assert!(p1.contains(&f.node(c)), "P1 must control {c}");
+        }
+        assert!(!p1.contains(&f.node("L")), "P1 alone must not control L");
+        let p2 = controls(&f.graph, f.node("P2"));
+        for c in ["G", "H", "I"] {
+            assert!(p2.contains(&f.node(c)), "P2 must control {c}");
+        }
+        assert!(!p2.contains(&f.node("L")));
+    }
+
+    #[test]
+    fn figure1_joint_family_control_of_l() {
+        // The Introduction: knowing P1 and P2 are married, together they
+        // control L (F's 20% + I's 40% = 60%).
+        let f = figure1();
+        let joint = family_control(&f.graph, &[f.node("P1"), f.node("P2")]);
+        assert!(joint.contains(&f.node("L")), "family {{P1, P2}} controls L");
+    }
+
+    #[test]
+    fn figure2_example_2_4() {
+        let f = figure2();
+        let p1 = controls(&f.graph, f.node("P1"));
+        assert!(p1.contains(&f.node("C4")), "P1 controls C4 directly");
+        let p2 = controls(&f.graph, f.node("P2"));
+        assert!(p2.contains(&f.node("C5")));
+        assert!(p2.contains(&f.node("C6")));
+        assert!(p2.contains(&f.node("C7")), "P2 controls C7 via C5 and C6");
+        assert!(!p2.contains(&f.node("C4")));
+    }
+
+    #[test]
+    fn cycles_terminate_and_resolve() {
+        // a -0.6-> b -0.6-> c -0.6-> b : b and c control each other's chain
+        // but control from a flows through.
+        let mut bb = CompanyGraphBuilder::new();
+        let a = bb.company("a");
+        let b = bb.company("b");
+        let c = bb.company("c");
+        bb.share(a, b, 0.6);
+        bb.share(b, c, 0.6);
+        bb.share(c, b, 0.6);
+        let g = bb.build();
+        assert_eq!(controls(&g, a), vec![b, c]);
+        assert_eq!(controls(&g, b), vec![c]);
+        assert_eq!(controls(&g, c), vec![b]);
+    }
+
+    #[test]
+    fn self_loops_do_not_self_control() {
+        let mut b = CompanyGraphBuilder::new();
+        let a = b.company("a");
+        b.share(a, a, 0.9);
+        let g = b.build();
+        assert!(controls(&g, a).is_empty());
+        assert!(all_control(&g).is_empty());
+    }
+
+    #[test]
+    fn all_control_matches_per_source() {
+        let f = figure1();
+        let all = all_control(&f.graph);
+        let from_p1: Vec<NodeId> = all
+            .iter()
+            .filter(|(x, _)| *x == f.node("P1"))
+            .map(|(_, y)| *y)
+            .collect();
+        assert_eq!(from_p1, controls(&f.graph, f.node("P1")));
+        // Intermediate companies control downstream too: D controls nothing
+        // alone (40% of E), but E? E owns 40% of F — no control either.
+        assert!(!all.contains(&(f.node("D"), f.node("E"))));
+    }
+
+    #[test]
+    fn group_members_not_reported() {
+        let f = figure1();
+        let joint = family_control(&f.graph, &[f.node("P1"), f.node("P2")]);
+        assert!(!joint.contains(&f.node("P1")));
+        assert!(!joint.contains(&f.node("P2")));
+    }
+}

@@ -1,0 +1,230 @@
+//! The knowledge-graph facade — the paper's *reasoning API* (Section 5).
+//!
+//! The VADA-LINK architecture stores the property graph (the extensional
+//! component), keeps the Vadalog rule sets in a repository, and lets
+//! enterprise applications interact with the KG through a reasoning API.
+//! [`KnowledgeGraph`] is that API: it owns the company graph, runs the
+//! intensional programs on demand, materializes the derived links back
+//! into the graph (output mapping), and — when provenance is enabled —
+//! explains any derived fact with its derivation tree.
+
+use datalog::{explain::Derivation, Database, Engine, EngineOptions, FunctionRegistry, Program};
+use pgraph::NodeId;
+
+use crate::augment::{augment, AugmentOptions, AugmentStats, CandidatePredicate};
+use self::error_free::sym_pair;
+use crate::mapping::{load_facts, materialize_links};
+use crate::model::CompanyGraph;
+use crate::programs::{CLOSELINK_PROGRAM, CONTROL_PROGRAM};
+
+/// Hidden re-export point for small helpers (keeps `kg` self-contained).
+pub(crate) mod error_free {
+    use datalog::{Const, Database};
+    use pgraph::NodeId;
+
+    /// Symbols of a node pair.
+    pub fn sym_pair(db: &mut Database, a: NodeId, b: NodeId) -> (Const, Const) {
+        (
+            crate::mapping::sym_of(db, a),
+            crate::mapping::sym_of(db, b),
+        )
+    }
+}
+
+/// Edge label of derived control links.
+pub const CONTROL_LINK: &str = "Control";
+/// Edge label of derived close links.
+pub const CLOSE_LINK: &str = "CloseLink";
+
+/// A company knowledge graph: extensional property graph + on-demand
+/// intensional reasoning.
+#[derive(Debug)]
+pub struct KnowledgeGraph {
+    graph: CompanyGraph,
+    provenance: bool,
+    /// Databases of the last run per program, kept for explanations.
+    control_db: Option<Database>,
+    closelink_db: Option<Database>,
+}
+
+impl KnowledgeGraph {
+    /// Wraps a company graph.
+    pub fn new(graph: CompanyGraph) -> Self {
+        KnowledgeGraph {
+            graph,
+            provenance: false,
+            control_db: None,
+            closelink_db: None,
+        }
+    }
+
+    /// Enables provenance recording (needed for explanations).
+    pub fn with_provenance(mut self) -> Self {
+        self.provenance = true;
+        self
+    }
+
+    /// The extensional component.
+    pub fn graph(&self) -> &CompanyGraph {
+        &self.graph
+    }
+
+    /// Mutable access (invalidates previous derivations' databases).
+    pub fn graph_mut(&mut self) -> &mut CompanyGraph {
+        self.control_db = None;
+        self.closelink_db = None;
+        &mut self.graph
+    }
+
+    fn engine(&self, src: &str) -> Engine {
+        let program = Program::parse(src).expect("bundled programs are valid");
+        let opts = EngineOptions {
+            provenance: self.provenance,
+            ..Default::default()
+        };
+        Engine::with(&program, FunctionRegistry::default(), opts).expect("bundled programs compile")
+    }
+
+    /// Derives company control (Algorithm 5) and materializes `Control`
+    /// edges. Returns the number of new edges.
+    pub fn derive_control(&mut self) -> usize {
+        let engine = self.engine(CONTROL_PROGRAM);
+        let mut db = Database::new();
+        load_facts(&self.graph, &mut db);
+        engine.run(&mut db).expect("fixpoint");
+        let added = materialize_links(&mut self.graph, &db, "control", CONTROL_LINK);
+        self.control_db = Some(db);
+        added
+    }
+
+    /// Derives close links (Algorithm 6) at threshold `t` and materializes
+    /// `CloseLink` edges. Returns the number of new edges.
+    pub fn derive_close_links(&mut self, t: f64) -> usize {
+        let engine = self.engine(CLOSELINK_PROGRAM);
+        let mut db = Database::new();
+        load_facts(&self.graph, &mut db);
+        db.assert_fact("th", &[datalog::Const::float(t)])
+            .expect("arity");
+        engine.run(&mut db).expect("fixpoint");
+        let added = materialize_links(&mut self.graph, &db, "close_link", CLOSE_LINK);
+        self.closelink_db = Some(db);
+        added
+    }
+
+    /// Runs the augmentation loop (Algorithm 1) with the given candidates.
+    pub fn augment(
+        &mut self,
+        candidates: &[&dyn CandidatePredicate],
+        opts: &AugmentOptions,
+    ) -> AugmentStats {
+        self.control_db = None;
+        self.closelink_db = None;
+        augment(&mut self.graph, candidates, opts)
+    }
+
+    /// All materialized control pairs.
+    pub fn control_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.graph.links_of(CONTROL_LINK)
+    }
+
+    /// All materialized close-link pairs.
+    pub fn close_link_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.graph.links_of(CLOSE_LINK)
+    }
+
+    /// Explains why `x` controls `y` (requires provenance + a prior
+    /// [`KnowledgeGraph::derive_control`] run).
+    pub fn explain_control(&mut self, x: NodeId, y: NodeId, depth: usize) -> Option<Derivation> {
+        let db = self.control_db.as_mut()?;
+        let (xs, ys) = sym_pair(db, x, y);
+        datalog::explain::explain(db, "control", &[xs, ys], depth)
+    }
+
+    /// Explains why `x` and `y` are closely linked (requires provenance +
+    /// a prior [`KnowledgeGraph::derive_close_links`] run). Both
+    /// directions are tried — the close-link relation is symmetric.
+    pub fn explain_close_link(
+        &mut self,
+        x: NodeId,
+        y: NodeId,
+        depth: usize,
+    ) -> Option<Derivation> {
+        let db = self.closelink_db.as_mut()?;
+        let (xs, ys) = sym_pair(db, x, y);
+        datalog::explain::explain(db, "close_link", &[xs, ys], depth)
+            .or_else(|| datalog::explain::explain(db, "close_link", &[ys, xs], depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_graphs::figure1;
+
+    #[test]
+    fn derive_and_query_control() {
+        let f = figure1();
+        let mut kg = KnowledgeGraph::new(f.graph);
+        let added = kg.derive_control();
+        assert!(added > 0);
+        let pairs = kg.control_pairs();
+        // P1 (node 0) controls C (node 2) among others.
+        assert!(pairs.iter().any(|&(x, _)| x == NodeId(0)));
+        // Idempotent.
+        assert_eq!(kg.derive_control(), 0);
+        assert_eq!(kg.control_pairs(), pairs);
+    }
+
+    #[test]
+    fn derive_close_links_materializes_edges() {
+        let f = figure1();
+        let mut kg = KnowledgeGraph::new(f.graph);
+        let added = kg.derive_close_links(0.2);
+        assert!(added > 0);
+        assert_eq!(kg.close_link_pairs().len(), added);
+    }
+
+    #[test]
+    fn close_link_explanations() {
+        let f = figure1();
+        let g_node = f.node("G");
+        let i_node = f.node("I");
+        let mut kg = KnowledgeGraph::new(f.graph).with_provenance();
+        kg.derive_close_links(0.2);
+        let d = kg
+            .explain_close_link(g_node, i_node, 6)
+            .expect("G-I derived");
+        let rendered = d.render();
+        assert!(rendered.contains("acc_own"), "{rendered}");
+    }
+
+    #[test]
+    fn explanations_require_provenance() {
+        let f = figure1();
+        let p1 = f.node("P1");
+        let e = f.node("E");
+        // Without provenance: derivation trees degrade to leaves.
+        let mut kg = KnowledgeGraph::new(figure1().graph);
+        kg.derive_control();
+        let d = kg.explain_control(p1, e, 5).expect("fact exists");
+        assert!(d.premises.is_empty());
+        // With provenance: the indirect control of E has premises.
+        let mut kg = KnowledgeGraph::new(f.graph).with_provenance();
+        kg.derive_control();
+        let d = kg.explain_control(p1, e, 5).expect("fact exists");
+        assert!(!d.premises.is_empty());
+        assert!(d.render().contains("own"));
+    }
+
+    #[test]
+    fn graph_mut_invalidates_cached_derivations() {
+        let f = figure1();
+        let p1 = f.node("P1");
+        let c = f.node("C");
+        let mut kg = KnowledgeGraph::new(f.graph).with_provenance();
+        kg.derive_control();
+        assert!(kg.explain_control(p1, c, 3).is_some());
+        let _ = kg.graph_mut();
+        assert!(kg.explain_control(p1, c, 3).is_none(), "cache dropped");
+    }
+}

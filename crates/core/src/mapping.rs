@@ -1,0 +1,175 @@
+//! Input/output mappings between company graphs and the reasoning engine
+//! (Algorithms 2 and 4 of the paper).
+//!
+//! The *input mapping* loads the property graph into the extensional
+//! component of the knowledge graph as the relational representation of
+//! Section 3:
+//!
+//! * `person(id)` / `company(id)` — node membership;
+//! * `person_attr(id, name, surname, birth, birth_city, sex, address)`;
+//! * `company_attr(id, name, address, inc_date, legal_form, sector)`;
+//! * `own(x, y, w)` — shareholding with its share fraction.
+//!
+//! Node identifiers are the stable symbols `n<index>`; [`node_of`] and
+//! [`sym_of`] convert between them and [`pgraph::NodeId`]s. The *output
+//! mapping* reads derived link predicates (e.g. `control`) back into typed
+//! edges of the property graph.
+
+use datalog::{Const, Database};
+use pgraph::NodeId;
+
+use crate::model::CompanyGraph;
+
+/// Loads the extensional component (input mapping, Algorithm 2's source
+/// relations). Returns nothing: node symbols are derivable via [`sym_of`].
+pub fn load_facts(g: &CompanyGraph, db: &mut Database) {
+    let str_or = |g: &CompanyGraph, n: NodeId, key: &str| -> String {
+        g.str_prop(n, key).unwrap_or("").to_owned()
+    };
+    for p in g.persons() {
+        let id = format!("n{}", p.index());
+        let idc = sym(db, &id);
+        db.assert_fact("person", &[idc]).expect("arity");
+        let tuple = [
+            sym(db, &id),
+            sym(db, &str_or(g, p, "name")),
+            sym(db, &str_or(g, p, "surname")),
+            Const::Int(g.int_prop(p, "birth").unwrap_or(0)),
+            sym(db, &str_or(g, p, "birth_city")),
+            sym(db, &str_or(g, p, "sex")),
+            sym(db, &str_or(g, p, "address")),
+        ];
+        db.assert_fact("person_attr", &tuple).expect("arity");
+    }
+    for c in g.companies() {
+        let id = format!("n{}", c.index());
+        let idc = sym(db, &id);
+        db.assert_fact("company", &[idc]).expect("arity");
+        let tuple = [
+            sym(db, &id),
+            sym(db, &str_or(g, c, "name")),
+            sym(db, &str_or(g, c, "address")),
+            Const::Int(g.int_prop(c, "inc_date").unwrap_or(0)),
+            sym(db, &str_or(g, c, "legal_form")),
+            sym(db, &str_or(g, c, "sector")),
+        ];
+        db.assert_fact("company_attr", &tuple).expect("arity");
+    }
+    for e in g.share_edges() {
+        let (src, dst) = g.graph().endpoints(e);
+        let tuple = [
+            sym(db, &format!("n{}", src.index())),
+            sym(db, &format!("n{}", dst.index())),
+            Const::float(g.share(e)),
+        ];
+        db.assert_fact("own", &tuple).expect("arity");
+    }
+}
+
+fn sym(db: &mut Database, s: &str) -> Const {
+    db.sym(s)
+}
+
+/// The symbol constant of a node (`n<index>`).
+pub fn sym_of(db: &mut Database, n: NodeId) -> Const {
+    db.sym(&format!("n{}", n.index()))
+}
+
+/// Parses a node symbol (`n<index>`) back into a [`NodeId`].
+pub fn node_of(db: &Database, c: Const) -> Option<NodeId> {
+    let s = db.resolve(c)?;
+    let idx: u32 = s.strip_prefix('n')?.parse().ok()?;
+    Some(NodeId(idx))
+}
+
+/// Reads a binary derived relation back as node pairs (output mapping,
+/// Algorithm 4): tuples whose first two terms are node symbols.
+pub fn read_pairs(db: &Database, pred: &str) -> Vec<(NodeId, NodeId)> {
+    let Some(rel) = db.relation(pred) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in rel.rows() {
+        if let (Some(a), Some(b)) = (node_of(db, row[0]), node_of(db, row[1])) {
+            if a != b {
+                out.push((a, b));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Materializes a derived relation as typed edges in the property graph
+/// (the final step of the output mapping). Returns the number of edges
+/// added.
+pub fn materialize_links(g: &mut CompanyGraph, db: &Database, pred: &str, class: &str) -> usize {
+    let pairs = read_pairs(db, pred);
+    let mut added = 0usize;
+    for (a, b) in pairs {
+        if g.find_link(class, a, b).is_none() {
+            g.add_link(class, a, b);
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_graphs::figure1;
+
+    #[test]
+    fn facts_cover_the_graph() {
+        let f = figure1();
+        let mut db = Database::new();
+        load_facts(&f.graph, &mut db);
+        assert_eq!(db.fact_count("person"), 2);
+        assert_eq!(db.fact_count("company"), 8);
+        assert_eq!(db.fact_count("own"), 12);
+        assert_eq!(db.fact_count("person_attr"), 2);
+        assert_eq!(db.fact_count("company_attr"), 8);
+    }
+
+    #[test]
+    fn node_symbols_roundtrip() {
+        let f = figure1();
+        let mut db = Database::new();
+        load_facts(&f.graph, &mut db);
+        let p1 = f.node("P1");
+        let c = sym_of(&mut db, p1);
+        assert_eq!(node_of(&db, c), Some(p1));
+        assert_eq!(node_of(&db, Const::Int(3)), None);
+        let bogus = db.sym("xyz");
+        assert_eq!(node_of(&db, bogus), None);
+    }
+
+    #[test]
+    fn read_pairs_skips_self_and_dedups() {
+        let f = figure1();
+        let mut db = Database::new();
+        load_facts(&f.graph, &mut db);
+        let a = sym_of(&mut db, f.node("P1"));
+        let b = sym_of(&mut db, f.node("C"));
+        db.assert_fact("x", &[a, b]).unwrap();
+        db.assert_fact("x", &[a, a]).unwrap();
+        let pairs = read_pairs(&db, "x");
+        assert_eq!(pairs, vec![(f.node("P1"), f.node("C"))]);
+        assert!(read_pairs(&db, "missing").is_empty());
+    }
+
+    #[test]
+    fn materialize_adds_typed_edges_once() {
+        let mut f = figure1();
+        let mut db = Database::new();
+        load_facts(&f.graph, &mut db);
+        let a = sym_of(&mut db, f.node("P1"));
+        let b = sym_of(&mut db, f.node("C"));
+        db.assert_fact("ctl", &[a, b]).unwrap();
+        assert_eq!(materialize_links(&mut f.graph, &db, "ctl", "Control"), 1);
+        assert_eq!(materialize_links(&mut f.graph, &db, "ctl", "Control"), 0);
+        assert_eq!(f.graph.links_of("Control").len(), 1);
+    }
+}

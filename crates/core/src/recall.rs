@@ -1,0 +1,315 @@
+//! The Figure 4(e) recall protocol.
+//!
+//! Section 6.2 of the paper: run VADA-LINK in *no-cluster mode* to obtain
+//! all theoretically possible links `S⁺`; remove a random 20% edge set `Θ`
+//! of those predictions; re-run with `c` clusters on the graph containing
+//! the surviving 80% (whose presence improves the embedding — the
+//! reinforcement effect); report which fraction of `Θ` is recovered.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+use crate::augment::{augment, AugmentOptions, CandidatePredicate};
+use crate::model::CompanyGraph;
+use crate::naive::naive_augment;
+
+/// Result of one recall measurement.
+#[derive(Debug, Clone)]
+pub struct RecallOutcome {
+    /// Number of links predicted in no-cluster mode (the ground set).
+    pub ground: usize,
+    /// Number of removed links (the recovery target Θ).
+    pub removed: usize,
+    /// Removed links re-predicted under clustering.
+    pub recovered: usize,
+    /// `recovered / removed` (1.0 when nothing was removed).
+    pub recall: f64,
+    /// Pairwise comparisons performed by the clustered run.
+    pub comparisons: usize,
+}
+
+type Link = (String, u32, u32);
+
+fn norm(class: &str, a: u32, b: u32) -> Link {
+    (class.to_owned(), a.min(b), a.max(b))
+}
+
+/// Predicts all links in no-cluster mode (the ground set `S⁺`).
+pub fn ground_links(base: &CompanyGraph, cand: &dyn CandidatePredicate) -> Vec<Link> {
+    let mut g = base.clone();
+    naive_augment(&mut g, &[cand]);
+    let mut out = Vec::new();
+    for class in cand.classes() {
+        for (a, b) in g.links_of(&class) {
+            out.push(norm(&class, a.0, b.0));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs the full protocol for one cluster configuration.
+///
+/// `block_count` is the second-level cluster count `c`; `removal_frac` is
+/// the fraction of ground links withheld (the paper uses 0.2).
+pub fn recall_protocol(
+    base: &CompanyGraph,
+    cand: &dyn CandidatePredicate,
+    ground: &[Link],
+    block_count: usize,
+    removal_frac: f64,
+    opts: &AugmentOptions,
+    seed: u64,
+) -> RecallOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffled: Vec<&Link> = ground.iter().collect();
+    shuffled.shuffle(&mut rng);
+    let n_removed = ((ground.len() as f64) * removal_frac).round() as usize;
+    let (removed, kept) = shuffled.split_at(n_removed.min(shuffled.len()));
+    let removed_set: HashSet<&Link> = removed.iter().copied().collect();
+
+    // S^Θ: the base graph plus the surviving predictions as typed edges.
+    let mut g = base.clone();
+    for (class, a, b) in kept.iter().copied() {
+        g.add_link(class, pgraph::NodeId(*a), pgraph::NodeId(*b));
+    }
+
+    let stats = augment(
+        &mut g,
+        &[cand],
+        &AugmentOptions {
+            block_count: Some(block_count),
+            ..opts.clone()
+        },
+    );
+
+    // Which withheld links were re-predicted?
+    let mut predicted: HashSet<Link> = HashSet::new();
+    for class in cand.classes() {
+        for (a, b) in g.links_of(&class) {
+            predicted.insert(norm(&class, a.0, b.0));
+        }
+    }
+    let recovered = removed_set
+        .iter()
+        .filter(|l| predicted.contains(**l))
+        .count();
+    let removed_n = removed_set.len();
+    RecallOutcome {
+        ground: ground.len(),
+        removed: removed_n,
+        recovered,
+        recall: if removed_n == 0 {
+            1.0
+        } else {
+            recovered as f64 / removed_n as f64
+        },
+        comparisons: stats.comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augment::PersonLinkCandidate;
+    use crate::family::{FamilyDetector, FamilyDetectorConfig};
+    use gen::company::{generate, CompanyGraphConfig};
+
+    fn setup() -> (CompanyGraph, PersonLinkCandidate) {
+        let out = generate(&CompanyGraphConfig {
+            persons: 300,
+            companies: 150,
+            seed: 31,
+            ..Default::default()
+        });
+        let g = crate::model::CompanyGraph::new(out.graph);
+        let det = FamilyDetector::train(&g, &out.truth, &FamilyDetectorConfig::default());
+        (g, PersonLinkCandidate::new(det))
+    }
+
+    #[test]
+    fn single_block_recovers_everything() {
+        let (g, cand) = setup();
+        let ground = ground_links(&g, &cand);
+        assert!(!ground.is_empty());
+        let opts = AugmentOptions {
+            clusters: 1,
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let out = recall_protocol(&g, &cand, &ground, 1, 0.2, &opts, 1);
+        assert_eq!(out.recovered, out.removed, "one block = exhaustive");
+        assert!((out.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_blocks_lose_recall() {
+        let (g, cand) = setup();
+        let ground = ground_links(&g, &cand);
+        let opts = AugmentOptions {
+            clusters: 1,
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let few = recall_protocol(&g, &cand, &ground, 2, 0.2, &opts, 1);
+        let many = recall_protocol(&g, &cand, &ground, 400, 0.2, &opts, 1);
+        assert!(
+            few.recall >= many.recall,
+            "recall must not improve with more blocks: {} vs {}",
+            few.recall,
+            many.recall
+        );
+        assert!(many.comparisons < few.comparisons);
+    }
+
+    #[test]
+    fn removal_fraction_respected() {
+        let (g, cand) = setup();
+        let ground = ground_links(&g, &cand);
+        let opts = AugmentOptions {
+            clusters: 1,
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let out = recall_protocol(&g, &cand, &ground, 10, 0.5, &opts, 3);
+        let expected = (ground.len() as f64 * 0.5).round() as usize;
+        assert_eq!(out.removed, expected);
+        assert_eq!(out.ground, ground.len());
+    }
+}
+
+/// The Section 6.1 *feature hijack*: the paper sweeps cluster counts by
+/// "altering the value of k of such n features … extracted from a discrete
+/// multivariate uniform distribution", i.e. the more clusters requested,
+/// the more blocking features are replaced by synthetic uniform draws.
+///
+/// [`HijackedCandidate`] wraps any [`CandidatePredicate`] and replaces its
+/// natural blocking keys one by one as `target_blocks` crosses the
+/// per-feature thresholds: below the first threshold the natural keys are
+/// intact (linked pairs almost always share a block → high recall); past
+/// it the first key is replaced by a per-node uniform draw; past the last
+/// threshold all keys are synthetic and co-location is pure chance
+/// (~1/k) — the recall collapse the paper reports beyond ~400 clusters.
+#[derive(Debug)]
+pub struct HijackedCandidate<'a, C: CandidatePredicate> {
+    inner: &'a C,
+    target_blocks: usize,
+    /// Cluster-count thresholds above which the i-th natural key is
+    /// replaced by a uniform draw.
+    thresholds: Vec<usize>,
+}
+
+impl<'a, C: CandidatePredicate> HijackedCandidate<'a, C> {
+    /// Wraps `inner` for a sweep point of `target_blocks` clusters, with
+    /// the paper-calibrated thresholds (first feature hijacked past 120
+    /// clusters, second past 350).
+    pub fn new(inner: &'a C, target_blocks: usize) -> Self {
+        HijackedCandidate {
+            inner,
+            target_blocks,
+            thresholds: vec![120, 350],
+        }
+    }
+
+    /// Overrides the hijack thresholds.
+    pub fn with_thresholds(mut self, thresholds: Vec<usize>) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+}
+
+impl<C: CandidatePredicate> CandidatePredicate for HijackedCandidate<'_, C> {
+    fn classes(&self) -> Vec<String> {
+        self.inner.classes()
+    }
+
+    fn applies(&self, g: &CompanyGraph, n: pgraph::NodeId) -> bool {
+        self.inner.applies(g, n)
+    }
+
+    fn block_keys(&self, g: &CompanyGraph, n: pgraph::NodeId) -> Vec<u64> {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut keys = self.inner.block_keys(g, n);
+        for (i, key) in keys.iter_mut().enumerate() {
+            let threshold = self
+                .thresholds
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| *self.thresholds.last().unwrap_or(&0));
+            if self.target_blocks > threshold {
+                // Synthetic uniform feature: a deterministic per-node draw.
+                let mut h = DefaultHasher::new();
+                ("hijack", i, n.0).hash(&mut h);
+                *key = h.finish();
+            }
+        }
+        keys
+    }
+
+    fn decide(&self, g: &CompanyGraph, a: pgraph::NodeId, b: pgraph::NodeId) -> Option<String> {
+        self.inner.decide(g, a, b)
+    }
+}
+
+#[cfg(test)]
+mod hijack_tests {
+    use super::*;
+    use crate::augment::PersonLinkCandidate;
+    use crate::family::{FamilyDetector, FamilyDetectorConfig};
+    use gen::company::{generate, CompanyGraphConfig};
+
+    #[test]
+    fn hijack_preserves_keys_below_thresholds() {
+        let out = generate(&CompanyGraphConfig {
+            persons: 50,
+            companies: 20,
+            seed: 2,
+            ..Default::default()
+        });
+        let g = crate::model::CompanyGraph::new(out.graph);
+        let det = FamilyDetector::train(&g, &out.truth, &FamilyDetectorConfig::default());
+        let cand = PersonLinkCandidate::new(det);
+        let p = g.persons().next().unwrap();
+        let natural = cand.block_keys(&g, p);
+        let low = HijackedCandidate::new(&cand, 20).block_keys(&g, p);
+        assert_eq!(natural, low, "below thresholds keys are untouched");
+        let mid = HijackedCandidate::new(&cand, 200).block_keys(&g, p);
+        assert_ne!(natural[0], mid[0], "first key hijacked past 120");
+        assert_eq!(natural[1], mid[1], "second key intact until 350");
+        let high = HijackedCandidate::new(&cand, 500).block_keys(&g, p);
+        assert_ne!(natural[0], high[0]);
+        assert_ne!(natural[1], high[1]);
+    }
+
+    #[test]
+    fn hijacked_recall_collapses_at_high_cluster_counts() {
+        let out = generate(&CompanyGraphConfig {
+            persons: 300,
+            companies: 150,
+            seed: 4,
+            ..Default::default()
+        });
+        let g = crate::model::CompanyGraph::new(out.graph);
+        let det = FamilyDetector::train(&g, &out.truth, &FamilyDetectorConfig::default());
+        let cand = PersonLinkCandidate::new(det);
+        let ground = ground_links(&g, &cand);
+        let opts = AugmentOptions {
+            clusters: 1,
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let low = {
+            let h = HijackedCandidate::new(&cand, 20);
+            recall_protocol(&g, &h, &ground, 20, 0.2, &opts, 7)
+        };
+        let high = {
+            let h = HijackedCandidate::new(&cand, 450);
+            recall_protocol(&g, &h, &ground, 450, 0.2, &opts, 7)
+        };
+        assert!(low.recall > 0.9, "low cluster count keeps recall: {}", low.recall);
+        assert!(high.recall < 0.5, "hijacked keys collapse recall: {}", high.recall);
+    }
+}

@@ -1,0 +1,210 @@
+//! External function registry.
+//!
+//! Vadalog programs in the paper call out to library functions —
+//! `#GraphEmbedClust`, `#GenerateBlocks`, `#LinkProbability` — from rule
+//! bodies. The engine resolves `#name(args)` in body expressions against a
+//! [`FunctionRegistry`]; unregistered functors fall back to Skolem
+//! OID-invention (so `Z = #sk_c(N)` works with no registration, exactly as
+//! in Algorithm 2 of the paper).
+
+use std::collections::HashMap;
+
+use crate::db::{SkolemTable, SymbolTable};
+use crate::value::Const;
+
+/// Evaluation context handed to external functions: access to the string
+/// interner (to read and create symbols) and to the Skolem table.
+pub struct FnCtx<'a> {
+    /// String interner of the database being evaluated.
+    pub symbols: &'a mut SymbolTable,
+    /// Skolem OID table of the database being evaluated.
+    pub skolems: &'a mut SkolemTable,
+}
+
+impl FnCtx<'_> {
+    /// Resolves a symbol constant to its string.
+    pub fn str_of(&self, c: Const) -> Option<&str> {
+        match c {
+            Const::Sym(s) => Some(self.symbols.resolve(s)),
+            _ => None,
+        }
+    }
+
+    /// Interns a string into a symbol constant.
+    pub fn sym(&mut self, s: &str) -> Const {
+        Const::Sym(self.symbols.intern(s))
+    }
+}
+
+/// An external function: takes evaluated arguments, returns a constant.
+pub type ExternalFn =
+    Box<dyn Fn(&mut FnCtx<'_>, &[Const]) -> Result<Const, String> + Send + Sync>;
+
+/// Registry of external functions callable as `#name(...)` in rule bodies.
+pub struct FunctionRegistry {
+    fns: HashMap<String, ExternalFn>,
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        Self::with_standard_library()
+    }
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.fns.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("FunctionRegistry").field("fns", &names).finish()
+    }
+}
+
+impl FunctionRegistry {
+    /// An empty registry (every `#name` becomes a Skolem function).
+    pub fn empty() -> Self {
+        FunctionRegistry { fns: HashMap::new() }
+    }
+
+    /// Registry pre-loaded with the standard library: `abs`, `min2`,
+    /// `max2`, `pow`, `strlen`, `lower`, `concat`.
+    pub fn with_standard_library() -> Self {
+        let mut r = Self::empty();
+        r.register("abs", |_, args| {
+            let x = num(args, 0)?;
+            Ok(Const::float(x.abs()))
+        });
+        r.register("min2", |_, args| {
+            Ok(Const::float(num(args, 0)?.min(num(args, 1)?)))
+        });
+        r.register("max2", |_, args| {
+            Ok(Const::float(num(args, 0)?.max(num(args, 1)?)))
+        });
+        r.register("pow", |_, args| {
+            Ok(Const::float(num(args, 0)?.powf(num(args, 1)?)))
+        });
+        r.register("strlen", |ctx, args| {
+            let s = ctx
+                .str_of(*args.first().ok_or("strlen: missing arg")?)
+                .ok_or("strlen: not a string")?;
+            Ok(Const::Int(s.chars().count() as i64))
+        });
+        r.register("lower", |ctx, args| {
+            let s = ctx
+                .str_of(*args.first().ok_or("lower: missing arg")?)
+                .ok_or("lower: not a string")?
+                .to_lowercase();
+            Ok(ctx.sym(&s))
+        });
+        r.register("concat", |ctx, args| {
+            let mut out = String::new();
+            for a in args {
+                match a {
+                    Const::Sym(s) => out.push_str(ctx.symbols.resolve(*s)),
+                    Const::Int(i) => out.push_str(&i.to_string()),
+                    Const::Float(f) => out.push_str(&f.to_string()),
+                    Const::Bool(b) => out.push_str(&b.to_string()),
+                    Const::Null(n) => out.push_str(&format!("_:{n}")),
+                }
+            }
+            Ok(ctx.sym(&out))
+        });
+        r
+    }
+
+    /// Registers a function under `name` (callable as `#name`).
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&mut FnCtx<'_>, &[Const]) -> Result<Const, String> + Send + Sync + 'static,
+    ) {
+        self.fns.insert(name.to_owned(), Box::new(f));
+    }
+
+    /// Looks up a function.
+    pub fn get(&self, name: &str) -> Option<&ExternalFn> {
+        self.fns.get(name)
+    }
+
+    /// True iff `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+}
+
+fn num(args: &[Const], i: usize) -> Result<f64, String> {
+    args.get(i)
+        .and_then(|c| c.as_f64())
+        .ok_or_else(|| format!("expected numeric argument at position {i}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_call(reg: &FunctionRegistry, name: &str, args: &[Const]) -> Result<Const, String> {
+        let mut symbols = SymbolTable::default();
+        let mut skolems = SkolemTable::default();
+        let mut ctx = FnCtx {
+            symbols: &mut symbols,
+            skolems: &mut skolems,
+        };
+        (reg.get(name).expect("registered"))(&mut ctx, args)
+    }
+
+    #[test]
+    fn standard_numeric_functions() {
+        let r = FunctionRegistry::default();
+        assert_eq!(
+            ctx_call(&r, "abs", &[Const::Float(-2.5)]),
+            Ok(Const::Float(2.5))
+        );
+        assert_eq!(
+            ctx_call(&r, "min2", &[Const::Int(3), Const::Float(1.5)]),
+            Ok(Const::Float(1.5))
+        );
+        assert_eq!(
+            ctx_call(&r, "max2", &[Const::Int(3), Const::Float(1.5)]),
+            Ok(Const::Float(3.0))
+        );
+        assert_eq!(
+            ctx_call(&r, "pow", &[Const::Int(2), Const::Int(10)]),
+            Ok(Const::Float(1024.0))
+        );
+    }
+
+    #[test]
+    fn string_functions_use_interner() {
+        let r = FunctionRegistry::default();
+        let mut symbols = SymbolTable::default();
+        let mut skolems = SkolemTable::default();
+        let hello = Const::Sym(symbols.intern("HeLLo"));
+        let mut ctx = FnCtx {
+            symbols: &mut symbols,
+            skolems: &mut skolems,
+        };
+        let out = (r.get("lower").unwrap())(&mut ctx, &[hello]).unwrap();
+        assert_eq!(ctx.str_of(out), Some("hello"));
+        let n = (r.get("strlen").unwrap())(&mut ctx, &[hello]).unwrap();
+        assert_eq!(n, Const::Int(5));
+    }
+
+    #[test]
+    fn custom_registration() {
+        let mut r = FunctionRegistry::empty();
+        assert!(!r.contains("double"));
+        r.register("double", |_, args| {
+            Ok(Const::float(args[0].as_f64().unwrap_or(0.0) * 2.0))
+        });
+        assert!(r.contains("double"));
+        assert_eq!(
+            ctx_call(&r, "double", &[Const::Int(21)]),
+            Ok(Const::Float(42.0))
+        );
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = FunctionRegistry::default();
+        assert!(ctx_call(&r, "abs", &[Const::Bool(true)]).is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! Fact storage: interned symbols, indexed relations, Skolem table.
+//!
+//! The [`Database`] is the *extensional component* of a knowledge graph in
+//! the paper's terminology — plus, after running an [`crate::Engine`], the
+//! derived intensional facts. Relations deduplicate tuples (set semantics,
+//! like Vadalog's chase with isomorphism checks) and maintain hash indexes
+//! on the column subsets the compiled rule plans need.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::error::{DatalogError, Result};
+use crate::value::{Const, Tuple};
+
+/// Interner for string constants.
+#[derive(Default, Debug, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Interns a string, returning its symbol id.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Resolves a symbol id to its string.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbols are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Deterministic, injective OID invention (Skolem) table.
+///
+/// Distinct `(functor, args)` pairs receive distinct sequential null ids,
+/// realizing the paper's three properties: determinism (same input → same
+/// OID), injectivity (no two inputs share an OID), and disjoint ranges
+/// (different functors never collide, because the functor is part of the
+/// key).
+#[derive(Default, Debug, Clone)]
+pub struct SkolemTable {
+    map: HashMap<(u32, Tuple), u64>,
+}
+
+impl SkolemTable {
+    /// Returns the OID for `functor(args)`, inventing one if new.
+    pub fn apply(&mut self, functor: u32, args: &[Const]) -> u64 {
+        let next = self.map.len() as u64;
+        match self.map.entry((functor, args.into())) {
+            Entry::Occupied(o) => *o.get(),
+            Entry::Vacant(v) => *v.insert(next),
+        }
+    }
+
+    /// Number of invented OIDs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no OIDs have been invented.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Provenance of a derived fact: which rule fired on which parent facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvEntry {
+    /// Index of the rule in the program.
+    pub rule: u32,
+    /// Parent facts as `(predicate, row)` pairs.
+    pub parents: Vec<(u32, u32)>,
+}
+
+/// A single relation: deduplicated tuples plus hash indexes.
+#[derive(Default, Debug, Clone)]
+pub struct Relation {
+    /// Tuples in insertion order (row id = position).
+    tuples: Vec<Tuple>,
+    /// Tuple → row id (dedup).
+    seen: HashMap<Tuple, u32>,
+    /// Registered indexes: column bitmask → key → rows.
+    indexes: HashMap<u64, HashMap<Tuple, Vec<u32>>>,
+    /// Optional provenance parallel to `tuples`.
+    prov: Vec<Option<ProvEntry>>,
+    /// Whether provenance is being recorded.
+    track_prov: bool,
+}
+
+impl Relation {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple at `row`.
+    pub fn row(&self, row: u32) -> &[Const] {
+        &self.tuples[row as usize]
+    }
+
+    /// All tuples in insertion order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Const]> {
+        self.tuples.iter().map(|t| &t[..])
+    }
+
+    /// Row id of a tuple if present.
+    pub fn find(&self, tuple: &[Const]) -> Option<u32> {
+        self.seen.get(tuple).copied()
+    }
+
+    /// Provenance of a row, if recorded.
+    pub fn provenance(&self, row: u32) -> Option<&ProvEntry> {
+        self.prov.get(row as usize).and_then(|p| p.as_ref())
+    }
+
+    pub(crate) fn set_track_prov(&mut self, on: bool) {
+        self.track_prov = on;
+        if on && self.prov.len() < self.tuples.len() {
+            self.prov.resize(self.tuples.len(), None);
+        }
+    }
+
+    /// Registers an index over the columns set in `mask` (bit i = column i)
+    /// and builds it over the current contents.
+    pub(crate) fn register_index(&mut self, mask: u64) {
+        if mask == 0 || self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut index: HashMap<Tuple, Vec<u32>> = HashMap::new();
+        for (row, t) in self.tuples.iter().enumerate() {
+            index.entry(key_of(t, mask)).or_default().push(row as u32);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    /// Rows whose `mask`-projection equals `key`. The index must have been
+    /// registered.
+    pub(crate) fn probe(&self, mask: u64, key: &[Const]) -> &[u32] {
+        static EMPTY: Vec<u32> = Vec::new();
+        self.indexes
+            .get(&mask)
+            .expect("index not registered")
+            .get(key)
+            .unwrap_or(&EMPTY)
+    }
+
+    /// Inserts a tuple; returns its row id and whether it was new.
+    pub(crate) fn insert(&mut self, tuple: Tuple, prov: Option<ProvEntry>) -> (u32, bool) {
+        if let Some(&row) = self.seen.get(&tuple) {
+            return (row, false);
+        }
+        let row = self.tuples.len() as u32;
+        for (mask, index) in self.indexes.iter_mut() {
+            index.entry(key_of(&tuple, *mask)).or_default().push(row);
+        }
+        self.seen.insert(tuple.clone(), row);
+        self.tuples.push(tuple);
+        if self.track_prov {
+            self.prov.push(prov);
+        }
+        (row, true)
+    }
+
+    /// Replaces the contents with `rows` (used by `@post`); indexes are
+    /// rebuilt, provenance is dropped (post-processing is a projection of
+    /// the least fixpoint, not a derivation).
+    pub(crate) fn replace_all(&mut self, rows: Vec<Tuple>) {
+        let masks: Vec<u64> = self.indexes.keys().copied().collect();
+        self.tuples.clear();
+        self.seen.clear();
+        self.indexes.clear();
+        self.prov.clear();
+        for t in rows {
+            if !self.seen.contains_key(&t) {
+                let row = self.tuples.len() as u32;
+                self.seen.insert(t.clone(), row);
+                self.tuples.push(t);
+                if self.track_prov {
+                    self.prov.push(None);
+                }
+            }
+        }
+        for m in masks {
+            self.register_index(m);
+        }
+    }
+}
+
+pub(crate) fn key_of(tuple: &[Const], mask: u64) -> Tuple {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    for (i, c) in tuple.iter().enumerate() {
+        if mask & (1u64 << i) != 0 {
+            key.push(*c);
+        }
+    }
+    key.into_boxed_slice()
+}
+
+/// The fact store: predicates, relations, symbols and Skolem OIDs.
+#[derive(Default, Debug, Clone)]
+pub struct Database {
+    pub(crate) symbols: SymbolTable,
+    pub(crate) skolems: SkolemTable,
+    pred_ids: HashMap<String, u32>,
+    pred_names: Vec<String>,
+    arities: Vec<Option<usize>>,
+    pub(crate) relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string constant and returns it as a [`Const`].
+    pub fn sym(&mut self, s: &str) -> Const {
+        Const::Sym(self.symbols.intern(s))
+    }
+
+    /// Resolves a symbol constant back to its string.
+    pub fn resolve(&self, c: Const) -> Option<&str> {
+        match c {
+            Const::Sym(s) => Some(self.symbols.resolve(s)),
+            _ => None,
+        }
+    }
+
+    /// Renders any constant as a display string (symbols resolved).
+    pub fn display(&self, c: Const) -> String {
+        match c {
+            Const::Sym(s) => self.symbols.resolve(s).to_owned(),
+            Const::Int(i) => i.to_string(),
+            Const::Float(f) => f.to_string(),
+            Const::Bool(b) => b.to_string(),
+            Const::Null(n) => format!("_:{n}"),
+        }
+    }
+
+    /// Id of a predicate, interning it with unknown arity.
+    pub fn pred_id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.pred_ids.get(name) {
+            return id;
+        }
+        let id = self.pred_names.len() as u32;
+        self.pred_names.push(name.to_owned());
+        self.pred_ids.insert(name.to_owned(), id);
+        self.arities.push(None);
+        self.relations.push(Relation::default());
+        id
+    }
+
+    /// Looks up a predicate id without creating it.
+    pub fn find_pred(&self, name: &str) -> Option<u32> {
+        self.pred_ids.get(name).copied()
+    }
+
+    /// Name of a predicate id.
+    pub fn pred_name(&self, id: u32) -> &str {
+        &self.pred_names[id as usize]
+    }
+
+    /// Number of predicates.
+    pub fn pred_count(&self) -> usize {
+        self.pred_names.len()
+    }
+
+    /// The relation of a predicate (empty if the name is unknown).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.find_pred(name).map(|p| &self.relations[p as usize])
+    }
+
+    pub(crate) fn relation_mut(&mut self, pred: u32) -> &mut Relation {
+        &mut self.relations[pred as usize]
+    }
+
+    /// Checks/records the arity of a predicate.
+    pub(crate) fn check_arity(&mut self, pred: u32, arity: usize) -> Result<()> {
+        match self.arities[pred as usize] {
+            None => {
+                self.arities[pred as usize] = Some(arity);
+                Ok(())
+            }
+            Some(a) if a == arity => Ok(()),
+            Some(a) => Err(DatalogError::BadFact(format!(
+                "predicate {} used with arity {arity}, previously {a}",
+                self.pred_names[pred as usize]
+            ))),
+        }
+    }
+
+    /// Asserts a fully constructed fact; returns true if new.
+    pub fn assert_fact(&mut self, pred: &str, tuple: &[Const]) -> Result<bool> {
+        let p = self.pred_id(pred);
+        self.check_arity(p, tuple.len())?;
+        let (_, new) = self.relations[p as usize].insert(tuple.into(), None);
+        Ok(new)
+    }
+
+    /// Starts a fluent fact builder: `db.fact("own").sym("a").float(0.5).assert();`
+    pub fn fact<'a>(&'a mut self, pred: &str) -> FactBuilder<'a> {
+        FactBuilder {
+            pred: pred.to_owned(),
+            vals: Vec::new(),
+            db: self,
+        }
+    }
+
+    /// Asserts many all-string facts at once (test convenience).
+    pub fn assert_str_facts(&mut self, pred: &str, facts: &[&[&str]]) {
+        for f in facts {
+            let tuple: Vec<Const> = f.iter().map(|s| self.sym(s)).collect();
+            self.assert_fact(pred, &tuple).expect("consistent arity");
+        }
+    }
+
+    /// True iff the relation contains the all-string tuple.
+    pub fn contains_str_fact(&self, pred: &str, tuple: &[&str]) -> bool {
+        let Some(rel) = self.relation(pred) else {
+            return false;
+        };
+        let mut key = Vec::with_capacity(tuple.len());
+        for s in tuple {
+            match self.symbols.get(s) {
+                Some(id) => key.push(Const::Sym(id)),
+                None => return false,
+            }
+        }
+        rel.find(&key).is_some()
+    }
+
+    /// Number of facts in a predicate (0 if unknown).
+    pub fn fact_count(&self, pred: &str) -> usize {
+        self.relation(pred).map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Total number of facts across all relations.
+    pub fn total_facts(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// Queries a relation with a pattern: `None` positions are wildcards,
+    /// `Some(c)` positions must match exactly. Returns the matching rows.
+    ///
+    /// ```
+    /// use datalog::{Database, Const};
+    /// let mut db = Database::new();
+    /// db.fact("own").sym("a").sym("b").float(0.6).assert();
+    /// db.fact("own").sym("a").sym("c").float(0.2).assert();
+    /// let a = db.sym("a");
+    /// let rows = db.query("own", &[Some(a), None, None]);
+    /// assert_eq!(rows.len(), 2);
+    /// let rows = db.query("own", &[None, None, Some(Const::Float(0.2))]);
+    /// assert_eq!(rows.len(), 1);
+    /// ```
+    pub fn query(&self, pred: &str, pattern: &[Option<Const>]) -> Vec<&[Const]> {
+        let Some(rel) = self.relation(pred) else {
+            return Vec::new();
+        };
+        rel.rows()
+            .filter(|row| {
+                row.len() == pattern.len()
+                    && row
+                        .iter()
+                        .zip(pattern)
+                        .all(|(c, p)| p.is_none_or(|pc| *c == pc))
+            })
+            .collect()
+    }
+
+    /// Renders a relation's tuples as display strings, sorted (test helper).
+    pub fn dump(&self, pred: &str) -> Vec<String> {
+        let Some(rel) = self.relation(pred) else {
+            return Vec::new();
+        };
+        let mut out: Vec<String> = rel
+            .rows()
+            .map(|t| {
+                let parts: Vec<String> = t.iter().map(|c| self.display(*c)).collect();
+                parts.join(",")
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Fluent fact construction, created by [`Database::fact`].
+pub struct FactBuilder<'a> {
+    pred: String,
+    vals: Vec<Const>,
+    db: &'a mut Database,
+}
+
+impl<'a> FactBuilder<'a> {
+    /// Appends an interned string term.
+    pub fn sym(mut self, s: &str) -> Self {
+        let c = self.db.sym(s);
+        self.vals.push(c);
+        self
+    }
+
+    /// Appends an integer term.
+    pub fn int(mut self, i: i64) -> Self {
+        self.vals.push(Const::Int(i));
+        self
+    }
+
+    /// Appends a float term.
+    pub fn float(mut self, f: f64) -> Self {
+        self.vals.push(Const::float(f));
+        self
+    }
+
+    /// Appends a boolean term.
+    pub fn bool(mut self, b: bool) -> Self {
+        self.vals.push(Const::Bool(b));
+        self
+    }
+
+    /// Appends an arbitrary constant.
+    pub fn val(mut self, c: Const) -> Self {
+        self.vals.push(c);
+        self
+    }
+
+    /// Asserts the fact, panicking on arity mismatch (use
+    /// [`FactBuilder::try_assert`] to handle errors).
+    pub fn assert(self) {
+        self.try_assert().expect("fact assertion failed");
+    }
+
+    /// Asserts the fact; returns whether it was new.
+    pub fn try_assert(self) -> Result<bool> {
+        let FactBuilder { pred, vals, db } = self;
+        db.assert_fact(&pred, &vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_intern_and_resolve() {
+        let mut t = SymbolTable::default();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alpha"), a);
+        assert_eq!(t.resolve(a), "alpha");
+        assert_eq!(t.get("beta"), Some(b));
+        assert_eq!(t.get("gamma"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn skolem_properties() {
+        let mut sk = SkolemTable::default();
+        let a1 = sk.apply(0, &[Const::Int(1)]);
+        let a2 = sk.apply(0, &[Const::Int(1)]);
+        let b = sk.apply(0, &[Const::Int(2)]);
+        let c = sk.apply(1, &[Const::Int(1)]);
+        assert_eq!(a1, a2, "determinism");
+        assert_ne!(a1, b, "injectivity");
+        assert_ne!(a1, c, "disjoint ranges");
+        assert_eq!(sk.len(), 3);
+    }
+
+    #[test]
+    fn relation_dedup_and_index() {
+        let mut r = Relation::default();
+        let t1: Tuple = vec![Const::Int(1), Const::Int(2)].into();
+        let t2: Tuple = vec![Const::Int(1), Const::Int(3)].into();
+        assert!(r.insert(t1.clone(), None).1);
+        assert!(!r.insert(t1.clone(), None).1);
+        assert!(r.insert(t2.clone(), None).1);
+        assert_eq!(r.len(), 2);
+        r.register_index(0b01);
+        let rows = r.probe(0b01, &[Const::Int(1)]);
+        assert_eq!(rows.len(), 2);
+        // Index is maintained on subsequent inserts.
+        let t3: Tuple = vec![Const::Int(1), Const::Int(4)].into();
+        r.insert(t3, None);
+        assert_eq!(r.probe(0b01, &[Const::Int(1)]).len(), 3);
+        assert_eq!(r.probe(0b01, &[Const::Int(9)]).len(), 0);
+    }
+
+    #[test]
+    fn database_fact_roundtrip() {
+        let mut db = Database::new();
+        db.fact("own").sym("a").sym("b").float(0.6).assert();
+        assert!(!db.contains_str_fact("company", &["a"]));
+        assert_eq!(db.fact_count("own"), 1);
+        let rel = db.relation("own").unwrap();
+        let row = rel.row(0);
+        assert_eq!(db.display(row[0]), "a");
+        assert_eq!(row[2].as_f64(), Some(0.6));
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut db = Database::new();
+        db.fact("p").int(1).assert();
+        assert!(db.fact("p").int(1).int(2).try_assert().is_err());
+    }
+
+    #[test]
+    fn assert_str_facts_and_contains() {
+        let mut db = Database::new();
+        db.assert_str_facts("edge", &[&["a", "b"], &["b", "c"]]);
+        assert!(db.contains_str_fact("edge", &["a", "b"]));
+        assert!(!db.contains_str_fact("edge", &["a", "c"]));
+        assert!(!db.contains_str_fact("edge", &["a", "zzz"]));
+        assert_eq!(db.total_facts(), 2);
+    }
+
+    #[test]
+    fn dump_is_sorted_and_resolved() {
+        let mut db = Database::new();
+        db.assert_str_facts("e", &[&["b"], &["a"]]);
+        assert_eq!(db.dump("e"), vec!["a".to_owned(), "b".to_owned()]);
+        assert!(db.dump("missing").is_empty());
+    }
+
+    #[test]
+    fn query_patterns() {
+        let mut db = Database::new();
+        db.fact("e").sym("a").sym("b").assert();
+        db.fact("e").sym("a").sym("c").assert();
+        db.fact("e").sym("b").sym("c").assert();
+        let a = db.sym("a");
+        let c = db.sym("c");
+        assert_eq!(db.query("e", &[Some(a), None]).len(), 2);
+        assert_eq!(db.query("e", &[None, Some(c)]).len(), 2);
+        assert_eq!(db.query("e", &[Some(a), Some(c)]).len(), 1);
+        assert_eq!(db.query("e", &[None, None]).len(), 3);
+        assert!(db.query("e", &[None]).is_empty(), "arity mismatch");
+        assert!(db.query("zzz", &[None]).is_empty());
+    }
+
+    #[test]
+    fn replace_all_rebuilds_indexes() {
+        let mut r = Relation::default();
+        r.register_index(0b1);
+        r.insert(vec![Const::Int(1)].into(), None);
+        r.insert(vec![Const::Int(2)].into(), None);
+        r.replace_all(vec![vec![Const::Int(2)].into()]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.probe(0b1, &[Const::Int(1)]).len(), 0);
+        assert_eq!(r.probe(0b1, &[Const::Int(2)]).len(), 1);
+    }
+}

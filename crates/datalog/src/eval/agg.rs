@@ -1,0 +1,256 @@
+//! Monotonic aggregation state.
+//!
+//! Vadalog's `m*` aggregates are *stateful fact-level functions*: every body
+//! match contributes to a running value; monotonicity guarantees the final
+//! value is the extremum of the emitted series (Section 4 of the paper).
+//!
+//! State is keyed by `(head predicate, group tuple)` and **shared across
+//! rules** deriving the same head — the property Algorithm 8 of the paper
+//! relies on ("the two monotonic summations of Rules (2) and (3) contribute
+//! to the same total"). Contributor keys are namespaced by rule id so that
+//! syntactically unrelated contributors can never collide.
+//!
+//! Per contributor key the store keeps the extremal contribution seen so
+//! far; the group value is the fold of per-contributor extrema:
+//!
+//! | func     | per-contributor | group value            | direction |
+//! |----------|-----------------|------------------------|-----------|
+//! | `msum`   | max             | Σ of maxima            | ↑         |
+//! | `mprod`  | max             | Π of maxima            | ↑ for ≥1  |
+//! | `mmax`   | max             | max of maxima          | ↑         |
+//! | `mmin`   | min             | min of minima          | ↓         |
+//! | `mcount` | presence        | number of contributors | ↑         |
+//!
+//! The per-contributor *max* rule is what makes recursive summations (e.g.
+//! accumulated ownership, Algorithm 6) converge: a contributor's value can
+//! only be refined upward as the fixpoint proceeds, and the total is always
+//! the sum of the best-known contributions — never a double count.
+
+use std::collections::HashMap;
+
+use crate::ast::AggFunc;
+use crate::value::{Const, Tuple};
+
+/// Contributor key: (rule id, contributor-variable grounding).
+type ContribKey = (u32, Tuple);
+
+/// Running state of one aggregation group.
+#[derive(Debug, Clone)]
+pub(crate) struct AggState {
+    func: AggFunc,
+    contributions: HashMap<ContribKey, f64>,
+    total: f64,
+    /// Last value emitted as a head fact (for `V = m*(...)` rules).
+    pub last_emitted: Option<f64>,
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        let total = match func {
+            AggFunc::Prod => 1.0,
+            AggFunc::Max => f64::NEG_INFINITY,
+            AggFunc::Min => f64::INFINITY,
+            _ => 0.0,
+        };
+        AggState {
+            func,
+            contributions: HashMap::new(),
+            total,
+            last_emitted: None,
+        }
+    }
+
+    /// Current group value.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Current group value as a constant (`mcount` yields an integer).
+    pub fn total_const(&self) -> Const {
+        match self.func {
+            AggFunc::Count => Const::Int(self.total as i64),
+            _ => Const::float(self.total),
+        }
+    }
+
+    /// Applies a contribution; returns `true` if the group value changed by
+    /// more than `epsilon`.
+    fn contribute(&mut self, key: ContribKey, value: f64, epsilon: f64) -> bool {
+        let old_total = self.total;
+        match self.func {
+            AggFunc::Sum => {
+                let slot = self.contributions.entry(key).or_insert(0.0);
+                if value > *slot {
+                    self.total += value - *slot;
+                    *slot = value;
+                }
+            }
+            AggFunc::Prod => {
+                let slot = self.contributions.entry(key).or_insert(f64::NEG_INFINITY);
+                if value > *slot {
+                    *slot = value;
+                    // Recompute: safe against zeros and float drift.
+                    self.total = self.contributions.values().product();
+                }
+            }
+            AggFunc::Max => {
+                let slot = self.contributions.entry(key).or_insert(f64::NEG_INFINITY);
+                if value > *slot {
+                    *slot = value;
+                }
+                if value > self.total {
+                    self.total = value;
+                }
+            }
+            AggFunc::Min => {
+                let slot = self.contributions.entry(key).or_insert(f64::INFINITY);
+                if value < *slot {
+                    *slot = value;
+                }
+                if value < self.total {
+                    self.total = value;
+                }
+            }
+            AggFunc::Count => {
+                if self.contributions.insert(key, 1.0).is_none() {
+                    self.total += 1.0;
+                }
+            }
+        }
+        (self.total - old_total).abs() > epsilon
+    }
+}
+
+/// All aggregation groups of one engine run.
+#[derive(Debug, Default)]
+pub(crate) struct AggStore {
+    groups: HashMap<(u32, Tuple), AggState>,
+}
+
+impl AggStore {
+    /// Applies a contribution to `(pred, group)`; returns a mutable
+    /// reference to the state plus whether the value changed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn contribute(
+        &mut self,
+        pred: u32,
+        group: Tuple,
+        func: AggFunc,
+        rule: u32,
+        contributor: Tuple,
+        value: f64,
+        epsilon: f64,
+    ) -> (&mut AggState, bool) {
+        let state = self
+            .groups
+            .entry((pred, group))
+            .or_insert_with(|| AggState::new(func));
+        debug_assert_eq!(
+            state.func, func,
+            "aggregate function mismatch for shared group state"
+        );
+        let changed = state.contribute((rule, contributor), value, epsilon);
+        (state, changed)
+    }
+
+    /// Number of active groups.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&i| Const::Int(i)).collect()
+    }
+
+    #[test]
+    fn msum_sums_distinct_contributors() {
+        let mut store = AggStore::default();
+        let (s, c1) = store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[10]), 0.3, 1e-12);
+        assert!(c1);
+        assert_eq!(s.total(), 0.3);
+        let (s, c2) = store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[11]), 0.4, 1e-12);
+        assert!(c2);
+        assert!((s.total() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn msum_takes_per_contributor_max_not_double_count() {
+        let mut store = AggStore::default();
+        store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[10]), 0.3, 1e-12);
+        // Same contributor re-derived with a *larger* partial value
+        // (recursive refinement): total moves to the new value, not the sum.
+        let (s, changed) = store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[10]), 0.5, 1e-12);
+        assert!(changed);
+        assert!((s.total() - 0.5).abs() < 1e-12);
+        // Smaller re-derivation is ignored (monotone).
+        let (s, changed) = store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[10]), 0.2, 1e-12);
+        assert!(!changed);
+        assert!((s.total() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_namespacing_shares_the_total() {
+        // Two rules contribute to the same (pred, group) total — the
+        // Algorithm 8 semantics.
+        let mut store = AggStore::default();
+        store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[7]), 0.3, 1e-12);
+        let (s, _) = store.contribute(0, t(&[1]), AggFunc::Sum, 1, t(&[7]), 0.4, 1e-12);
+        // Same contributor tuple under different rules: both count.
+        assert!((s.total() - 0.7).abs() < 1e-12);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut store = AggStore::default();
+        store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[7]), 0.3, 1e-12);
+        let (s, _) = store.contribute(0, t(&[2]), AggFunc::Sum, 0, t(&[7]), 0.4, 1e-12);
+        assert!((s.total() - 0.4).abs() < 1e-12);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn mcount_counts_distinct() {
+        let mut store = AggStore::default();
+        store.contribute(0, t(&[]), AggFunc::Count, 0, t(&[1]), 1.0, 1e-12);
+        store.contribute(0, t(&[]), AggFunc::Count, 0, t(&[1]), 1.0, 1e-12);
+        let (s, _) = store.contribute(0, t(&[]), AggFunc::Count, 0, t(&[2]), 1.0, 1e-12);
+        assert_eq!(s.total_const(), Const::Int(2));
+    }
+
+    #[test]
+    fn mmax_and_mmin_track_extrema() {
+        let mut store = AggStore::default();
+        store.contribute(0, t(&[]), AggFunc::Max, 0, t(&[1]), 3.0, 1e-12);
+        let (s, _) = store.contribute(0, t(&[]), AggFunc::Max, 0, t(&[2]), 1.0, 1e-12);
+        assert_eq!(s.total(), 3.0);
+        store.contribute(1, t(&[]), AggFunc::Min, 0, t(&[1]), 3.0, 1e-12);
+        let (s, _) = store.contribute(1, t(&[]), AggFunc::Min, 0, t(&[2]), 1.0, 1e-12);
+        assert_eq!(s.total(), 1.0);
+    }
+
+    #[test]
+    fn mprod_multiplies_contributor_maxima() {
+        let mut store = AggStore::default();
+        store.contribute(0, t(&[]), AggFunc::Prod, 0, t(&[1]), 2.0, 1e-12);
+        let (s, _) = store.contribute(0, t(&[]), AggFunc::Prod, 0, t(&[2]), 3.0, 1e-12);
+        assert!((s.total() - 6.0).abs() < 1e-12);
+        let (s, _) = store.contribute(0, t(&[]), AggFunc::Prod, 0, t(&[1]), 5.0, 1e-12);
+        assert!((s.total() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_suppresses_jitter() {
+        let mut store = AggStore::default();
+        let (s, _) = store.contribute(0, t(&[]), AggFunc::Sum, 0, t(&[1]), 1.0, 1e-6);
+        s.last_emitted = Some(1.0);
+        let (_, changed) = store.contribute(0, t(&[]), AggFunc::Sum, 0, t(&[1]), 1.0 + 1e-9, 1e-6);
+        assert!(!changed);
+    }
+}

@@ -1,0 +1,453 @@
+//! Rule evaluation: joins, conditions, aggregation, head emission.
+//!
+//! One [`eval_rule`] call enumerates all matches of a rule body against the
+//! current relations — optionally restricting one positive atom to the
+//! semi-naive delta — and buffers the derived head facts. Joins probe the
+//! hash indexes registered at resolution time; within-atom repeated
+//! variables and cross-atom equalities are checked by unification.
+
+use crate::ast::{AggFunc, BinOp, CmpOp};
+use crate::builtins::{FnCtx, FunctionRegistry};
+use crate::db::{ProvEntry, Relation, SkolemTable, SymbolTable};
+use crate::error::{DatalogError, Result};
+use crate::eval::agg::AggStore;
+use crate::eval::resolve::{AggKind, RAtom, RExpr, RLiteral, RRule, RTerm};
+use crate::value::{Const, Tuple};
+
+/// A buffered derivation.
+#[derive(Debug)]
+pub(crate) struct Derived {
+    pub pred: u32,
+    pub tuple: Tuple,
+    pub prov: Option<ProvEntry>,
+}
+
+/// Mutable evaluation context shared across rules of a round.
+pub(crate) struct RunCtx<'b> {
+    pub symbols: &'b mut SymbolTable,
+    pub skolems: &'b mut SkolemTable,
+    pub registry: &'b FunctionRegistry,
+    pub agg: &'b mut AggStore,
+    pub out: &'b mut Vec<Derived>,
+    pub epsilon: f64,
+    pub provenance: bool,
+}
+
+/// Evaluates `rule` against `relations`. If `delta` is `Some((li, start))`,
+/// the positive atom at literal index `li` only matches rows `>= start`.
+pub(crate) fn eval_rule(
+    rule: &RRule,
+    relations: &[Relation],
+    delta: Option<(usize, u32)>,
+    ctx: &mut RunCtx<'_>,
+) -> Result<()> {
+    let mut ev = Evaluator {
+        rule,
+        relations,
+        delta,
+        binding: vec![None; rule.nvars],
+        support: Vec::new(),
+        ctx,
+    };
+    ev.step(0)
+}
+
+struct Evaluator<'a, 'c> {
+    rule: &'a RRule,
+    relations: &'a [Relation],
+    delta: Option<(usize, u32)>,
+    binding: Vec<Option<Const>>,
+    support: Vec<(u32, u32)>,
+    ctx: &'a mut RunCtx<'c>,
+}
+
+impl<'a, 'c> Evaluator<'a, 'c> {
+    fn step(&mut self, li: usize) -> Result<()> {
+        // Copy the rule reference so literal borrows are independent of self.
+        let rule = self.rule;
+        if li == rule.body.len() {
+            return self.emit_heads();
+        }
+        match &rule.body[li] {
+            RLiteral::Atom { atom, mask } => self.match_atom(li, atom, *mask),
+            RLiteral::Negated(atom) => {
+                let tuple = self.ground_atom(atom)?;
+                if self.relations[atom.pred as usize].find(&tuple).is_none() {
+                    self.step(li + 1)
+                } else {
+                    Ok(())
+                }
+            }
+            RLiteral::Cond(e) => {
+                match eval_expr(e, &self.binding, self.ctx)? {
+                    Const::Bool(true) => self.step(li + 1),
+                    Const::Bool(false) => Ok(()),
+                    other => Err(DatalogError::Function(format!(
+                        "condition evaluated to non-boolean {other}"
+                    ))),
+                }
+            }
+            RLiteral::Let(v, e) => {
+                let val = eval_expr(e, &self.binding, self.ctx)?;
+                match self.binding[*v as usize] {
+                    Some(existing) => {
+                        if existing == val {
+                            self.step(li + 1)
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    None => {
+                        self.binding[*v as usize] = Some(val);
+                        let r = self.step(li + 1);
+                        self.binding[*v as usize] = None;
+                        r
+                    }
+                }
+            }
+            RLiteral::Agg { agg, kind } => self.apply_aggregate(agg, kind),
+        }
+    }
+
+    fn match_atom(&mut self, li: usize, atom: &RAtom, mask: u64) -> Result<()> {
+        // Copy the slice reference so `rows` borrows independently of self.
+        let relations = self.relations;
+        let rel = &relations[atom.pred as usize];
+        let delta_start = match self.delta {
+            Some((dli, start)) if dli == li => Some(start),
+            _ => None,
+        };
+        // Collect candidate rows.
+        enum Rows<'r> {
+            Probe(&'r [u32]),
+            Scan(std::ops::Range<u32>),
+        }
+        let rows = if mask != 0 {
+            let mut key = Vec::with_capacity(mask.count_ones() as usize);
+            for (i, t) in atom.terms.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    let v = match t {
+                        RTerm::Const(c) => *c,
+                        RTerm::Var(v) => self.binding[*v as usize]
+                            .expect("masked position must be bound"),
+                        RTerm::Skolem { .. } => unreachable!("no skolems in body atoms"),
+                    };
+                    key.push(v);
+                }
+            }
+            Rows::Probe(rel.probe(mask, &key))
+        } else {
+            let start = delta_start.unwrap_or(0);
+            Rows::Scan(start..rel.len() as u32)
+        };
+        let visit = |ev: &mut Self, row: u32| -> Result<()> {
+            let tuple = ev.relations[atom.pred as usize].row(row);
+            // Unify; record which vars this atom bound to undo later.
+            let mut bound_here: Vec<u32> = Vec::new();
+            let mut ok = true;
+            for (i, t) in atom.terms.iter().enumerate() {
+                match t {
+                    RTerm::Const(c) => {
+                        if *c != tuple[i] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    RTerm::Var(v) => match ev.binding[*v as usize] {
+                        Some(b) => {
+                            if b != tuple[i] {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            ev.binding[*v as usize] = Some(tuple[i]);
+                            bound_here.push(*v);
+                        }
+                    },
+                    RTerm::Skolem { .. } => unreachable!("no skolems in body atoms"),
+                }
+            }
+            let result = if ok {
+                if ev.ctx.provenance {
+                    ev.support.push((atom.pred, row));
+                }
+                let r = ev.step(li + 1);
+                if ev.ctx.provenance {
+                    ev.support.pop();
+                }
+                r
+            } else {
+                Ok(())
+            };
+            for v in bound_here {
+                ev.binding[v as usize] = None;
+            }
+            result
+        };
+        match rows {
+            Rows::Probe(rows) => {
+                for &row in rows {
+                    if let Some(start) = delta_start {
+                        if row < start {
+                            continue;
+                        }
+                    }
+                    visit(self, row)?;
+                }
+            }
+            Rows::Scan(range) => {
+                for row in range {
+                    visit(self, row)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates a ground term (vars must be bound; Skolems are applied).
+    fn term_value(&mut self, t: &RTerm) -> Result<Const> {
+        match t {
+            RTerm::Const(c) => Ok(*c),
+            RTerm::Var(v) => self.binding[*v as usize].ok_or_else(|| {
+                DatalogError::Validation(format!("unbound variable v{v} at emission"))
+            }),
+            RTerm::Skolem { functor, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.term_value(a)?);
+                }
+                Ok(Const::Null(self.ctx.skolems.apply(*functor, &vals)))
+            }
+        }
+    }
+
+    fn ground_atom(&mut self, atom: &RAtom) -> Result<Tuple> {
+        let mut t = Vec::with_capacity(atom.terms.len());
+        for term in &atom.terms {
+            t.push(self.term_value(term)?);
+        }
+        Ok(t.into())
+    }
+
+    fn emit_heads(&mut self) -> Result<()> {
+        let rule = self.rule;
+        // Existential variables: one labelled null per (rule, var, frontier).
+        let mut bound_ex: Vec<u32> = Vec::new();
+        for (v, functor, frontier) in &rule.existentials {
+            let mut args = Vec::with_capacity(frontier.len());
+            for f in frontier {
+                args.push(self.binding[*f as usize].expect("frontier vars are bound"));
+            }
+            let null = Const::Null(self.ctx.skolems.apply(*functor, &args));
+            self.binding[*v as usize] = Some(null);
+            bound_ex.push(*v);
+        }
+        let prov = self.make_prov();
+        for atom in &rule.head {
+            let mut tuple = Vec::with_capacity(atom.terms.len());
+            for t in &atom.terms {
+                tuple.push(self.term_value(t)?);
+            }
+            self.ctx.out.push(Derived {
+                pred: atom.pred,
+                tuple: tuple.into(),
+                prov: prov.clone(),
+            });
+        }
+        for v in bound_ex {
+            self.binding[v as usize] = None;
+        }
+        Ok(())
+    }
+
+    fn make_prov(&self) -> Option<ProvEntry> {
+        if self.ctx.provenance {
+            Some(ProvEntry {
+                rule: self.rule.idx,
+                parents: self.support.clone(),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn apply_aggregate(&mut self, agg: &crate::eval::resolve::RAgg, kind: &AggKind) -> Result<()> {
+        let rule = self.rule;
+        let head = &rule.head[0];
+        let head_pred = head.pred;
+        // Contribution value.
+        let value = if agg.func == AggFunc::Count {
+            1.0
+        } else {
+            eval_expr(&agg.expr, &self.binding, self.ctx)?
+                .as_f64()
+                .ok_or_else(|| {
+                    DatalogError::Function("aggregate contribution is not numeric".into())
+                })?
+        };
+        // Contributor key.
+        let mut contrib = Vec::with_capacity(agg.contributors.len());
+        for v in &agg.contributors {
+            contrib.push(
+                self.binding[*v as usize].expect("contributor vars are bound (validated)"),
+            );
+        }
+        match kind {
+            AggKind::Let {
+                var,
+                head_value_pos,
+            } => {
+                // Group = head tuple minus the value position.
+                let mut group = Vec::with_capacity(head.terms.len() - 1);
+                for (i, t) in head.terms.iter().enumerate() {
+                    if i != *head_value_pos {
+                        group.push(self.term_value(t)?);
+                    }
+                }
+                let (state, _) = self.ctx.agg.contribute(
+                    head_pred,
+                    group.clone().into(),
+                    agg.func,
+                    self.rule.idx,
+                    contrib.into(),
+                    value,
+                    self.ctx.epsilon,
+                );
+                let total = state.total();
+                let emit = state
+                    .last_emitted
+                    .is_none_or(|l| (total - l).abs() > self.ctx.epsilon);
+                if emit {
+                    state.last_emitted = Some(total);
+                    let value_const = state.total_const();
+                    let _ = var; // the value flows directly into the head slot
+                    let mut tuple = Vec::with_capacity(head.terms.len());
+                    let mut gi = 0usize;
+                    for i in 0..head.terms.len() {
+                        if i == *head_value_pos {
+                            tuple.push(value_const);
+                        } else {
+                            tuple.push(group[gi]);
+                            gi += 1;
+                        }
+                    }
+                    let prov = self.make_prov();
+                    self.ctx.out.push(Derived {
+                        pred: head_pred,
+                        tuple: tuple.into(),
+                        prov,
+                    });
+                }
+            }
+            AggKind::Cond { op, rhs } => {
+                let head_tuple = self.ground_atom(head)?;
+                let rhs_val = eval_expr(rhs, &self.binding, self.ctx)?;
+                let (state, _) = self.ctx.agg.contribute(
+                    head_pred,
+                    head_tuple.clone(),
+                    agg.func,
+                    self.rule.idx,
+                    contrib.into(),
+                    value,
+                    self.ctx.epsilon,
+                );
+                let total = state.total_const();
+                if compare(*op, total, rhs_val) {
+                    let prov = self.make_prov();
+                    self.ctx.out.push(Derived {
+                        pred: head_pred,
+                        tuple: head_tuple,
+                        prov,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compares constants under a comparison operator using the total order.
+pub(crate) fn compare(op: CmpOp, a: Const, b: Const) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Evaluates an expression under a binding.
+pub(crate) fn eval_expr(
+    e: &RExpr,
+    binding: &[Option<Const>],
+    ctx: &mut RunCtx<'_>,
+) -> Result<Const> {
+    match e {
+        RExpr::Var(v) => binding[*v as usize]
+            .ok_or_else(|| DatalogError::Validation(format!("unbound variable v{v}"))),
+        RExpr::Const(c) => Ok(*c),
+        RExpr::Binary(op, a, b) => {
+            let av = eval_expr(a, binding, ctx)?;
+            let bv = eval_expr(b, binding, ctx)?;
+            arith(*op, av, bv)
+        }
+        RExpr::Cmp(op, a, b) => {
+            let av = eval_expr(a, binding, ctx)?;
+            let bv = eval_expr(b, binding, ctx)?;
+            Ok(Const::Bool(compare(*op, av, bv)))
+        }
+        RExpr::Call {
+            name,
+            functor,
+            args,
+        } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, binding, ctx)?);
+            }
+            if let Some(f) = ctx.registry.get(name) {
+                let mut fctx = FnCtx {
+                    symbols: ctx.symbols,
+                    skolems: ctx.skolems,
+                };
+                f(&mut fctx, &vals).map_err(|e| {
+                    DatalogError::Function(format!("#{name}: {e}"))
+                })
+            } else {
+                // Unregistered functors are Skolem functions (Algorithm 2
+                // of the paper: `z = #sk_c(name)`).
+                Ok(Const::Null(ctx.skolems.apply(*functor, &vals)))
+            }
+        }
+    }
+}
+
+fn arith(op: BinOp, a: Const, b: Const) -> Result<Const> {
+    use Const::*;
+    let err = || {
+        DatalogError::Function(format!(
+            "arithmetic on non-numeric operands ({a} {op:?} {b})"
+        ))
+    };
+    match (a, b) {
+        (Int(x), Int(y)) => Ok(match op {
+            BinOp::Add => Int(x.wrapping_add(y)),
+            BinOp::Sub => Int(x.wrapping_sub(y)),
+            BinOp::Mul => Int(x.wrapping_mul(y)),
+            BinOp::Div => Const::float(x as f64 / y as f64),
+        }),
+        _ => {
+            let x = a.as_f64().ok_or_else(err)?;
+            let y = b.as_f64().ok_or_else(err)?;
+            Ok(match op {
+                BinOp::Add => Const::float(x + y),
+                BinOp::Sub => Const::float(x - y),
+                BinOp::Mul => Const::float(x * y),
+                BinOp::Div => Const::float(x / y),
+            })
+        }
+    }
+}

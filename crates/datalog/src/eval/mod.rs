@@ -1,0 +1,698 @@
+//! The reasoning engine: stratified semi-naive fixpoint with chase-style
+//! existentials and monotonic aggregation.
+//!
+//! An [`Engine`] is compiled once from a [`Program`] (validation +
+//! stratification) and can then be [run](Engine::run) against any
+//! [`Database`]. Evaluation proceeds stratum by stratum; within a stratum,
+//! round 0 evaluates every rule naively and subsequent rounds evaluate each
+//! rule once per delta position (positive body atom whose predicate is
+//! derived in the stratum), restricted to the facts added in the previous
+//! round. Set semantics (tuple dedup) plays the role of Vadalog's
+//! isomorphism check; the fact and round budgets in [`EngineOptions`] are
+//! the defense-in-depth termination guards discussed in Section 4.4 of the
+//! paper.
+
+mod agg;
+mod exec;
+mod resolve;
+
+use std::time::{Duration, Instant};
+
+use crate::ast::{Directive, PostOp, Program};
+use crate::builtins::FunctionRegistry;
+use crate::db::Database;
+use crate::error::{DatalogError, Result};
+use crate::value::Tuple;
+
+use agg::AggStore;
+use exec::{eval_rule, Derived, RunCtx};
+use resolve::{resolve_rules, CompiledProgram};
+
+/// Tunable evaluation options.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Hard cap on the total number of stored facts.
+    pub max_facts: usize,
+    /// Hard cap on fixpoint rounds per stratum.
+    pub max_rounds: usize,
+    /// Minimum aggregate-value change that counts as "new" — guarantees
+    /// termination of convergent recursive aggregations (e.g. accumulated
+    /// ownership over cyclic shareholding).
+    pub epsilon: f64,
+    /// Record provenance for derived facts (enables explanations).
+    pub provenance: bool,
+    /// Apply `@post` directives and auto-compaction of aggregate predicates
+    /// after the fixpoint.
+    pub apply_post: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            max_facts: 50_000_000,
+            max_rounds: 100_000,
+            epsilon: 1e-9,
+            provenance: false,
+            apply_post: true,
+        }
+    }
+}
+
+/// Statistics of one evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total semi-naive rounds across strata.
+    pub rounds: usize,
+    /// Number of new facts derived (after dedup).
+    pub derived: usize,
+    /// Number of strata evaluated.
+    pub strata: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+}
+
+/// A compiled, reusable reasoning engine.
+#[derive(Debug)]
+pub struct Engine {
+    program: Program,
+    compiled: CompiledProgram,
+    registry: FunctionRegistry,
+    options: EngineOptions,
+}
+
+impl Engine {
+    /// Compiles a program with the standard function library and default
+    /// options.
+    pub fn new(program: &Program) -> Result<Self> {
+        Self::with(program, FunctionRegistry::default(), EngineOptions::default())
+    }
+
+    /// Compiles a program with a custom registry and options.
+    pub fn with(
+        program: &Program,
+        registry: FunctionRegistry,
+        options: EngineOptions,
+    ) -> Result<Self> {
+        let compiled = resolve::compile(program)?;
+        Ok(Engine {
+            program: program.clone(),
+            compiled,
+            registry,
+            options,
+        })
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Stratum index of a predicate (0 = lowest), if it occurs in the
+    /// program. Useful for inspecting how negation layered the rules.
+    pub fn stratum_of(&self, pred: &str) -> Option<usize> {
+        self.compiled.pred_stratum.get(pred).copied()
+    }
+
+    /// Evaluation options (mutable, to tweak between runs).
+    pub fn options_mut(&mut self) -> &mut EngineOptions {
+        &mut self.options
+    }
+
+    /// Registers an external function (callable as `#name`).
+    pub fn register_function(
+        &mut self,
+        name: &str,
+        f: impl Fn(&mut crate::builtins::FnCtx<'_>, &[crate::value::Const]) -> std::result::Result<crate::value::Const, String>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.registry.register(name, f);
+    }
+
+    /// Runs the program to fixpoint over `db`.
+    pub fn run(&self, db: &mut Database) -> Result<RunStats> {
+        let start = Instant::now();
+        let rules = resolve_rules(&self.program, db)?;
+        if self.options.provenance {
+            for rel in &mut db.relations {
+                rel.set_track_prov(true);
+            }
+        }
+        let mut stats = RunStats::default();
+        let mut agg = AggStore::default();
+
+        for stratum in &self.compiled.strata {
+            stats.strata += 1;
+            // Predicates derived in this stratum (delta sources).
+            let stratum_preds: Vec<u32> = stratum
+                .iter()
+                .flat_map(|&ri| rules[ri].head.iter().map(|h| h.pred))
+                .collect();
+            let mut prev_len: Vec<u32> = db.relations.iter().map(|r| r.len() as u32).collect();
+            let mut round = 0usize;
+            loop {
+                if round >= self.options.max_rounds {
+                    return Err(DatalogError::BudgetExceeded(format!(
+                        "exceeded {} rounds in stratum {}",
+                        self.options.max_rounds,
+                        stats.strata - 1
+                    )));
+                }
+                let mut out: Vec<Derived> = Vec::new();
+                {
+                    let db_ref = &mut *db;
+                    let relations = &db_ref.relations;
+                    let mut ctx = RunCtx {
+                        symbols: &mut db_ref.symbols,
+                        skolems: &mut db_ref.skolems,
+                        registry: &self.registry,
+                        agg: &mut agg,
+                        out: &mut out,
+                        epsilon: self.options.epsilon,
+                        provenance: self.options.provenance,
+                    };
+                    for &ri in stratum {
+                        let rule = &rules[ri];
+                        if round == 0 {
+                            eval_rule(rule, relations, None, &mut ctx)?;
+                        } else {
+                            for (k, &li) in rule.positive_literals.iter().enumerate() {
+                                let pred = rule.positive_preds[k];
+                                if !stratum_preds.contains(&pred) {
+                                    continue;
+                                }
+                                let dstart = prev_len[pred as usize];
+                                if (dstart as usize) >= relations[pred as usize].len() {
+                                    continue;
+                                }
+                                eval_rule(rule, relations, Some((li, dstart)), &mut ctx)?;
+                            }
+                        }
+                    }
+                }
+                // Snapshot lengths, then insert this round's derivations:
+                // they become the next round's deltas.
+                for (i, rel) in db.relations.iter().enumerate() {
+                    prev_len[i] = rel.len() as u32;
+                }
+                let mut new_facts = 0usize;
+                for d in out {
+                    let (_, fresh) = db.relations[d.pred as usize].insert(d.tuple, d.prov);
+                    if fresh {
+                        new_facts += 1;
+                    }
+                }
+                stats.derived += new_facts;
+                stats.rounds += 1;
+                round += 1;
+                if db.total_facts() > self.options.max_facts {
+                    return Err(DatalogError::BudgetExceeded(format!(
+                        "exceeded {} facts",
+                        self.options.max_facts
+                    )));
+                }
+                if new_facts == 0 {
+                    break;
+                }
+            }
+        }
+
+        if self.options.apply_post {
+            for (pred, op) in &self.compiled.auto_post {
+                apply_post(db, pred, op);
+            }
+            for d in &self.program.directives {
+                if let Directive::Post(pred, op) = d {
+                    apply_post(db, pred, op);
+                }
+            }
+        }
+        stats.duration = start.elapsed();
+        Ok(stats)
+    }
+}
+
+/// Applies a `@post` grouping filter: per grouping of all columns except the
+/// value column, keep only the row with the extremal value.
+fn apply_post(db: &mut Database, pred: &str, op: &PostOp) {
+    let Some(p) = db.find_pred(pred) else {
+        return;
+    };
+    let (col, keep_max) = match op {
+        PostOp::MaxBy(c) => (*c, true),
+        PostOp::MinBy(c) => (*c, false),
+    };
+    let rel = &db.relations[p as usize];
+    if rel.is_empty() {
+        return;
+    }
+    let arity = rel.row(0).len();
+    if col >= arity {
+        return;
+    }
+    use std::collections::HashMap;
+    let mut best: HashMap<Tuple, Tuple> = HashMap::new();
+    for row in rel.rows() {
+        let key: Tuple = row
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != col)
+            .map(|(_, c)| *c)
+            .collect();
+        match best.get(&key) {
+            Some(prev) => {
+                let replace = if keep_max {
+                    row[col] > prev[col]
+                } else {
+                    row[col] < prev[col]
+                };
+                if replace {
+                    best.insert(key, row.into());
+                }
+            }
+            None => {
+                best.insert(key, row.into());
+            }
+        }
+    }
+    let mut rows: Vec<Tuple> = best.into_values().collect();
+    rows.sort();
+    db.relations[p as usize].replace_all(rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Const;
+
+    fn run_src(src: &str, setup: impl FnOnce(&mut Database)) -> Database {
+        let program = Program::parse(src).unwrap();
+        let engine = Engine::new(&program).unwrap();
+        let mut db = Database::new();
+        setup(&mut db);
+        engine.run(&mut db).unwrap();
+        db
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let db = run_src(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
+            |db| {
+                db.assert_str_facts("e", &[&["a", "b"], &["b", "c"], &["c", "d"]]);
+            },
+        );
+        assert_eq!(db.fact_count("t"), 6);
+        assert!(db.contains_str_fact("t", &["a", "d"]));
+        assert!(!db.contains_str_fact("t", &["b", "a"]));
+    }
+
+    #[test]
+    fn cyclic_transitive_closure_terminates() {
+        let db = run_src(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
+            |db| {
+                db.assert_str_facts("e", &[&["a", "b"], &["b", "a"]]);
+            },
+        );
+        assert_eq!(db.fact_count("t"), 4); // aa ab ba bb
+    }
+
+    #[test]
+    fn ground_facts_in_program() {
+        let db = run_src("e(a, b). e(b, c). t(X, Z) :- e(X, Y), e(Y, Z).", |_| {});
+        assert!(db.contains_str_fact("t", &["a", "c"]));
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let db = run_src(
+            "reach(X) :- start(X). reach(Y) :- reach(X), e(X, Y).\n\
+             unreach(X) :- node(X), not reach(X).",
+            |db| {
+                db.assert_str_facts("node", &[&["a"], &["b"], &["c"]]);
+                db.assert_str_facts("start", &[&["a"]]);
+                db.assert_str_facts("e", &[&["a", "b"]]);
+            },
+        );
+        assert_eq!(db.dump("unreach"), vec!["c"]);
+    }
+
+    #[test]
+    fn comparisons_and_arithmetic() {
+        let db = run_src(
+            "big(X, V) :- n(X, W), V = W * 2 + 1, V > 5.",
+            |db| {
+                db.fact("n").sym("a").int(1).assert();
+                db.fact("n").sym("b").int(3).assert();
+            },
+        );
+        assert_eq!(db.fact_count("big"), 1);
+        let rel = db.relation("big").unwrap();
+        assert_eq!(rel.row(0)[1], Const::Int(7));
+    }
+
+    #[test]
+    fn company_control_paper_figure_1() {
+        // Figure 1 of the paper: P1 controls C, D, E (jointly via D and a
+        // direct 20%), and F (via E and D); no one controls L alone.
+        let db = run_src(
+            "control(X, X) :- company(X).\n\
+             control(X, X) :- person(X).\n\
+             control(X, Y) :- control(X, Z), own(Z, Y, W), X != Y, msum(W, <Z>) > 0.5.",
+            |db| {
+                for c in ["c", "d", "e", "f", "g", "h", "i", "l"] {
+                    db.assert_str_facts("company", &[&[c]]);
+                }
+                db.assert_str_facts("person", &[&["p1"], &["p2"]]);
+                for (x, y, w) in [
+                    ("p1", "c", 0.8),
+                    ("p1", "d", 0.75),
+                    ("d", "e", 0.4),
+                    ("p1", "e", 0.2),
+                    ("d", "f", 0.2),
+                    ("e", "f", 0.4),
+                    ("p2", "g", 0.6),
+                    ("g", "h", 0.6),
+                    ("h", "i", 0.1),
+                    ("p2", "i", 0.5),
+                    ("f", "l", 0.2),
+                    ("i", "l", 0.4),
+                ] {
+                    db.fact("own").sym(x).sym(y).float(w).assert();
+                }
+            },
+        );
+        for target in ["c", "d", "e", "f"] {
+            assert!(
+                db.contains_str_fact("control", &["p1", target]),
+                "p1 should control {target}"
+            );
+        }
+        assert!(!db.contains_str_fact("control", &["p1", "l"]));
+        for target in ["g", "h", "i"] {
+            assert!(
+                db.contains_str_fact("control", &["p2", target]),
+                "p2 should control {target}"
+            );
+        }
+        assert!(!db.contains_str_fact("control", &["p2", "l"]));
+    }
+
+    #[test]
+    fn control_handles_ownership_cycles() {
+        // a owns 60% of b, b owns 60% of c, c owns 60% of b (cycle b<->c).
+        let db = run_src(
+            "control(X, X) :- company(X).\n\
+             control(X, Y) :- control(X, Z), own(Z, Y, W), X != Y, msum(W, <Z>) > 0.5.",
+            |db| {
+                db.assert_str_facts("company", &[&["a"], &["b"], &["c"]]);
+                db.fact("own").sym("a").sym("b").float(0.6).assert();
+                db.fact("own").sym("b").sym("c").float(0.6).assert();
+                db.fact("own").sym("c").sym("b").float(0.6).assert();
+            },
+        );
+        assert!(db.contains_str_fact("control", &["a", "b"]));
+        assert!(db.contains_str_fact("control", &["a", "c"]));
+    }
+
+    #[test]
+    fn joint_control_requires_summation() {
+        // x controls a (60%) and b (60%); a and b each own 30% of y.
+        // Only the msum over {a, b} pushes x over 50% of y.
+        let db = run_src(
+            "control(X, X) :- company(X).\n\
+             control(X, Y) :- control(X, Z), own(Z, Y, W), X != Y, msum(W, <Z>) > 0.5.",
+            |db| {
+                db.assert_str_facts("company", &[&["x"], &["a"], &["b"], &["y"]]);
+                db.fact("own").sym("x").sym("a").float(0.6).assert();
+                db.fact("own").sym("x").sym("b").float(0.6).assert();
+                db.fact("own").sym("a").sym("y").float(0.3).assert();
+                db.fact("own").sym("b").sym("y").float(0.3).assert();
+            },
+        );
+        assert!(db.contains_str_fact("control", &["x", "y"]));
+    }
+
+    #[test]
+    fn accumulated_ownership_with_let_aggregate() {
+        // Diamond: x -0.5-> a -0.5-> y and x -0.4-> b -0.25-> y.
+        // Φ(x,y) = 0.25 + 0.1 = 0.35.
+        let db = run_src(
+            "acc(X, Y, V) :- own(X, Y, W), V = msum(W, <X, Y>).\n\
+             acc(X, Y, V) :- own(X, Z, W1), acc(Z, Y, W2), Z != Y, V = msum(W1 * W2, <Z>).",
+            |db| {
+                db.fact("own").sym("x").sym("a").float(0.5).assert();
+                db.fact("own").sym("a").sym("y").float(0.5).assert();
+                db.fact("own").sym("x").sym("b").float(0.4).assert();
+                db.fact("own").sym("b").sym("y").float(0.25).assert();
+            },
+        );
+        // After auto-compaction, one acc fact per (x, y) pair with the total.
+        let rel = db.relation("acc").unwrap();
+        let x = db.sym_of("x");
+        let y = db.sym_of("y");
+        let mut found = None;
+        for row in rel.rows() {
+            if row[0] == x && row[1] == y {
+                assert!(found.is_none(), "compaction should leave one row");
+                found = Some(row[2].as_f64().unwrap());
+            }
+        }
+        assert!((found.unwrap() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_aggregate_total_across_rules() {
+        // Algorithm 8 semantics: two rules contribute to the same total.
+        // p contributes via u(=0.3) and v(=0.3); threshold 0.5 crossed only
+        // by the combination.
+        let db = run_src(
+            "reaches(P) :- u(P, W), msum(W, <P>) > 0.5.\n\
+             reaches(P) :- v(P, W), msum(W, <P>) > 0.5.",
+            |db| {
+                db.fact("u").sym("p").float(0.3).assert();
+                db.fact("v").sym("p").float(0.3).assert();
+            },
+        );
+        // Contributor keys are namespaced by rule, so the two 0.3s add up.
+        assert!(db.contains_str_fact("reaches", &["p"]));
+    }
+
+    #[test]
+    fn existential_invents_nulls() {
+        let db = run_src(
+            "link(Z, X, Y) :- own(X, Y, _), Z = #mk(X, Y).\n\
+             haslink(X, Y) :- link(_, X, Y).",
+            |db| {
+                db.fact("own").sym("a").sym("b").float(0.5).assert();
+            },
+        );
+        assert_eq!(db.fact_count("link"), 1);
+        let rel = db.relation("link").unwrap();
+        assert!(rel.row(0)[0].is_null());
+        assert!(db.contains_str_fact("haslink", &["a", "b"]));
+    }
+
+    #[test]
+    fn implicit_existentials_are_skolemized() {
+        // Head var Z not in body → labelled null, one per distinct frontier.
+        let db = run_src("edge(Z, X, Y) :- own(X, Y, _).", |db| {
+            db.fact("own").sym("a").sym("b").float(0.5).assert();
+            db.fact("own").sym("a").sym("b").float(0.7).assert();
+            db.fact("own").sym("a").sym("c").float(0.2).assert();
+        });
+        // Frontier is (X, Y): (a,b) appears twice → same null; (a,c) fresh.
+        assert_eq!(db.fact_count("edge"), 2);
+    }
+
+    #[test]
+    fn skolem_functions_are_deterministic_and_disjoint() {
+        let db = run_src(
+            "n1(Z) :- p(X), Z = #ska(X).\n\
+             n2(Z) :- p(X), Z = #skb(X).\n\
+             n3(Z) :- p(X), Z = #ska(X).",
+            |db| {
+                db.assert_str_facts("p", &[&["a"]]);
+            },
+        );
+        let z1 = db.relation("n1").unwrap().row(0)[0];
+        let z2 = db.relation("n2").unwrap().row(0)[0];
+        let z3 = db.relation("n3").unwrap().row(0)[0];
+        assert_eq!(z1, z3, "determinism across rules");
+        assert_ne!(z1, z2, "disjoint ranges");
+    }
+
+    #[test]
+    fn conjunctive_heads() {
+        let db = run_src(
+            "node(X), nodetype(X, company) :- company(X).",
+            |db| {
+                db.assert_str_facts("company", &[&["acme"]]);
+            },
+        );
+        assert!(db.contains_str_fact("node", &["acme"]));
+        assert!(db.contains_str_fact("nodetype", &["acme", "company"]));
+    }
+
+    #[test]
+    fn external_functions() {
+        let program = Program::parse("len(X, L) :- w(X), L = #strlen(X).").unwrap();
+        let engine = Engine::new(&program).unwrap();
+        let mut db = Database::new();
+        db.assert_str_facts("w", &[&["hello"]]);
+        engine.run(&mut db).unwrap();
+        let rel = db.relation("len").unwrap();
+        assert_eq!(rel.row(0)[1], Const::Int(5));
+    }
+
+    #[test]
+    fn custom_function_registration() {
+        let program = Program::parse("d(X, Y) :- p(X), Y = #triple(X).").unwrap();
+        let mut engine = Engine::new(&program).unwrap();
+        engine.register_function("triple", |_, args| {
+            Ok(Const::Int(args[0].as_i64().ok_or("not int")? * 3))
+        });
+        let mut db = Database::new();
+        db.fact("p").int(14).assert();
+        engine.run(&mut db).unwrap();
+        assert_eq!(db.relation("d").unwrap().row(0)[1], Const::Int(42));
+    }
+
+    #[test]
+    fn mcount_aggregate() {
+        let db = run_src(
+            "deg(X, C) :- e(X, Y), C = mcount(1, <Y>).",
+            |db| {
+                db.assert_str_facts("e", &[&["a", "b"], &["a", "c"], &["a", "b"], &["b", "c"]]);
+            },
+        );
+        let rel = db.relation("deg").unwrap();
+        let a = db.sym_of("a");
+        for row in rel.rows() {
+            if row[0] == a {
+                assert_eq!(row[1], Const::Int(2));
+            }
+        }
+    }
+
+    #[test]
+    fn post_directive_keeps_extremal_rows() {
+        let db = run_src(
+            "@post(\"best\", \"max(1)\").\n\
+             best(X, W) :- score(X, W).",
+            |db| {
+                db.fact("score").sym("a").float(1.0).assert();
+                db.fact("score").sym("a").float(3.0).assert();
+                db.fact("score").sym("b").float(2.0).assert();
+            },
+        );
+        let rel = db.relation("best").unwrap();
+        assert_eq!(rel.len(), 2);
+        let a = db.sym_of("a");
+        for row in rel.rows() {
+            if row[0] == a {
+                assert_eq!(row[1].as_f64(), Some(3.0));
+            }
+        }
+    }
+
+    #[test]
+    fn fact_budget_is_enforced() {
+        let program = Program::parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+        let mut engine = Engine::new(&program).unwrap();
+        engine.options_mut().max_facts = 10;
+        let mut db = Database::new();
+        for i in 0..20 {
+            let a = format!("n{i}");
+            let b = format!("n{}", i + 1);
+            db.fact("e").sym(&a).sym(&b).assert();
+        }
+        let err = engine.run(&mut db).unwrap_err();
+        assert!(matches!(err, DatalogError::BudgetExceeded(_)));
+    }
+
+    #[test]
+    fn recursive_aggregate_over_cycle_converges() {
+        // a -> b -> a ownership cycle with product < 1: accumulated
+        // ownership converges geometrically; the epsilon guard terminates.
+        let db = run_src(
+            "acc(X, Y, V) :- own(X, Y, W), V = msum(W, <X, Y>).\n\
+             acc(X, Y, V) :- own(X, Z, W1), acc(Z, Y, W2), Z != Y, V = msum(W1 * W2, <Z>).",
+            |db| {
+                db.fact("own").sym("a").sym("b").float(0.5).assert();
+                db.fact("own").sym("b").sym("a").float(0.5).assert();
+                db.fact("own").sym("b").sym("c").float(0.8).assert();
+            },
+        );
+        // Φ(a,c): walks a->b->c, a->b->a->b->c, ... = 0.4·(1+0.25+...) = 0.5333…
+        let a = db.sym_of("a");
+        let c = db.sym_of("c");
+        let rel = db.relation("acc").unwrap();
+        let mut val = None;
+        for row in rel.rows() {
+            if row[0] == a && row[1] == c {
+                val = Some(row[2].as_f64().unwrap());
+            }
+        }
+        let expected = 0.4 / (1.0 - 0.25);
+        assert!(
+            (val.unwrap() - expected).abs() < 1e-6,
+            "got {val:?}, want {expected}"
+        );
+    }
+
+    #[test]
+    fn rerunning_is_idempotent() {
+        let program = Program::parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+        let engine = Engine::new(&program).unwrap();
+        let mut db = Database::new();
+        db.assert_str_facts("e", &[&["a", "b"], &["b", "c"]]);
+        engine.run(&mut db).unwrap();
+        let n = db.fact_count("t");
+        let stats = engine.run(&mut db).unwrap();
+        assert_eq!(db.fact_count("t"), n);
+        assert_eq!(stats.derived, 0);
+    }
+
+    #[test]
+    fn stratum_of_reports_layers() {
+        let program = Program::parse(
+            "r(X) :- n(X), not t(X). t(X) :- e(X, _).",
+        )
+        .unwrap();
+        let engine = Engine::new(&program).unwrap();
+        assert_eq!(engine.stratum_of("t"), Some(0));
+        assert_eq!(engine.stratum_of("r"), Some(1));
+        assert_eq!(engine.stratum_of("zzz"), None);
+    }
+
+    #[test]
+    fn negation_on_derived_relation() {
+        let db = run_src(
+            "owner(X) :- own(X, _, _).\n\
+             leaf(X) :- company(X), not owner(X).",
+            |db| {
+                db.assert_str_facts("company", &[&["a"], &["b"]]);
+                db.fact("own").sym("a").sym("b").float(1.0).assert();
+            },
+        );
+        assert_eq!(db.dump("leaf"), vec!["b"]);
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms_unify() {
+        let db = run_src("selfloop(X) :- e(X, X).", |db| {
+            db.assert_str_facts("e", &[&["a", "a"], &["a", "b"]]);
+        });
+        assert_eq!(db.dump("selfloop"), vec!["a"]);
+    }
+
+    impl Database {
+        /// Test helper: symbol constant for an existing string.
+        fn sym_of(&self, s: &str) -> Const {
+            Const::Sym(self.symbols.get(s).expect("symbol exists"))
+        }
+    }
+}

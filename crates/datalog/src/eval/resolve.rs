@@ -1,0 +1,845 @@
+//! Program validation, stratification and rule resolution.
+//!
+//! [`compile`] runs once per [`crate::Engine`]: it checks boundness and
+//! aggregate well-formedness rule by rule, builds the predicate dependency
+//! graph and computes the stratification (negation must not be recursive;
+//! monotonic aggregation may be — that is the point of Vadalog's `m*`
+//! family). [`resolve_rules`] runs per evaluation: it interns predicate
+//! names, constants and Skolem functors into the target database and
+//! registers the hash indexes the join plans will probe.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::db::Database;
+use crate::error::{DatalogError, Result};
+use crate::value::Const;
+
+/// Name-level compilation output (no database required).
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledProgram {
+    /// Rule indices grouped by stratum, in evaluation order.
+    pub strata: Vec<Vec<usize>>,
+    /// Stratum of each predicate name.
+    pub pred_stratum: HashMap<String, usize>,
+    /// Automatic `@post` compactions for aggregate-only predicates.
+    pub auto_post: Vec<(String, PostOp)>,
+}
+
+fn verr(msg: impl Into<String>) -> DatalogError {
+    DatalogError::Validation(msg.into())
+}
+
+/// Collects the variables of a term into `out`.
+fn term_vars(t: &Term, out: &mut Vec<VarId>) {
+    match t {
+        Term::Var(v) => out.push(*v),
+        Term::Lit(_) => {}
+        Term::Skolem { args, .. } => {
+            for a in args {
+                term_vars(a, out);
+            }
+        }
+    }
+}
+
+fn expr_vars(e: &Expr, out: &mut Vec<VarId>) {
+    match e {
+        Expr::Var(v) => out.push(*v),
+        Expr::Lit(_) => {}
+        Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) => {
+            expr_vars(a, out);
+            expr_vars(b, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                expr_vars(a, out);
+            }
+        }
+    }
+}
+
+/// Validates one rule; returns the set of body-bound variables.
+fn validate_rule(rule: &Rule, ri: usize) -> Result<HashSet<VarId>> {
+    let label = |m: &str| format!("rule {ri}: {m}");
+    let mut bound: HashSet<VarId> = HashSet::new();
+    let mut agg_seen = false;
+    for (li, lit) in rule.body.iter().enumerate() {
+        if agg_seen {
+            return Err(verr(label("the aggregate literal must be last in the body")));
+        }
+        match lit {
+            Literal::Atom(a) => {
+                let mut vs = Vec::new();
+                for t in &a.terms {
+                    if matches!(t, Term::Skolem { .. }) {
+                        return Err(verr(label("Skolem terms are not allowed in body atoms")));
+                    }
+                    term_vars(t, &mut vs);
+                }
+                bound.extend(vs);
+            }
+            Literal::Negated(a) => {
+                let mut vs = Vec::new();
+                for t in &a.terms {
+                    term_vars(t, &mut vs);
+                }
+                for v in vs {
+                    if !bound.contains(&v) {
+                        return Err(verr(label(&format!(
+                            "variable {} under negation is not bound by a preceding atom",
+                            rule.vars[v as usize]
+                        ))));
+                    }
+                }
+            }
+            Literal::Cond(e) => {
+                let mut vs = Vec::new();
+                expr_vars(e, &mut vs);
+                for v in vs {
+                    if !bound.contains(&v) {
+                        return Err(verr(label(&format!(
+                            "variable {} in condition is not bound",
+                            rule.vars[v as usize]
+                        ))));
+                    }
+                }
+            }
+            Literal::Let(v, e) => {
+                let mut vs = Vec::new();
+                expr_vars(e, &mut vs);
+                for u in vs {
+                    if !bound.contains(&u) {
+                        return Err(verr(label(&format!(
+                            "variable {} in binding is not bound",
+                            rule.vars[u as usize]
+                        ))));
+                    }
+                }
+                bound.insert(*v);
+            }
+            Literal::LetAgg(v, agg) => {
+                agg_seen = true;
+                if li + 1 != rule.body.len() {
+                    return Err(verr(label("the aggregate literal must be last in the body")));
+                }
+                check_agg(rule, agg, &bound, &label)?;
+                if bound.contains(v) {
+                    return Err(verr(label("aggregate target variable is already bound")));
+                }
+                bound.insert(*v);
+                // The aggregate variable must appear exactly once in a
+                // single, skolem-free head atom.
+                if rule.head.len() != 1 {
+                    return Err(verr(label("aggregate rules must have a single head atom")));
+                }
+                let mut occurrences = 0;
+                for t in &rule.head[0].terms {
+                    match t {
+                        Term::Var(u) if u == v => occurrences += 1,
+                        Term::Skolem { .. } => {
+                            return Err(verr(label(
+                                "aggregate rule heads must not contain Skolem terms",
+                            )))
+                        }
+                        _ => {}
+                    }
+                }
+                if occurrences != 1 {
+                    return Err(verr(label(
+                        "the aggregate value must appear exactly once in the head",
+                    )));
+                }
+            }
+            Literal::AggCond { agg, rhs, .. } => {
+                agg_seen = true;
+                if li + 1 != rule.body.len() {
+                    return Err(verr(label("the aggregate literal must be last in the body")));
+                }
+                check_agg(rule, agg, &bound, &label)?;
+                let mut vs = Vec::new();
+                expr_vars(rhs, &mut vs);
+                for u in vs {
+                    if !bound.contains(&u) {
+                        return Err(verr(label("aggregate comparison right side is not bound")));
+                    }
+                }
+                if rule.head.len() != 1 {
+                    return Err(verr(label("aggregate rules must have a single head atom")));
+                }
+                for t in &rule.head[0].terms {
+                    match t {
+                        Term::Var(u) if !bound.contains(u) => {
+                            return Err(verr(label(
+                                "aggregate rule heads must not contain existential variables",
+                            )))
+                        }
+                        Term::Skolem { .. } => {
+                            return Err(verr(label(
+                                "aggregate rule heads must not contain Skolem terms",
+                            )))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    // Heads: Skolem args must be bound; ground rules must be fully ground.
+    for h in &rule.head {
+        for t in &h.terms {
+            if let Term::Skolem { args, .. } = t {
+                let mut vs = Vec::new();
+                for a in args {
+                    term_vars(a, &mut vs);
+                }
+                for v in vs {
+                    if !bound.contains(&v) {
+                        return Err(verr(label(&format!(
+                            "Skolem argument {} is not bound by the body",
+                            rule.vars[v as usize]
+                        ))));
+                    }
+                }
+            }
+        }
+    }
+    if rule.body.is_empty() {
+        for h in &rule.head {
+            let mut vs = Vec::new();
+            for t in &h.terms {
+                term_vars(t, &mut vs);
+            }
+            if !vs.is_empty() {
+                return Err(verr(label("facts (rules with empty bodies) must be ground")));
+            }
+        }
+    }
+    Ok(bound)
+}
+
+fn check_agg(
+    rule: &Rule,
+    agg: &Aggregate,
+    bound: &HashSet<VarId>,
+    label: &impl Fn(&str) -> String,
+) -> Result<()> {
+    let mut vs = Vec::new();
+    expr_vars(&agg.expr, &mut vs);
+    vs.extend(agg.contributors.iter().copied());
+    for v in vs {
+        if !bound.contains(&v) {
+            return Err(verr(label(&format!(
+                "aggregate variable {} is not bound",
+                rule.vars[v as usize]
+            ))));
+        }
+    }
+    Ok(())
+}
+
+/// Compiles and stratifies a program at the name level.
+pub(crate) fn compile(program: &Program) -> Result<CompiledProgram> {
+    // Per-rule validation.
+    for (ri, rule) in program.rules.iter().enumerate() {
+        validate_rule(rule, ri)?;
+        let aggs = rule
+            .body
+            .iter()
+            .filter(|l| matches!(l, Literal::LetAgg(..) | Literal::AggCond { .. }))
+            .count();
+        if aggs > 1 {
+            return Err(verr(format!("rule {ri}: at most one aggregate per rule")));
+        }
+    }
+
+    // Predicate universe.
+    let mut pred_ids: HashMap<&str, usize> = HashMap::new();
+    let mut pred_names: Vec<&str> = Vec::new();
+    fn pid<'a>(
+        name: &'a str,
+        ids: &mut HashMap<&'a str, usize>,
+        names: &mut Vec<&'a str>,
+    ) -> usize {
+        if let Some(&i) = ids.get(name) {
+            return i;
+        }
+        let i = names.len();
+        names.push(name);
+        ids.insert(name, i);
+        i
+    }
+
+    // Edges: (from, to, negative).
+    let mut edges: Vec<(usize, usize, bool)> = Vec::new();
+    for rule in &program.rules {
+        let heads: Vec<usize> = rule
+            .head
+            .iter()
+            .map(|h| pid(&h.pred, &mut pred_ids, &mut pred_names))
+            .collect();
+        // Conjunctive heads must share a stratum: link them mutually.
+        for i in 1..heads.len() {
+            edges.push((heads[0], heads[i], false));
+            edges.push((heads[i], heads[0], false));
+        }
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom(a) => {
+                    let b = pid(&a.pred, &mut pred_ids, &mut pred_names);
+                    for &h in &heads {
+                        edges.push((b, h, false));
+                    }
+                }
+                Literal::Negated(a) => {
+                    let b = pid(&a.pred, &mut pred_ids, &mut pred_names);
+                    for &h in &heads {
+                        edges.push((b, h, true));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let n = pred_names.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b, _) in &edges {
+        adj[a].push(b);
+    }
+    let comp = tarjan(&adj);
+    let ncomp = comp.iter().copied().max().map(|c| c + 1).unwrap_or(0);
+
+    // Negative edges inside a component are non-stratifiable.
+    for &(a, b, neg) in &edges {
+        if neg && comp[a] == comp[b] {
+            return Err(verr(format!(
+                "program is not stratifiable: negation of {} is recursive with {}",
+                pred_names[a], pred_names[b]
+            )));
+        }
+    }
+
+    // Longest-path strata over the condensation (Kahn).
+    let mut cadj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); ncomp];
+    let mut indeg = vec![0usize; ncomp];
+    let mut seen_edges: HashSet<(usize, usize, bool)> = HashSet::new();
+    for &(a, b, neg) in &edges {
+        let (ca, cb) = (comp[a], comp[b]);
+        if ca != cb && seen_edges.insert((ca, cb, neg)) {
+            cadj[ca].push((cb, neg));
+            indeg[cb] += 1;
+        }
+    }
+    let mut level = vec![0usize; ncomp];
+    let mut queue: Vec<usize> = (0..ncomp).filter(|&c| indeg[c] == 0).collect();
+    let mut processed = 0usize;
+    while let Some(c) = queue.pop() {
+        processed += 1;
+        for &(d, neg) in &cadj[c] {
+            let cand = level[c] + usize::from(neg);
+            if cand > level[d] {
+                level[d] = cand;
+            }
+            indeg[d] -= 1;
+            if indeg[d] == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    debug_assert_eq!(processed, ncomp, "condensation must be acyclic");
+
+    let mut pred_stratum: HashMap<String, usize> = HashMap::new();
+    for (i, name) in pred_names.iter().enumerate() {
+        pred_stratum.insert((*name).to_owned(), level[comp[i]]);
+    }
+
+    // Assign rules to the stratum of their head (heads share one).
+    let max_level = level.iter().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let s = rule
+            .head
+            .iter()
+            .map(|h| pred_stratum[&h.pred])
+            .max()
+            .unwrap_or(0);
+        strata[s].push(ri);
+    }
+    strata.retain(|s| !s.is_empty());
+
+    // Auto-compaction: predicates derived exclusively by LetAgg rules.
+    let mut letagg_value_pos: HashMap<String, (usize, AggFunc)> = HashMap::new();
+    let mut disqualified: HashSet<String> = HashSet::new();
+    for rule in &program.rules {
+        let letagg = rule.body.iter().find_map(|l| match l {
+            Literal::LetAgg(v, agg) => Some((*v, agg.func)),
+            _ => None,
+        });
+        match letagg {
+            Some((v, func)) => {
+                let head = &rule.head[0];
+                let pos = head
+                    .terms
+                    .iter()
+                    .position(|t| matches!(t, Term::Var(u) if *u == v))
+                    .expect("validated: aggregate value appears in head");
+                match letagg_value_pos.get(&head.pred) {
+                    None => {
+                        letagg_value_pos.insert(head.pred.clone(), (pos, func));
+                    }
+                    Some(&(p, f)) if p == pos && f == func => {}
+                    Some(_) => {
+                        disqualified.insert(head.pred.clone());
+                    }
+                }
+            }
+            None => {
+                for h in &rule.head {
+                    disqualified.insert(h.pred.clone());
+                }
+            }
+        }
+    }
+    let mut auto_post: Vec<(String, PostOp)> = letagg_value_pos
+        .into_iter()
+        .filter(|(p, _)| !disqualified.contains(p))
+        // mprod has no fixed direction (products of sub-unit values
+        // decrease, of >1 values increase): leave compaction to an
+        // explicit @post directive.
+        .filter(|(_, (_, func))| *func != AggFunc::Prod)
+        .map(|(p, (pos, func))| {
+            let op = if func == AggFunc::Min {
+                PostOp::MinBy(pos)
+            } else {
+                PostOp::MaxBy(pos)
+            };
+            (p, op)
+        })
+        .collect();
+    auto_post.sort_by(|a, b| a.0.cmp(&b.0));
+
+    Ok(CompiledProgram {
+        strata,
+        pred_stratum,
+        auto_post,
+    })
+}
+
+/// Iterative Tarjan SCC over a small adjacency list.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<usize> {
+    const UNVISITED: usize = usize::MAX;
+    let n = adj.len();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack = Vec::new();
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    let mut next = 0usize;
+    let mut ncomp = 0usize;
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            if *cursor == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *cursor < adj[v].len() {
+                let w = adj[v][*cursor];
+                *cursor += 1;
+                if index[w] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan underflow");
+                        on_stack[w] = false;
+                        comp[w] = ncomp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    ncomp += 1;
+                }
+                frames.pop();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+// ---------------------------------------------------------------------------
+// Resolved (database-interned) rule representation
+// ---------------------------------------------------------------------------
+
+/// A term with interned constants.
+#[derive(Debug, Clone)]
+pub(crate) enum RTerm {
+    Var(u32),
+    Const(Const),
+    Skolem { functor: u32, args: Vec<RTerm> },
+}
+
+/// An atom with an interned predicate.
+#[derive(Debug, Clone)]
+pub(crate) struct RAtom {
+    pub pred: u32,
+    pub terms: Vec<RTerm>,
+}
+
+/// A resolved expression.
+#[derive(Debug, Clone)]
+pub(crate) enum RExpr {
+    Var(u32),
+    Const(Const),
+    Binary(BinOp, Box<RExpr>, Box<RExpr>),
+    Cmp(CmpOp, Box<RExpr>, Box<RExpr>),
+    Call {
+        /// Surface name (for registry lookup and error messages).
+        name: String,
+        /// Interned functor symbol (for the Skolem fallback).
+        functor: u32,
+        args: Vec<RExpr>,
+    },
+}
+
+/// A resolved aggregate.
+#[derive(Debug, Clone)]
+pub(crate) struct RAgg {
+    pub func: AggFunc,
+    pub expr: RExpr,
+    pub contributors: Vec<u32>,
+}
+
+/// How an aggregate is used in its rule.
+#[derive(Debug, Clone)]
+pub(crate) enum AggKind {
+    /// `V = msum(...)`: bind the running value to `V` (head position given).
+    Let { var: u32, head_value_pos: usize },
+    /// `msum(...) >= rhs`: derive the head when the condition holds.
+    Cond { op: CmpOp, rhs: RExpr },
+}
+
+/// A resolved body literal.
+#[derive(Debug, Clone)]
+pub(crate) enum RLiteral {
+    /// Positive atom with the statically computed bound-position mask.
+    Atom { atom: RAtom, mask: u64 },
+    Negated(RAtom),
+    Cond(RExpr),
+    Let(u32, RExpr),
+    Agg { agg: RAgg, kind: AggKind },
+}
+
+/// A fully resolved rule.
+#[derive(Debug, Clone)]
+pub(crate) struct RRule {
+    pub idx: u32,
+    pub head: Vec<RAtom>,
+    pub body: Vec<RLiteral>,
+    pub nvars: usize,
+    /// Existential head vars: (var, skolem functor, frontier vars).
+    pub existentials: Vec<(u32, u32, Vec<u32>)>,
+    /// Literal indexes of positive atoms (semi-naive delta candidates).
+    pub positive_literals: Vec<usize>,
+    /// Predicate of each positive literal (parallel to `positive_literals`).
+    pub positive_preds: Vec<u32>,
+}
+
+fn resolve_lit(lit: &Lit, db: &mut Database) -> Const {
+    match lit {
+        Lit::Str(s) => db.sym(s),
+        Lit::Int(i) => Const::Int(*i),
+        Lit::Float(f) => Const::float(*f),
+        Lit::Bool(b) => Const::Bool(*b),
+    }
+}
+
+fn resolve_term(t: &Term, db: &mut Database) -> RTerm {
+    match t {
+        Term::Var(v) => RTerm::Var(*v),
+        Term::Lit(l) => RTerm::Const(resolve_lit(l, db)),
+        Term::Skolem { functor, args } => RTerm::Skolem {
+            functor: db.symbols.intern(&format!("#{functor}")),
+            args: args.iter().map(|a| resolve_term(a, db)).collect(),
+        },
+    }
+}
+
+fn resolve_expr(e: &Expr, db: &mut Database) -> RExpr {
+    match e {
+        Expr::Var(v) => RExpr::Var(*v),
+        Expr::Lit(l) => RExpr::Const(resolve_lit(l, db)),
+        Expr::Binary(op, a, b) => RExpr::Binary(
+            *op,
+            Box::new(resolve_expr(a, db)),
+            Box::new(resolve_expr(b, db)),
+        ),
+        Expr::Cmp(op, a, b) => RExpr::Cmp(
+            *op,
+            Box::new(resolve_expr(a, db)),
+            Box::new(resolve_expr(b, db)),
+        ),
+        Expr::Call(name, args) => RExpr::Call {
+            name: name.clone(),
+            functor: db.symbols.intern(&format!("#{name}")),
+            args: args.iter().map(|a| resolve_expr(a, db)).collect(),
+        },
+    }
+}
+
+fn resolve_atom(a: &Atom, db: &mut Database) -> Result<RAtom> {
+    let pred = db.pred_id(&a.pred);
+    db.check_arity(pred, a.terms.len())
+        .map_err(|e| verr(format!("atom {}: {e}", a.pred)))?;
+    Ok(RAtom {
+        pred,
+        terms: a.terms.iter().map(|t| resolve_term(t, db)).collect(),
+    })
+}
+
+/// Resolves all rules against `db`, registering indexes for the join plans.
+pub(crate) fn resolve_rules(program: &Program, db: &mut Database) -> Result<Vec<RRule>> {
+    let mut out = Vec::with_capacity(program.rules.len());
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let mut bound: HashSet<VarId> = HashSet::new();
+        let mut body = Vec::with_capacity(rule.body.len());
+        let mut positive_literals = Vec::new();
+        let mut positive_preds = Vec::new();
+        for (li, lit) in rule.body.iter().enumerate() {
+            match lit {
+                Literal::Atom(a) => {
+                    let ra = resolve_atom(a, db)?;
+                    // Mask of positions already bound (constants or earlier vars).
+                    let mut mask = 0u64;
+                    let mut newly = Vec::new();
+                    for (i, t) in ra.terms.iter().enumerate() {
+                        match t {
+                            RTerm::Const(_) => mask |= 1 << i,
+                            RTerm::Var(v) => {
+                                if bound.contains(v) || newly.contains(v) {
+                                    // A repeat *within* this atom is checked
+                                    // by unification, not by the index key.
+                                    if bound.contains(v) {
+                                        mask |= 1 << i;
+                                    }
+                                } else {
+                                    newly.push(*v);
+                                }
+                            }
+                            RTerm::Skolem { .. } => unreachable!("validated"),
+                        }
+                    }
+                    bound.extend(newly);
+                    db.relation_mut(ra.pred).register_index(mask);
+                    positive_literals.push(li);
+                    positive_preds.push(ra.pred);
+                    body.push(RLiteral::Atom { atom: ra, mask });
+                }
+                Literal::Negated(a) => {
+                    body.push(RLiteral::Negated(resolve_atom(a, db)?));
+                }
+                Literal::Cond(e) => body.push(RLiteral::Cond(resolve_expr(e, db))),
+                Literal::Let(v, e) => {
+                    let re = resolve_expr(e, db);
+                    bound.insert(*v);
+                    body.push(RLiteral::Let(*v, re));
+                }
+                Literal::LetAgg(v, agg) => {
+                    let ragg = RAgg {
+                        func: agg.func,
+                        expr: resolve_expr(&agg.expr, db),
+                        contributors: agg.contributors.clone(),
+                    };
+                    let head_value_pos = rule.head[0]
+                        .terms
+                        .iter()
+                        .position(|t| matches!(t, Term::Var(u) if u == v))
+                        .expect("validated");
+                    bound.insert(*v);
+                    body.push(RLiteral::Agg {
+                        agg: ragg,
+                        kind: AggKind::Let {
+                            var: *v,
+                            head_value_pos,
+                        },
+                    });
+                }
+                Literal::AggCond { agg, op, rhs } => {
+                    let ragg = RAgg {
+                        func: agg.func,
+                        expr: resolve_expr(&agg.expr, db),
+                        contributors: agg.contributors.clone(),
+                    };
+                    body.push(RLiteral::Agg {
+                        agg: ragg,
+                        kind: AggKind::Cond {
+                            op: *op,
+                            rhs: resolve_expr(rhs, db),
+                        },
+                    });
+                }
+            }
+        }
+        // Heads and existentials.
+        let mut head = Vec::with_capacity(rule.head.len());
+        for h in &rule.head {
+            head.push(resolve_atom(h, db)?);
+        }
+        let mut existentials = Vec::new();
+        let mut seen_ex: HashSet<VarId> = HashSet::new();
+        // Frontier: bound vars appearing anywhere in the head, in id order.
+        let mut frontier: Vec<VarId> = Vec::new();
+        for h in &rule.head {
+            let mut vs = Vec::new();
+            for t in &h.terms {
+                collect_rterm_vars(t, &mut vs);
+            }
+            for v in vs {
+                if bound.contains(&v) && !frontier.contains(&v) {
+                    frontier.push(v);
+                }
+            }
+        }
+        frontier.sort_unstable();
+        for h in &rule.head {
+            let mut vs = Vec::new();
+            for t in &h.terms {
+                collect_rterm_vars(t, &mut vs);
+            }
+            for v in vs {
+                if !bound.contains(&v) && seen_ex.insert(v) {
+                    let functor = db
+                        .symbols
+                        .intern(&format!("∃{}#{}", ri, rule.vars[v as usize]));
+                    existentials.push((v, functor, frontier.clone()));
+                }
+            }
+        }
+        // Negated atoms probe by full-tuple find(); no index registration
+        // needed (the dedup map serves as the full-key index).
+        out.push(RRule {
+            idx: ri as u32,
+            head,
+            body,
+            nvars: rule.vars.len(),
+            existentials,
+            positive_literals,
+            positive_preds,
+        });
+    }
+    Ok(out)
+}
+
+fn collect_rterm_vars(t: &Term, out: &mut Vec<VarId>) {
+    term_vars(t, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_src(src: &str) -> Result<CompiledProgram> {
+        compile(&Program::parse(src).unwrap())
+    }
+
+    #[test]
+    fn simple_program_is_single_stratum() {
+        let c = compile_src("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+        assert_eq!(c.strata.len(), 1);
+        assert_eq!(c.strata[0], vec![0, 1]);
+        assert_eq!(c.pred_stratum["t"], 0);
+        assert_eq!(c.pred_stratum["e"], 0);
+    }
+
+    #[test]
+    fn negation_introduces_stratum() {
+        let c = compile_src(
+            "r(X) :- n(X), not t(X). t(X) :- e(X, _). ",
+        )
+        .unwrap();
+        assert_eq!(c.strata.len(), 2);
+        assert!(c.pred_stratum["r"] > c.pred_stratum["t"]);
+    }
+
+    #[test]
+    fn recursive_negation_is_rejected() {
+        let e = compile_src("p(X) :- n(X), not q(X). q(X) :- n(X), not p(X).").unwrap_err();
+        assert!(matches!(e, DatalogError::Validation(_)), "{e}");
+    }
+
+    #[test]
+    fn unbound_negation_var_rejected() {
+        let e = compile_src("p(X) :- n(X), not q(Y).").unwrap_err();
+        assert!(e.to_string().contains("negation"), "{e}");
+    }
+
+    #[test]
+    fn unbound_condition_var_rejected() {
+        let e = compile_src("p(X) :- n(X), Y > 3.").unwrap_err();
+        assert!(e.to_string().contains("condition"), "{e}");
+    }
+
+    #[test]
+    fn aggregate_must_be_last() {
+        let e = compile_src("p(X, V) :- n(X, W), V = msum(W, <X>), n(X, _).").unwrap_err();
+        assert!(e.to_string().contains("last"), "{e}");
+    }
+
+    #[test]
+    fn aggregate_value_must_reach_head() {
+        let e = compile_src("p(X) :- n(X, W), V = msum(W, <X>).").unwrap_err();
+        assert!(e.to_string().contains("exactly once"), "{e}");
+    }
+
+    #[test]
+    fn nonground_fact_rejected() {
+        let e = compile_src("p(X).").unwrap_err();
+        assert!(e.to_string().contains("ground"), "{e}");
+    }
+
+    #[test]
+    fn auto_post_for_aggregate_only_predicates() {
+        let c = compile_src(
+            "acc(X, Y, V) :- e(X, Y, W), V = msum(W, <X>).\n\
+             acc(X, Y, V) :- e(X, Z, W1), acc(Z, Y, W2), V = msum(W1 * W2, <Z>).",
+        )
+        .unwrap();
+        assert_eq!(c.auto_post, vec![("acc".to_owned(), PostOp::MaxBy(2))]);
+    }
+
+    #[test]
+    fn mixed_predicates_not_auto_posted() {
+        let c = compile_src(
+            "acc(X, Y, V) :- e(X, Y, W), V = msum(W, <X>).\n\
+             acc(X, Y, 1.0) :- direct(X, Y).",
+        )
+        .unwrap();
+        assert!(c.auto_post.is_empty());
+    }
+
+    #[test]
+    fn conjunctive_heads_share_stratum() {
+        // node and nodetype are derived together, so they share a stratum;
+        // q negates node and so sits strictly above both.
+        let c = compile_src(
+            "node(X), nodetype(X) :- company(X). q(X) :- nodetype(X), not node(X).",
+        )
+        .unwrap();
+        assert_eq!(c.pred_stratum["node"], c.pred_stratum["nodetype"]);
+        assert!(c.pred_stratum["q"] > c.pred_stratum["node"]);
+    }
+}

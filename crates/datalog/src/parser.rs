@@ -1,0 +1,789 @@
+//! Parser for the Vadalog-style surface syntax.
+//!
+//! Rules are accepted in both directions:
+//!
+//! ```text
+//! control(X, Y) :- control(X, Z), own(Z, Y, W), msum(W, <Z>) > 0.5.
+//! person(X), own(X, C, W) -> influence(X, C).
+//! ```
+//!
+//! * variables start with an uppercase letter (or `_` for anonymous);
+//! * lowercase identifiers are string constants;
+//! * `#name(...)` is a Skolem function in heads and an external function
+//!   call in body expressions;
+//! * `msum/mprod/mmax/mmin/mcount` with an optional `<V1, ...>` contributor
+//!   list are monotonic aggregates;
+//! * `not atom(...)` is stratified negation;
+//! * comments run from `%` or `//` to end of line;
+//! * directives: `@input("p").`, `@output("p").`, `@post("p", "max(2)").`
+
+use crate::ast::*;
+use crate::error::{DatalogError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Var(String),
+    Hash(String),
+    At(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Punct(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+}
+
+fn err(line: usize, message: impl Into<String>) -> DatalogError {
+    DatalogError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '%' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && bytes[j] != b'"' {
+                    if bytes[j] == b'\n' {
+                        return Err(err(line, "unterminated string literal"));
+                    }
+                    j += 1;
+                }
+                if j >= n {
+                    return Err(err(line, "unterminated string literal"));
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Str(src[start..j].to_owned()),
+                    line,
+                });
+                i = j + 1;
+            }
+            '#' | '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err(line, format!("expected identifier after '{c}'")));
+                }
+                let name = src[start..j].to_owned();
+                toks.push(SpannedTok {
+                    tok: if c == '#' { Tok::Hash(name) } else { Tok::At(name) },
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                let tok = if c.is_ascii_uppercase() || c == '_' {
+                    Tok::Var(word.to_owned())
+                } else {
+                    Tok::Ident(word.to_owned())
+                };
+                toks.push(SpannedTok { tok, line });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < n && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < n && bytes[j] == b'.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < n && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < n && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < n && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < n && bytes[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < n && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &src[start..j];
+                let tok = if is_float {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad float literal {text:?}")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad int literal {text:?}")))?,
+                    )
+                };
+                toks.push(SpannedTok { tok, line });
+                i = j;
+            }
+            _ => {
+                // Multi-char punctuation first. `get` also guards against
+                // slicing through a multi-byte UTF-8 character.
+                let two = src.get(i..i + 2).unwrap_or("");
+                let p: &'static str = match two {
+                    ":-" => ":-",
+                    "->" => "->",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "!=" => "!=",
+                    _ => match c {
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        '.' => ".",
+                        '<' => "<",
+                        '>' => ">",
+                        '=' => "=",
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '/' => "/",
+                        _ => {
+                            // Decode the full (possibly multi-byte) char
+                            // for the error message.
+                            let ch = src[i..].chars().next().unwrap_or(c);
+                            return Err(err(line, format!("unexpected character {ch:?}")));
+                        }
+                    },
+                };
+                toks.push(SpannedTok { tok: Tok::Punct(p), line });
+                i += p.len();
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: &'a [SpannedTok],
+    pos: usize,
+    /// Variable name → id for the rule being parsed.
+    vars: Vec<String>,
+    anon_counter: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(toks: &'a [SpannedTok]) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            vars: Vec::new(),
+            anon_counter: 0,
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(err(
+                self.line(),
+                format!("expected {p:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn var_id(&mut self, name: &str) -> VarId {
+        if name == "_" {
+            let id = self.vars.len() as VarId;
+            self.vars.push(format!("_anon{}", self.anon_counter));
+            self.anon_counter += 1;
+            return id;
+        }
+        if let Some(i) = self.vars.iter().position(|v| v == name) {
+            return i as VarId;
+        }
+        let id = self.vars.len() as VarId;
+        self.vars.push(name.to_owned());
+        id
+    }
+
+    fn parse_directive(&mut self, name: String) -> Result<Directive> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Str(s)) => args.push(s),
+                other => return Err(err(self.line(), format!("expected string in @{name}, found {other:?}"))),
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        self.expect_punct(".")?;
+        match name.as_str() {
+            "input" if args.len() == 1 => Ok(Directive::Input(args.remove_first())),
+            "output" if args.len() == 1 => Ok(Directive::Output(args.remove_first())),
+            "post" if args.len() == 2 => {
+                let op = parse_post_op(&args[1])
+                    .ok_or_else(|| err(self.line(), format!("bad @post op {:?}", args[1])))?;
+                Ok(Directive::Post(args.remove_first(), op))
+            }
+            _ => Err(err(self.line(), format!("unknown directive @{name}/{}", args.len()))),
+        }
+    }
+
+    /// Parses a term inside an atom.
+    fn parse_term(&mut self) -> Result<Term> {
+        match self.next() {
+            Some(Tok::Var(v)) => Ok(Term::Var(self.var_id(&v))),
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "true" => Ok(Term::Lit(Lit::Bool(true))),
+                "false" => Ok(Term::Lit(Lit::Bool(false))),
+                _ => Ok(Term::Lit(Lit::Str(id))),
+            },
+            Some(Tok::Str(s)) => Ok(Term::Lit(Lit::Str(s))),
+            Some(Tok::Int(i)) => Ok(Term::Lit(Lit::Int(i))),
+            Some(Tok::Float(f)) => Ok(Term::Lit(Lit::Float(f))),
+            Some(Tok::Punct("-")) => match self.next() {
+                Some(Tok::Int(i)) => Ok(Term::Lit(Lit::Int(-i))),
+                Some(Tok::Float(f)) => Ok(Term::Lit(Lit::Float(-f))),
+                other => Err(err(self.line(), format!("expected number after '-', found {other:?}"))),
+            },
+            Some(Tok::Hash(functor)) => {
+                self.expect_punct("(")?;
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.parse_term()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                Ok(Term::Skolem { functor, args })
+            }
+            other => Err(err(self.line(), format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn parse_atom(&mut self, pred: String) -> Result<Atom> {
+        self.expect_punct("(")?;
+        let mut terms = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                terms.push(self.parse_term()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(Atom { pred, terms })
+    }
+
+    fn parse_aggregate(&mut self, name: &str) -> Result<Aggregate> {
+        let func = AggFunc::from_name(name).expect("checked by caller");
+        self.expect_punct("(")?;
+        let expr = self.parse_expr()?;
+        let mut contributors = Vec::new();
+        if self.eat_punct(",") {
+            self.expect_punct("<")?;
+            loop {
+                match self.next() {
+                    Some(Tok::Var(v)) => contributors.push(self.var_id(&v)),
+                    other => {
+                        return Err(err(
+                            self.line(),
+                            format!("expected contributor variable, found {other:?}"),
+                        ))
+                    }
+                }
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(">")?;
+        }
+        self.expect_punct(")")?;
+        Ok(Aggregate {
+            func,
+            expr,
+            contributors,
+        })
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Tok::Var(v)) => Ok(Expr::Var(self.var_id(&v))),
+            Some(Tok::Int(i)) => Ok(Expr::Lit(Lit::Int(i))),
+            Some(Tok::Float(f)) => Ok(Expr::Lit(Lit::Float(f))),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Lit::Str(s))),
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "true" => Ok(Expr::Lit(Lit::Bool(true))),
+                "false" => Ok(Expr::Lit(Lit::Bool(false))),
+                _ => Ok(Expr::Lit(Lit::Str(id))),
+            },
+            Some(Tok::Hash(name)) => {
+                self.expect_punct("(")?;
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                Ok(Expr::Call(name, args))
+            }
+            Some(Tok::Punct("(")) => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Punct("-")) => {
+                let e = self.parse_primary()?;
+                Ok(Expr::Binary(
+                    BinOp::Sub,
+                    Box::new(Expr::Lit(Lit::Int(0))),
+                    Box::new(e),
+                ))
+            }
+            other => Err(err(self.line(), format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else {
+                break;
+            };
+            let rhs = self.parse_primary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut e = self.parse_muldiv()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.parse_muldiv()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn try_cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek()? {
+            Tok::Punct("=") => CmpOp::Eq,
+            Tok::Punct("!=") => CmpOp::Ne,
+            Tok::Punct("<") => CmpOp::Lt,
+            Tok::Punct("<=") => CmpOp::Le,
+            Tok::Punct(">") => CmpOp::Gt,
+            Tok::Punct(">=") => CmpOp::Ge,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    /// Parses one body literal.
+    fn parse_body_literal(&mut self) -> Result<Literal> {
+        // Negation.
+        if matches!(self.peek(), Some(Tok::Ident(id)) if id == "not") {
+            self.pos += 1;
+            match self.next() {
+                Some(Tok::Ident(pred)) => return Ok(Literal::Negated(self.parse_atom(pred)?)),
+                other => {
+                    return Err(err(self.line(), format!("expected atom after 'not', found {other:?}")))
+                }
+            }
+        }
+        // Aggregate condition or atom: identifier followed by '('.
+        if let (Some(Tok::Ident(id)), Some(Tok::Punct("("))) = (self.peek(), self.peek2()) {
+            let id = id.clone();
+            if AggFunc::from_name(&id).is_some() {
+                self.pos += 1;
+                let agg = self.parse_aggregate(&id)?;
+                let op = self.try_cmp_op().ok_or_else(|| {
+                    err(self.line(), "aggregate in body must be compared or bound (use V = msum(...))")
+                })?;
+                let rhs = self.parse_expr()?;
+                return Ok(Literal::AggCond { agg, op, rhs });
+            }
+            self.pos += 1;
+            return Ok(Literal::Atom(self.parse_atom(id)?));
+        }
+        // `V = msum(...)` — aggregate binding.
+        if let (Some(Tok::Var(v)), Some(Tok::Punct("="))) = (self.peek(), self.peek2()) {
+            let v = v.clone();
+            // Look ahead for an aggregate name after '='.
+            if let Some(Tok::Ident(id)) = self.toks.get(self.pos + 2).map(|t| &t.tok) {
+                if AggFunc::from_name(id).is_some() {
+                    let id = id.clone();
+                    let var = self.var_id(&v);
+                    self.pos += 3;
+                    let agg = self.parse_aggregate(&id)?;
+                    return Ok(Literal::LetAgg(var, agg));
+                }
+            }
+            // Plain binding `V = expr`.
+            let var = self.var_id(&v);
+            self.pos += 2;
+            let e = self.parse_expr()?;
+            return Ok(Literal::Let(var, e));
+        }
+        // General expression condition, e.g. `W1 * W2 > 0.5` or `#f(X) = 1`.
+        let lhs = self.parse_expr()?;
+        if let Some(op) = self.try_cmp_op() {
+            let rhs = self.parse_expr()?;
+            return Ok(Literal::Cond(Expr::Cmp(op, Box::new(lhs), Box::new(rhs))));
+        }
+        // Bare boolean expression (e.g. external predicate call).
+        Ok(Literal::Cond(lhs))
+    }
+
+    /// Parses a head atom (must be an atom).
+    fn parse_head_atom(&mut self) -> Result<Atom> {
+        match self.next() {
+            Some(Tok::Ident(pred)) => self.parse_atom(pred),
+            other => Err(err(self.line(), format!("expected head atom, found {other:?}"))),
+        }
+    }
+
+    /// Parses one rule (either direction) terminated by '.'.
+    fn parse_rule(&mut self) -> Result<Rule> {
+        self.vars.clear();
+        self.anon_counter = 0;
+        // Parse a comma-separated literal list, then dispatch on :- / -> / .
+        let mut first: Vec<Literal> = Vec::new();
+        loop {
+            first.push(self.parse_body_literal()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let as_atoms = |lits: Vec<Literal>, line: usize| -> Result<Vec<Atom>> {
+            lits.into_iter()
+                .map(|l| match l {
+                    Literal::Atom(a) => Ok(a),
+                    other => Err(err(line, format!("head must consist of atoms, found {other:?}"))),
+                })
+                .collect()
+        };
+        if self.eat_punct(":-") {
+            let head = as_atoms(first, self.line())?;
+            let mut body = Vec::new();
+            loop {
+                body.push(self.parse_body_literal()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(".")?;
+            Ok(Rule {
+                head,
+                body,
+                vars: std::mem::take(&mut self.vars),
+            })
+        } else if self.eat_punct("->") {
+            let body = first;
+            let mut head = Vec::new();
+            loop {
+                head.push(self.parse_head_atom()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(".")?;
+            Ok(Rule {
+                head,
+                body,
+                vars: std::mem::take(&mut self.vars),
+            })
+        } else {
+            // Ground fact(s): `p(a, 1). `
+            self.expect_punct(".")?;
+            let head = as_atoms(first, self.line())?;
+            Ok(Rule {
+                head,
+                body: Vec::new(),
+                vars: std::mem::take(&mut self.vars),
+            })
+        }
+    }
+}
+
+trait RemoveFirst {
+    fn remove_first(self) -> String;
+}
+impl RemoveFirst for Vec<String> {
+    fn remove_first(mut self) -> String {
+        self.remove(0)
+    }
+}
+
+fn parse_post_op(s: &str) -> Option<PostOp> {
+    let s = s.trim();
+    let (name, rest) = s.split_once('(')?;
+    let idx: usize = rest.strip_suffix(')')?.trim().parse().ok()?;
+    match name.trim() {
+        "max" => Some(PostOp::MaxBy(idx)),
+        "min" => Some(PostOp::MinBy(idx)),
+        _ => None,
+    }
+}
+
+/// Parses a full program.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let toks = tokenize(src)?;
+    let mut p = Parser::new(&toks);
+    let mut program = Program::default();
+    while p.peek().is_some() {
+        if let Some(Tok::At(name)) = p.peek() {
+            let name = name.clone();
+            p.pos += 1;
+            program.directives.push(p.parse_directive(name)?);
+        } else {
+            program.rules.push(p.parse_rule()?);
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_company_control() {
+        let p = parse_program(
+            r#"
+            @output("control").
+            % trivial self control
+            control(X, X) :- company(X).
+            control(X, Y) :- control(X, Z), own(Z, Y, W), msum(W, <Z>) > 0.5.
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.directives, vec![Directive::Output("control".into())]);
+        let r = &p.rules[1];
+        assert_eq!(r.head.len(), 1);
+        assert_eq!(r.body.len(), 3);
+        match &r.body[2] {
+            Literal::AggCond { agg, op, .. } => {
+                assert_eq!(agg.func, AggFunc::Sum);
+                assert_eq!(agg.contributors.len(), 1);
+                assert_eq!(*op, CmpOp::Gt);
+            }
+            other => panic!("expected AggCond, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arrow_form_with_conjunctive_head() {
+        let p = parse_program(
+            r#"company(N, A), Z = #sk_c(N) -> node(Z, N, A), node_type(Z, "Company")."#,
+        );
+        let p = p.unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.head.len(), 2);
+        assert_eq!(r.body.len(), 2);
+        match &r.body[1] {
+            Literal::Let(_, Expr::Call(name, args)) => {
+                assert_eq!(name, "sk_c");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected skolem let, got {other:?}"),
+        }
+        match &r.head[0].terms[0] {
+            Term::Var(_) => {}
+            other => panic!("expected var, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_skolem_in_head() {
+        let p = parse_program(r#"node(#sk_c(N), N) :- company(N)."#).unwrap();
+        match &p.rules[0].head[0].terms[0] {
+            Term::Skolem { functor, args } => {
+                assert_eq!(functor, "sk_c");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected skolem term, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_let_aggregate() {
+        let p = parse_program(
+            r#"accown(X, Y, V) :- link(E, X, Z, W1), accown(Z, Y, W2), V = msum(W1 * W2, <E, Z>)."#,
+        )
+        .unwrap();
+        match &p.rules[0].body[2] {
+            Literal::LetAgg(_, agg) => {
+                assert_eq!(agg.contributors.len(), 2);
+                assert!(matches!(agg.expr, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("expected LetAgg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negation_and_comparison() {
+        let p = parse_program(r#"a(X) :- b(X, W), not c(X), W >= 0.2, X != y."#).unwrap();
+        let r = &p.rules[0];
+        assert!(matches!(r.body[1], Literal::Negated(_)));
+        assert!(matches!(r.body[2], Literal::Cond(Expr::Cmp(CmpOp::Ge, _, _))));
+        assert!(matches!(r.body[3], Literal::Cond(Expr::Cmp(CmpOp::Ne, _, _))));
+    }
+
+    #[test]
+    fn parses_ground_facts() {
+        let p = parse_program(r#"own("a", "b", 0.51). company(a)."#).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].body.is_empty());
+        assert_eq!(p.rules[0].head[0].terms.len(), 3);
+    }
+
+    #[test]
+    fn parses_post_directive() {
+        let p = parse_program(r#"@post("accown", "max(2)")."#).unwrap();
+        assert_eq!(
+            p.directives,
+            vec![Directive::Post("accown".into(), PostOp::MaxBy(2))]
+        );
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh() {
+        let p = parse_program(r#"a(X) :- b(X, _, _)."#).unwrap();
+        let r = &p.rules[0];
+        // X plus two distinct anonymous vars.
+        assert_eq!(r.vars.len(), 3);
+    }
+
+    #[test]
+    fn negative_literals_in_terms() {
+        let p = parse_program(r#"a(-3, -0.5)."#).unwrap();
+        assert_eq!(
+            p.rules[0].head[0].terms,
+            vec![Term::Lit(Lit::Int(-3)), Term::Lit(Lit::Float(-0.5))]
+        );
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = parse_program("a(X) :- \n b(X,").unwrap_err();
+        match e {
+            DatalogError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_atom_head() {
+        assert!(parse_program("X > 3 :- a(X).").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program("% nothing\n// also nothing\na(x).").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn mmax_without_contributors() {
+        let p = parse_program("best(X, V) :- score(X, W), V = mmax(W).").unwrap();
+        match &p.rules[0].body[1] {
+            Literal::LetAgg(_, agg) => {
+                assert_eq!(agg.func, AggFunc::Max);
+                assert!(agg.contributors.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Alias method for O(1) sampling from discrete distributions.
+//!
+//! Used for the unigram^0.75 negative-sampling table of SGNS and available
+//! for walk-transition sampling. Construction is the classic Vose
+//! algorithm: O(n) time, O(n) space, exact.
+
+use rand::Rng;
+
+/// A Vose alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table needs positive total weight");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining gets probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respect_ratios() {
+        let t = AliasTable::new(&[3.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hit0 = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            if t.sample(&mut rng) == 0 {
+                hit0 += 1;
+            }
+        }
+        let frac = hit0 as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn singleton_table() {
+        let t = AliasTable::new(&[0.5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

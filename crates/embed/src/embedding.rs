@@ -1,0 +1,138 @@
+//! Dense node-embedding matrix.
+
+/// A row-major `n × d` embedding matrix.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    dims: usize,
+    data: Vec<f32>,
+}
+
+impl Embedding {
+    /// Creates a zeroed embedding for `n` nodes of `dims` dimensions.
+    pub fn zeros(n: usize, dims: usize) -> Self {
+        Embedding {
+            dims,
+            data: vec![0.0; n * dims],
+        }
+    }
+
+    /// Wraps an existing buffer (must be `n * dims` long).
+    pub fn from_vec(n: usize, dims: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * dims, "buffer size mismatch");
+        Embedding { dims, data }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dims).unwrap_or(0)
+    }
+
+    /// True when there are no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The vector of node `i`.
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Mutable vector of node `i`.
+    pub fn vector_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Cosine similarity between the vectors of nodes `a` and `b`
+    /// (0.0 when either has zero norm).
+    pub fn cosine(&self, a: usize, b: usize) -> f32 {
+        cosine(self.vector(a), self.vector(b))
+    }
+
+    /// L2-normalizes every vector in place (zero vectors left untouched).
+    pub fn normalize(&mut self) {
+        let d = self.dims;
+        for i in 0..self.len() {
+            let v = &mut self.data[i * d..(i + 1) * d];
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in v {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+}
+
+/// Cosine similarity of two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Squared Euclidean distance of two equal-length vectors.
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_access() {
+        let mut e = Embedding::zeros(3, 4);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.dims(), 4);
+        e.vector_mut(1)[2] = 5.0;
+        assert_eq!(e.vector(1), &[0.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let e = Embedding::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0]);
+        assert!((e.cosine(0, 2) - 1.0).abs() < 1e-6);
+        assert!(e.cosine(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_zero() {
+        let e = Embedding::zeros(2, 3);
+        assert_eq!(e.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_norms() {
+        let mut e = Embedding::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        e.normalize();
+        let v = e.vector(0);
+        assert!((v[0] - 0.6).abs() < 1e-6 && (v[1] - 0.8).abs() < 1e-6);
+        assert_eq!(e.vector(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sq_dist_works() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_vec_checks_size() {
+        Embedding::from_vec(2, 3, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,173 @@
+//! k-means++ clustering of node embeddings.
+//!
+//! The first-level clustering of VADA-LINK's blocking scheme: after
+//! node2vec, nodes are grouped into `k` clusters and pairwise `Candidate`
+//! evaluation happens only inside a cluster. The number of clusters is the
+//! central scalability/recall dial studied in Figures 4(c) and 4(e) of the
+//! paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::embedding::{sq_dist, Embedding};
+
+/// Clusters the embedding into `k` groups with k-means++ initialization and
+/// at most `max_iters` Lloyd iterations. Returns the cluster id of each
+/// node. `k` is clamped to the number of nodes; `k = 0` yields one cluster.
+#[allow(clippy::needless_range_loop)] // index drives parallel arrays
+pub fn kmeans(emb: &Embedding, k: usize, max_iters: usize, seed: u64) -> Vec<u32> {
+    let n = emb.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+    let d = emb.dims();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centers: Vec<f32> = Vec::with_capacity(k * d);
+    let first = rng.random_range(0..n);
+    centers.extend_from_slice(emb.vector(first));
+    let mut dist2: Vec<f32> = (0..n)
+        .map(|i| sq_dist(emb.vector(i), &centers[0..d]))
+        .collect();
+    while centers.len() < k * d {
+        let total: f64 = dist2.iter().map(|&x| x as f64).sum();
+        let pick = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut u = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &x) in dist2.iter().enumerate() {
+                u -= x as f64;
+                if u <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let start = centers.len();
+        centers.extend_from_slice(emb.vector(pick));
+        let c = &centers[start..start + d];
+        for (i, slot) in dist2.iter_mut().enumerate() {
+            let nd = sq_dist(emb.vector(i), c);
+            if nd < *slot {
+                *slot = nd;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assign = vec![0u32; n];
+    let mut counts = vec![0usize; k];
+    for _ in 0..max_iters {
+        let mut moved = false;
+        for i in 0..n {
+            let v = emb.vector(i);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let dd = sq_dist(v, &centers[c * d..(c + 1) * d]);
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            if assign[i] != best as u32 {
+                assign[i] = best as u32;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+        centers.iter_mut().for_each(|x| *x = 0.0);
+        counts.iter_mut().for_each(|c| *c = 0);
+        for i in 0..n {
+            let c = assign[i] as usize;
+            counts[c] += 1;
+            let v = emb.vector(i);
+            for j in 0..d {
+                centers[c * d + j] += v[j];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..d {
+                    centers[c * d + j] /= counts[c] as f32;
+                }
+            } else {
+                // Re-seed empty clusters at a random point.
+                let p = rng.random_range(0..n);
+                centers[c * d..(c + 1) * d].copy_from_slice(emb.vector(p));
+            }
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_embedding() -> Embedding {
+        // Two well-separated 2-D blobs of 5 points each.
+        let mut data = Vec::new();
+        for i in 0..5 {
+            data.extend_from_slice(&[0.0 + i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..5 {
+            data.extend_from_slice(&[10.0 + i as f32 * 0.01, 10.0]);
+        }
+        Embedding::from_vec(10, 2, data)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let emb = blob_embedding();
+        let assign = kmeans(&emb, 2, 50, 3);
+        assert_eq!(assign.len(), 10);
+        let first = assign[0];
+        assert!(assign[..5].iter().all(|&c| c == first));
+        let second = assign[5];
+        assert!(assign[5..].iter().all(|&c| c == second));
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let emb = blob_embedding();
+        let assign = kmeans(&emb, 100, 10, 1);
+        assert!(assign.iter().all(|&c| (c as usize) < 10));
+    }
+
+    #[test]
+    fn k_zero_is_one_cluster() {
+        let emb = blob_embedding();
+        let assign = kmeans(&emb, 0, 10, 1);
+        assert!(assign.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn empty_embedding() {
+        let emb = Embedding::zeros(0, 4);
+        assert!(kmeans(&emb, 3, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let emb = blob_embedding();
+        assert_eq!(kmeans(&emb, 3, 25, 7), kmeans(&emb, 3, 25, 7));
+    }
+
+    #[test]
+    fn identical_points_single_effective_cluster() {
+        let emb = Embedding::zeros(6, 3);
+        let assign = kmeans(&emb, 3, 10, 2);
+        // All points identical: they all end in one cluster (the nearest
+        // center is shared), clustering is still well-defined.
+        let c = assign[0];
+        assert!(assign.iter().all(|&x| x == c));
+    }
+}

@@ -1,0 +1,92 @@
+//! Embedding quality: node2vec + k-means must separate graph communities
+//! — the property the first-level clustering of VADA-LINK relies on.
+
+use embed::{kmeans, node2vec, Node2VecConfig};
+use pgraph::{Csr, NodeId, PropertyGraph};
+
+/// Two dense cliques joined by a single bridge edge.
+fn two_cliques(size: usize) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    for _ in 0..2 * size {
+        g.add_node("C");
+    }
+    for c in 0..2 {
+        let base = c * size;
+        for i in 0..size {
+            for j in i + 1..size {
+                g.add_edge("S", NodeId((base + i) as u32), NodeId((base + j) as u32));
+            }
+        }
+    }
+    g.add_edge("S", NodeId(0), NodeId(size as u32)); // bridge
+    g
+}
+
+#[test]
+fn node2vec_kmeans_separates_cliques() {
+    let size = 12;
+    let g = two_cliques(size);
+    let csr = Csr::from_graph(&g, "w");
+    let emb = node2vec(
+        &csr,
+        &Node2VecConfig {
+            dims: 16,
+            walk_length: 15,
+            walks_per_node: 8,
+            epochs: 3,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let assign = kmeans(&emb, 2, 50, 11);
+    // Majority label per clique must differ, with few strays.
+    let count = |lo: usize, hi: usize, label: u32| {
+        (lo..hi).filter(|&i| assign[i] == label).count()
+    };
+    let a_label = assign[1]; // avoid the bridge endpoints 0 and `size`
+    let b_label = assign[size + 1];
+    assert_ne!(a_label, b_label, "cliques must land in different clusters");
+    assert!(count(0, size, a_label) >= size - 2, "clique A impure: {assign:?}");
+    assert!(
+        count(size, 2 * size, b_label) >= size - 2,
+        "clique B impure: {assign:?}"
+    );
+}
+
+#[test]
+fn intra_clique_similarity_exceeds_inter() {
+    let size = 10;
+    let g = two_cliques(size);
+    let csr = Csr::from_graph(&g, "w");
+    let emb = node2vec(
+        &csr,
+        &Node2VecConfig {
+            dims: 16,
+            walk_length: 12,
+            walks_per_node: 8,
+            epochs: 3,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let mut intra = 0.0;
+    let mut inter = 0.0;
+    let mut n_intra = 0;
+    let mut n_inter = 0;
+    for i in 1..size {
+        for j in i + 1..size {
+            intra += emb.cosine(i, j);
+            n_intra += 1;
+        }
+        for j in size + 1..2 * size {
+            inter += emb.cosine(i, j);
+            n_inter += 1;
+        }
+    }
+    let intra = intra / n_intra as f32;
+    let inter = inter / n_inter as f32;
+    assert!(
+        intra > inter + 0.15,
+        "intra {intra} must clearly exceed inter {inter}"
+    );
+}

@@ -1,0 +1,286 @@
+//! Barabási–Albert scale-free graph generation.
+//!
+//! Section 6 of the paper: "since company networks tend to be scale-free
+//! networks, we built different artificial graphs by adopting Barabási
+//! algorithm for the generation of scale-free networks, varying the number
+//! of nodes and the graph density. For each node, we randomly generated 6
+//! features, out of distributions respecting their statistical properties."
+//!
+//! The generator uses the standard preferential-attachment construction:
+//! each new node attaches `m` directed shareholding edges to existing nodes
+//! chosen with probability proportional to their degree (implemented with
+//! the repeated-endpoint urn trick, which is O(1) per draw). Densities used
+//! in Figure 4(d) map to `m`: sparse = 1, normal = 2, dense = 4,
+//! superdense = 8.
+
+use pgraph::{NodeId, PropertyGraph, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names::{CITIES, SURNAMES};
+
+/// Density presets of the Figure 4(d) experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DensityPreset {
+    /// m = 1 attachment edge per node.
+    Sparse,
+    /// m = 2.
+    Normal,
+    /// m = 4.
+    Dense,
+    /// m = 8.
+    Superdense,
+}
+
+impl DensityPreset {
+    /// Edges attached per new node.
+    pub fn edges_per_node(self) -> usize {
+        match self {
+            DensityPreset::Sparse => 1,
+            DensityPreset::Normal => 2,
+            DensityPreset::Dense => 4,
+            DensityPreset::Superdense => 8,
+        }
+    }
+
+    /// All presets in increasing density order.
+    pub fn all() -> [DensityPreset; 4] {
+        [
+            DensityPreset::Sparse,
+            DensityPreset::Normal,
+            DensityPreset::Dense,
+            DensityPreset::Superdense,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DensityPreset::Sparse => "sparse",
+            DensityPreset::Normal => "normal",
+            DensityPreset::Dense => "dense",
+            DensityPreset::Superdense => "superdense",
+        }
+    }
+}
+
+/// Barabási–Albert generation parameters.
+#[derive(Debug, Clone)]
+pub struct BaConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Edges attached per new node (the density dial).
+    pub edges_per_node: usize,
+    /// Number of random features per node (the paper uses 6).
+    pub features: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaConfig {
+    fn default() -> Self {
+        BaConfig {
+            nodes: 1000,
+            edges_per_node: 2,
+            features: 6,
+            seed: 0xBA,
+        }
+    }
+}
+
+impl BaConfig {
+    /// Config from a density preset.
+    pub fn with_density(nodes: usize, preset: DensityPreset, seed: u64) -> Self {
+        BaConfig {
+            nodes,
+            edges_per_node: preset.edges_per_node(),
+            features: 6,
+            seed,
+        }
+    }
+}
+
+/// Generates a scale-free company graph.
+///
+/// Nodes are labelled `Company`, edges `Shareholding` with a share fraction
+/// `w`. Six features per node (`f1..f6`) mimic the paper's synthetic
+/// scenarios: two categorical strings drawn from skewed pools (surname-like
+/// and city-like), two uniform integers, one normal-ish float and one
+/// boolean.
+pub fn generate_ba(cfg: &BaConfig) -> PropertyGraph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let m = cfg.edges_per_node.max(1);
+    let mut g = PropertyGraph::with_capacity(n, n * m);
+    let company = g.label_id("Company");
+    let shareholding = g.label_id("Shareholding");
+    let w_key = g.key_id("w");
+
+    for i in 0..n {
+        let node = g.add_node_with(company, Vec::new());
+        debug_assert_eq!(node.index(), i);
+        if cfg.features > 0 {
+            set_features(&mut g, node, cfg.features, &mut rng);
+        }
+    }
+
+    // Urn of edge endpoints: picking uniformly from it is degree-biased.
+    let mut urn: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for new in 1..n as u32 {
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        for _ in 0..m.min(new as usize) {
+            let t = if urn.is_empty() || rng.random::<f64>() < 0.15 {
+                // Uniform fallback keeps early graphs connected and adds
+                // the noise real registers exhibit.
+                rng.random_range(0..new)
+            } else {
+                urn[rng.random_range(0..urn.len())]
+            };
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            let w = rng.random_range(0.05..0.99);
+            let e = g.add_edge_with(shareholding, NodeId(new), NodeId(t), Vec::new());
+            g.set_edge_prop(e, "w", Value::float(round3(w)));
+            let _ = w_key;
+            urn.push(new);
+            urn.push(t);
+        }
+    }
+    g
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn set_features(g: &mut PropertyGraph, node: NodeId, count: usize, rng: &mut StdRng) {
+    // Zipf-ish skew on the categorical pools: low indexes are more common.
+    let zipf = |rng: &mut StdRng, n: usize| -> usize {
+        let u: f64 = rng.random::<f64>();
+        ((n as f64).powf(u) as usize - 1).min(n - 1)
+    };
+    let features: [(&str, Value); 6] = [
+        ("f1", Value::from(SURNAMES[zipf(rng, SURNAMES.len())])),
+        ("f2", Value::from(CITIES[zipf(rng, CITIES.len())])),
+        ("f3", Value::Int(rng.random_range(0..100))),
+        ("f4", Value::Int(rng.random_range(1900..2020))),
+        (
+            "f5",
+            Value::float(round3(
+                (rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>()) / 3.0,
+            )),
+        ),
+        ("f6", Value::Bool(rng.random::<bool>())),
+    ];
+    for (k, v) in features.into_iter().take(count) {
+        g.set_node_prop(node, k, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgraph::{Csr, GraphStats};
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = generate_ba(&BaConfig {
+            nodes: 500,
+            edges_per_node: 2,
+            ..Default::default()
+        });
+        assert_eq!(g.node_count(), 500);
+        // Roughly m edges per node after the first (dedup of repeated
+        // targets loses a few).
+        assert!(g.edge_count() > 700 && g.edge_count() < 1000, "{}", g.edge_count());
+    }
+
+    #[test]
+    fn density_presets_order() {
+        let mut last = 0usize;
+        for preset in DensityPreset::all() {
+            let g = generate_ba(&BaConfig::with_density(400, preset, 7));
+            assert!(
+                g.edge_count() > last,
+                "{} not denser than previous",
+                preset.name()
+            );
+            last = g.edge_count();
+        }
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        let g = generate_ba(&BaConfig {
+            nodes: 3000,
+            edges_per_node: 2,
+            seed: 3,
+            ..Default::default()
+        });
+        let stats = GraphStats::compute(&g, "w");
+        // Preferential attachment produces hubs far above the mean degree.
+        assert!(stats.max_in_degree > 30, "max in {}", stats.max_in_degree);
+        let fit = stats.power_law.expect("fit exists");
+        assert!(
+            fit.alpha > 1.5 && fit.alpha < 4.5,
+            "alpha {} out of scale-free range",
+            fit.alpha
+        );
+    }
+
+    #[test]
+    fn features_present_and_typed() {
+        let g = generate_ba(&BaConfig {
+            nodes: 10,
+            ..Default::default()
+        });
+        for node in g.node_ids() {
+            assert!(g.node_prop(node, "f1").unwrap().as_str().is_some());
+            assert!(g.node_prop(node, "f3").unwrap().as_i64().is_some());
+            assert!(g.node_prop(node, "f5").unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BaConfig {
+            nodes: 200,
+            seed: 11,
+            ..Default::default()
+        };
+        let a = generate_ba(&cfg);
+        let b = generate_ba(&cfg);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (ea, eb) in a.edge_ids().zip(b.edge_ids()) {
+            assert_eq!(a.endpoints(ea), b.endpoints(eb));
+        }
+    }
+
+    #[test]
+    fn weights_in_share_range() {
+        let g = generate_ba(&BaConfig {
+            nodes: 300,
+            ..Default::default()
+        });
+        for e in g.edge_ids() {
+            let w = g.edge_prop(e, "w").unwrap().as_f64().unwrap();
+            assert!(w > 0.0 && w < 1.0, "weight {w} out of (0,1)");
+        }
+    }
+
+    #[test]
+    fn graph_is_weakly_connected_mostly() {
+        let g = generate_ba(&BaConfig {
+            nodes: 1000,
+            edges_per_node: 2,
+            seed: 5,
+            ..Default::default()
+        });
+        let csr = Csr::from_graph(&g, "w");
+        let wcc = pgraph::algo::weakly_connected_components(&csr);
+        assert_eq!(wcc.count, 1, "BA graphs are connected by construction");
+    }
+}

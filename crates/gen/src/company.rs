@@ -1,0 +1,866 @@
+//! Italian company-graph generator, calibrated to the paper's Section 2.
+//!
+//! The real data — the company register of the Italian Chambers of
+//! Commerce — is proprietary, so we synthesize graphs with the same
+//! *statistical shape* the paper reports: on average one edge per node,
+//! massive fragmentation (hundreds of thousands of weak components, SCCs of
+//! average size one), rare small ownership cycles, a handful of self-loops
+//! (share buy-backs), hub shareholders with out-degrees in the thousands,
+//! a scale-free degree distribution, and realistic person/company features.
+//!
+//! The generator additionally produces **family ground truth**: partners,
+//! siblings and parent/child pairs, with correlated surnames, addresses,
+//! birth dates and birth places — the signal the paper's Bayesian family
+//! detector (Algorithm 7) is meant to recover. A configurable share of
+//! companies are *family businesses* whose shareholders come from a single
+//! family, enabling the family-control scenarios of Definition 2.8.
+
+use pgraph::{NodeId, PropertyGraph, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names::*;
+
+/// Kind of personal connection in the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyLink {
+    /// Spouses/partners.
+    PartnerOf,
+    /// Siblings.
+    SiblingOf,
+    /// Parent → child.
+    ParentOf,
+}
+
+impl FamilyLink {
+    /// Display name matching the paper's link classes.
+    pub fn name(self) -> &'static str {
+        match self {
+            FamilyLink::PartnerOf => "PartnerOf",
+            FamilyLink::SiblingOf => "SiblingOf",
+            FamilyLink::ParentOf => "ParentOf",
+        }
+    }
+}
+
+/// Ground-truth personal connections.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Family id per person node (parallel to `persons`).
+    pub family_of: Vec<Option<u32>>,
+    /// Directed ground-truth links (PartnerOf and SiblingOf are stored once
+    /// per unordered pair, ParentOf parent→child).
+    pub links: Vec<(NodeId, NodeId, FamilyLink)>,
+}
+
+impl GroundTruth {
+    /// Links of one kind.
+    pub fn of_kind(&self, kind: FamilyLink) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.links
+            .iter()
+            .filter(move |(_, _, k)| *k == kind)
+            .map(|(a, b, _)| (*a, *b))
+    }
+
+    /// Number of distinct families.
+    pub fn family_count(&self) -> usize {
+        self.family_of
+            .iter()
+            .filter_map(|f| *f)
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0)
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct CompanyGraphConfig {
+    /// Number of person nodes.
+    pub persons: usize,
+    /// Number of company nodes.
+    pub companies: usize,
+    /// Fraction of persons organized in families (vs singletons).
+    pub family_rate: f64,
+    /// Fraction of companies that are family businesses.
+    pub family_business_rate: f64,
+    /// Fraction of companies holding own shares (Section 2 reports ~3K of
+    /// 4.06M ≈ 0.07%).
+    pub self_loop_rate: f64,
+    /// Probability that a company→company edge gains a small reverse edge
+    /// (the rare cross-shareholding cycles behind the 15-node max SCC).
+    pub cycle_rate: f64,
+    /// Probability that a shareholder slot is a company rather than a
+    /// person.
+    pub company_owner_rate: f64,
+    /// Fraction of companies that are *widely held* (listed companies,
+    /// cooperatives): hundreds of small person shareholders. These produce
+    /// the paper's >5K maximum in-degree.
+    pub widely_held_rate: f64,
+    /// Probability of closing a triangle on a company→company edge: a
+    /// shareholder of the owner also takes a small direct stake in the
+    /// subsidiary (a common pattern that gives the register its non-zero
+    /// clustering coefficient).
+    pub triangle_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CompanyGraphConfig {
+    fn default() -> Self {
+        CompanyGraphConfig {
+            persons: 2000,
+            companies: 1000,
+            family_rate: 0.6,
+            family_business_rate: 0.35,
+            self_loop_rate: 0.0007,
+            cycle_rate: 0.002,
+            company_owner_rate: 0.22,
+            widely_held_rate: 0.0005,
+            triangle_rate: 0.12,
+            seed: 0x17A1,
+        }
+    }
+}
+
+impl CompanyGraphConfig {
+    /// A config scaled to `n` total nodes with the register's 2:1
+    /// person:company mix.
+    pub fn scaled(n: usize, seed: u64) -> Self {
+        CompanyGraphConfig {
+            persons: n * 2 / 3,
+            companies: n - n * 2 / 3,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generated company graph plus its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct GeneratedCompanyGraph {
+    /// The property graph (persons + companies + shareholdings).
+    pub graph: PropertyGraph,
+    /// Person node ids, in generation order.
+    pub persons: Vec<NodeId>,
+    /// Company node ids, in generation order.
+    pub companies: Vec<NodeId>,
+    /// Ground-truth family structure.
+    pub truth: GroundTruth,
+}
+
+struct PersonSpec {
+    name: &'static str,
+    surname: String,
+    birth_days: i64, // days since 1900-01-01
+    birth_city: &'static str,
+    sex: &'static str,
+    address: String,
+}
+
+/// Generates a company graph per the configuration.
+pub fn generate(cfg: &CompanyGraphConfig) -> GeneratedCompanyGraph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = PropertyGraph::with_capacity(
+        cfg.persons + cfg.companies,
+        cfg.persons + cfg.companies * 2,
+    );
+    let person_label = g.label_id("Person");
+    let company_label = g.label_id("Company");
+    let share_label = g.label_id("Shareholding");
+
+    // ---- Persons and families -------------------------------------------
+    let mut specs: Vec<PersonSpec> = Vec::with_capacity(cfg.persons);
+    let mut truth = GroundTruth {
+        family_of: vec![None; cfg.persons],
+        links: Vec::new(),
+    };
+    // members per family, for family-business assignment
+    let mut families: Vec<Vec<usize>> = Vec::new();
+    let mut i = 0usize;
+    while i < cfg.persons {
+        let in_family = rng.random::<f64>() < cfg.family_rate && cfg.persons - i >= 2;
+        if !in_family {
+            specs.push(random_person(&mut rng, None, None, None, None));
+            i += 1;
+            continue;
+        }
+        let fid = families.len() as u32;
+        let family_surname = SURNAMES[zipf(&mut rng, SURNAMES.len())];
+        let family_city = CITIES[zipf(&mut rng, CITIES.len())];
+        let address = random_address(&mut rng, family_city);
+        let parent_birth = rng.random_range(10_000..30_000); // 1927..1982
+        let mut members: Vec<usize> = Vec::new();
+
+        // Partner 1 (carries the family surname).
+        specs.push(PersonSpec {
+            name: pick_name(&mut rng, "M"),
+            surname: family_surname.to_owned(),
+            birth_days: parent_birth + rng.random_range(-1000..1000),
+            birth_city: family_city,
+            sex: "M",
+            address: address.clone(),
+        });
+        members.push(i);
+        truth.family_of[i] = Some(fid);
+        i += 1;
+        // Partner 2: different surname 70% of the time (Italian custom),
+        // same address almost always, birth within ~8 years.
+        let p2_surname = if rng.random::<f64>() < 0.3 {
+            family_surname.to_owned()
+        } else {
+            SURNAMES[zipf(&mut rng, SURNAMES.len())].to_owned()
+        };
+        let p2_addr = if rng.random::<f64>() < 0.95 {
+            address.clone()
+        } else {
+            random_address(&mut rng, family_city)
+        };
+        specs.push(PersonSpec {
+            name: pick_name(&mut rng, "F"),
+            surname: p2_surname,
+            birth_days: parent_birth + rng.random_range(-3000..3000),
+            birth_city: if rng.random::<f64>() < 0.5 {
+                family_city
+            } else {
+                CITIES[zipf(&mut rng, CITIES.len())]
+            },
+            sex: "F",
+            address: p2_addr,
+        });
+        members.push(i);
+        truth.family_of[i] = Some(fid);
+        truth
+            .links
+            .push((NodeId(0), NodeId(0), FamilyLink::PartnerOf)); // fixed below
+        let partner_pair = (members[0], members[1]);
+        i += 1;
+
+        // Children: 0..=3, bounded by remaining budget.
+        let max_children = (cfg.persons - i).min(3);
+        let n_children = if max_children == 0 {
+            0
+        } else {
+            let r: f64 = rng.random();
+            if r < 0.35 {
+                0
+            } else if r < 0.7 {
+                1.min(max_children)
+            } else if r < 0.92 {
+                2.min(max_children)
+            } else {
+                3.min(max_children)
+            }
+        };
+        let mut children: Vec<usize> = Vec::new();
+        for _ in 0..n_children {
+            let sex = if rng.random::<bool>() { "M" } else { "F" };
+            let child_addr = if rng.random::<f64>() < 0.6 {
+                address.clone()
+            } else {
+                let city = CITIES[zipf(&mut rng, CITIES.len())];
+                random_address(&mut rng, city)
+            };
+            specs.push(PersonSpec {
+                name: pick_name(&mut rng, sex),
+                surname: family_surname.to_owned(),
+                birth_days: parent_birth + rng.random_range(8000..14_000),
+                birth_city: if rng.random::<f64>() < 0.8 {
+                    family_city
+                } else {
+                    CITIES[zipf(&mut rng, CITIES.len())]
+                },
+                sex,
+                address: child_addr,
+            });
+            truth.family_of[i] = Some(fid);
+            children.push(i);
+            members.push(i);
+            i += 1;
+        }
+        // Record truth links with real indexes (node ids assigned later
+        // equal person ordinals because persons are added first).
+        truth.links.pop();
+        truth.links.push((
+            NodeId(partner_pair.0 as u32),
+            NodeId(partner_pair.1 as u32),
+            FamilyLink::PartnerOf,
+        ));
+        for (a, b) in [(partner_pair.0, partner_pair.1)] {
+            for &c in &children {
+                truth
+                    .links
+                    .push((NodeId(a as u32), NodeId(c as u32), FamilyLink::ParentOf));
+                truth
+                    .links
+                    .push((NodeId(b as u32), NodeId(c as u32), FamilyLink::ParentOf));
+            }
+        }
+        for ci in 0..children.len() {
+            for cj in ci + 1..children.len() {
+                truth.links.push((
+                    NodeId(children[ci] as u32),
+                    NodeId(children[cj] as u32),
+                    FamilyLink::SiblingOf,
+                ));
+            }
+        }
+        families.push(members);
+    }
+
+    let mut persons: Vec<NodeId> = Vec::with_capacity(cfg.persons);
+    for spec in &specs {
+        let node = g.add_node_with(person_label, Vec::new());
+        g.set_node_prop(node, "name", Value::from(spec.name));
+        g.set_node_prop(node, "surname", Value::from(spec.surname.clone()));
+        g.set_node_prop(node, "birth", Value::Int(spec.birth_days));
+        g.set_node_prop(node, "birth_city", Value::from(spec.birth_city));
+        g.set_node_prop(node, "sex", Value::from(spec.sex));
+        g.set_node_prop(node, "address", Value::from(spec.address.clone()));
+        persons.push(node);
+    }
+
+    // ---- Companies --------------------------------------------------------
+    let mut companies: Vec<NodeId> = Vec::with_capacity(cfg.companies);
+    for ci in 0..cfg.companies {
+        let node = g.add_node_with(company_label, Vec::new());
+        let stem = COMPANY_STEMS[rng.random_range(0..COMPANY_STEMS.len())];
+        let suffix = COMPANY_SUFFIXES[rng.random_range(0..COMPANY_SUFFIXES.len())];
+        let form = LEGAL_FORMS[zipf(&mut rng, LEGAL_FORMS.len())];
+        let city = CITIES[zipf(&mut rng, CITIES.len())];
+        g.set_node_prop(node, "name", Value::Str(format!("{stem} {suffix} {form} {ci}")));
+        g.set_node_prop(node, "address", Value::Str(random_address(&mut rng, city)));
+        g.set_node_prop(node, "inc_date", Value::Int(rng.random_range(25_000..43_000)));
+        g.set_node_prop(node, "legal_form", Value::from(form));
+        g.set_node_prop(
+            node,
+            "sector",
+            Value::from(SECTORS[rng.random_range(0..SECTORS.len())]),
+        );
+        companies.push(node);
+    }
+
+    // ---- Shareholding topology ---------------------------------------------
+    // Preferential-attachment urn over company owners (creates the >28K
+    // out-degree funds of the real register at scale) and a zipf-weighted
+    // pool of entrepreneur persons (creates the person hubs).
+    let mut owner_urn: Vec<u32> = Vec::new();
+    for (ci, &company) in companies.iter().enumerate() {
+        let family_business =
+            !families.is_empty() && rng.random::<f64>() < cfg.family_business_rate;
+        // Number of shareholders: mostly 1-3, occasionally more.
+        let k = {
+            let r: f64 = rng.random();
+            if r < 0.30 {
+                1
+            } else if r < 0.60 {
+                2
+            } else if r < 0.82 {
+                3
+            } else if r < 0.95 {
+                rng.random_range(4..7)
+            } else {
+                rng.random_range(7..13)
+            }
+        };
+        let mut owners: Vec<NodeId> = Vec::with_capacity(k);
+        if family_business {
+            let fam = &families[rng.random_range(0..families.len())];
+            for &m in fam.iter().take(k) {
+                owners.push(persons[m]);
+            }
+        } else {
+            for _ in 0..k {
+                let owner = if !companies.is_empty()
+                    && rng.random::<f64>() < cfg.company_owner_rate
+                {
+                    // Company owner, preferential attachment.
+                    let o = if owner_urn.is_empty() || rng.random::<f64>() < 0.3 {
+                        companies[rng.random_range(0..companies.len())]
+                    } else {
+                        NodeId(owner_urn[rng.random_range(0..owner_urn.len())])
+                    };
+                    if o == company {
+                        continue; // self-loops are added separately
+                    }
+                    o
+                } else {
+                    persons[zipf(&mut rng, persons.len().max(1))]
+                };
+                if !owners.contains(&owner) {
+                    owners.push(owner);
+                }
+            }
+        }
+        if owners.is_empty() {
+            continue; // an unowned shell company — the register has many
+        }
+        // Shares: random positive weights normalized to ~sum 1.
+        let mut weights: Vec<f64> = (0..owners.len())
+            .map(|_| rng.random::<f64>() + 0.05)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let coverage = rng.random_range(0.85..1.0);
+        for w in &mut weights {
+            *w = (*w / total * coverage * 1000.0).round() / 1000.0;
+        }
+        for (owner, w) in owners.iter().zip(&weights) {
+            if *w <= 0.0 {
+                continue;
+            }
+            let e = g.add_edge_with(share_label, *owner, company, Vec::new());
+            g.set_edge_prop(e, "w", Value::float(*w));
+            if g.node_label(*owner) == company_label {
+                owner_urn.push(owner.0);
+                // Rare reverse edge → small ownership cycle.
+                if rng.random::<f64>() < cfg.cycle_rate {
+                    let back = g.add_edge_with(share_label, company, *owner, Vec::new());
+                    g.set_edge_prop(back, "w", Value::float(0.02));
+                }
+            }
+        }
+        let _ = ci;
+    }
+    // Widely-held companies: a handful of listed companies/cooperatives
+    // with hundreds of small person shareholders (the paper's max
+    // in-degree exceeds 5K at the 4M-node scale).
+    if !persons.is_empty() {
+        for &c in &companies {
+            if rng.random::<f64>() >= cfg.widely_held_rate {
+                continue;
+            }
+            let holders = rng.random_range(30..=(persons.len() / 40).clamp(30, 5_000));
+            let w = (0.5 / holders as f64 * 1000.0).round() / 1000.0;
+            for _ in 0..holders {
+                let p = persons[rng.random_range(0..persons.len())];
+                let e = g.add_edge_with(share_label, p, c, Vec::new());
+                g.set_edge_prop(e, "w", Value::float(w.max(0.001)));
+            }
+        }
+    }
+
+    // Triangle closure: on a company→company edge, a shareholder of the
+    // owner sometimes also holds a small direct stake in the subsidiary.
+    let cc_edges: Vec<(NodeId, NodeId)> = g
+        .edge_ids()
+        .filter(|&e| g.edge_label(e) == share_label)
+        .map(|e| g.endpoints(e))
+        .filter(|&(s, d)| s != d && s.index() >= cfg.persons && d.index() >= cfg.persons)
+        .collect();
+    for (owner, company) in cc_edges {
+        if rng.random::<f64>() >= cfg.triangle_rate {
+            continue;
+        }
+        let holders: Vec<NodeId> = g
+            .in_edges(owner)
+            .iter()
+            .map(|&e| g.endpoints(e).0)
+            .filter(|&s| s != company && s != owner)
+            .collect();
+        if holders.is_empty() {
+            continue;
+        }
+        let s = holders[rng.random_range(0..holders.len())];
+        let e = g.add_edge_with(share_label, s, company, Vec::new());
+        g.set_edge_prop(e, "w", Value::float(0.02));
+    }
+
+    // Self-loops (buy-backs).
+    for &c in &companies {
+        if rng.random::<f64>() < cfg.self_loop_rate {
+            let e = g.add_edge_with(share_label, c, c, Vec::new());
+            g.set_edge_prop(e, "w", Value::float(0.03));
+        }
+    }
+
+    GeneratedCompanyGraph {
+        graph: g,
+        persons,
+        companies,
+        truth,
+    }
+}
+
+fn pick_name(rng: &mut StdRng, sex: &str) -> &'static str {
+    if sex == "M" {
+        MALE_NAMES[zipf(rng, MALE_NAMES.len())]
+    } else {
+        FEMALE_NAMES[zipf(rng, FEMALE_NAMES.len())]
+    }
+}
+
+fn random_person(
+    rng: &mut StdRng,
+    surname: Option<&str>,
+    city: Option<&'static str>,
+    address: Option<&str>,
+    birth: Option<i64>,
+) -> PersonSpec {
+    let sex = if rng.random::<bool>() { "M" } else { "F" };
+    let birth_city = city.unwrap_or_else(|| CITIES[zipf(rng, CITIES.len())]);
+    PersonSpec {
+        name: pick_name(rng, sex),
+        surname: surname
+            .map(|s| s.to_owned())
+            .unwrap_or_else(|| SURNAMES[zipf(rng, SURNAMES.len())].to_owned()),
+        birth_days: birth.unwrap_or_else(|| rng.random_range(5000..36_000)),
+        birth_city,
+        sex,
+        address: address
+            .map(|a| a.to_owned())
+            .unwrap_or_else(|| random_address(rng, birth_city)),
+    }
+}
+
+fn random_address(rng: &mut StdRng, city: &str) -> String {
+    let street = STREETS[rng.random_range(0..STREETS.len())];
+    let number = rng.random_range(1..200);
+    format!("{street} {number}, {city}")
+}
+
+/// Zipf-like skewed index in `[0, n)`: low indexes are exponentially more
+/// likely, mimicking real name/city frequency distributions.
+fn zipf(rng: &mut StdRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let u: f64 = rng.random();
+    (((n as f64 + 1.0).powf(u) - 1.0) as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgraph::GraphStats;
+
+    fn small() -> GeneratedCompanyGraph {
+        generate(&CompanyGraphConfig {
+            persons: 600,
+            companies: 300,
+            seed: 42,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn node_counts_match_config() {
+        let out = small();
+        assert_eq!(out.persons.len(), 600);
+        assert_eq!(out.companies.len(), 300);
+        assert_eq!(out.graph.node_count(), 900);
+    }
+
+    #[test]
+    fn persons_precede_companies_in_ids() {
+        let out = small();
+        assert!(out.persons.iter().all(|p| p.index() < 600));
+        assert!(out.companies.iter().all(|c| c.index() >= 600));
+    }
+
+    #[test]
+    fn section2_shape_mean_degree_about_one() {
+        let out = generate(&CompanyGraphConfig {
+            persons: 4000,
+            companies: 2000,
+            seed: 1,
+            ..Default::default()
+        });
+        let stats = GraphStats::compute(&out.graph, "w");
+        assert!(
+            stats.mean_degree > 0.5 && stats.mean_degree < 1.5,
+            "mean degree {} not ≈1",
+            stats.mean_degree
+        );
+        // Massive fragmentation: many weak components.
+        assert!(stats.wcc_count > 100, "{} WCCs", stats.wcc_count);
+        // SCCs essentially singletons (cycles are rare).
+        assert!(stats.scc_avg_size < 1.01);
+        // Hubs well above the mean.
+        assert!(stats.max_out_degree >= 10, "{}", stats.max_out_degree);
+    }
+
+    #[test]
+    fn incoming_shares_do_not_exceed_one() {
+        let out = small();
+        for &c in &out.companies {
+            let total: f64 = out
+                .graph
+                .in_edges(c)
+                .iter()
+                .map(|e| {
+                    out.graph
+                        .edge_prop(*e, "w")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0)
+                })
+                .sum();
+            assert!(total <= 1.05, "company {c} oversubscribed: {total}");
+        }
+    }
+
+    #[test]
+    fn ground_truth_links_are_person_pairs_with_shared_signal() {
+        let out = small();
+        let g = &out.graph;
+        let mut partner_same_addr = 0usize;
+        let mut partners = 0usize;
+        for (a, b) in out.truth.of_kind(FamilyLink::PartnerOf) {
+            partners += 1;
+            let aa = g.node_prop(a, "address").unwrap().as_str().unwrap();
+            let bb = g.node_prop(b, "address").unwrap().as_str().unwrap();
+            if aa == bb {
+                partner_same_addr += 1;
+            }
+        }
+        assert!(partners > 20, "expected many partner pairs, got {partners}");
+        assert!(
+            partner_same_addr as f64 / partners as f64 > 0.8,
+            "partners should mostly share addresses"
+        );
+        // Siblings share surnames by construction.
+        for (a, b) in out.truth.of_kind(FamilyLink::SiblingOf) {
+            assert_eq!(
+                g.node_prop(a, "surname").unwrap(),
+                g.node_prop(b, "surname").unwrap()
+            );
+        }
+        // Parents are older than children.
+        for (p, c) in out.truth.of_kind(FamilyLink::ParentOf) {
+            let bp = g.node_prop(p, "birth").unwrap().as_i64().unwrap();
+            let bc = g.node_prop(c, "birth").unwrap().as_i64().unwrap();
+            assert!(bp < bc, "parent {p} born after child {c}");
+        }
+    }
+
+    #[test]
+    fn family_ids_consistent_with_links() {
+        let out = small();
+        for (a, b, _) in &out.truth.links {
+            let fa = out.truth.family_of[a.index()];
+            let fb = out.truth.family_of[b.index()];
+            assert!(fa.is_some() && fa == fb, "linked persons share a family");
+        }
+        assert!(out.truth.family_count() > 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CompanyGraphConfig {
+            persons: 200,
+            companies: 100,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.truth.links, b.truth.links);
+    }
+
+    #[test]
+    fn self_loops_appear_at_higher_rates() {
+        let out = generate(&CompanyGraphConfig {
+            persons: 100,
+            companies: 2000,
+            self_loop_rate: 0.05,
+            seed: 3,
+            ..Default::default()
+        });
+        let loops = out.graph.self_loop_count();
+        assert!(loops > 50, "expected ~100 self loops, got {loops}");
+    }
+
+    #[test]
+    fn scaled_config_partitions_nodes() {
+        let cfg = CompanyGraphConfig::scaled(999, 1);
+        assert_eq!(cfg.persons + cfg.companies, 999);
+        assert!(cfg.persons > cfg.companies);
+    }
+}
+
+/// Parameters of one year-over-year evolution step (the register holds
+/// yearly snapshots, 2005–2018 in the paper).
+#[derive(Debug, Clone)]
+pub struct EvolutionConfig {
+    /// Fraction of companies newly incorporated each year.
+    pub birth_rate: f64,
+    /// Fraction of shareholding edges re-traded each year (the stake
+    /// moves to another shareholder).
+    pub churn_rate: f64,
+    /// RNG seed for the step.
+    pub seed: u64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            birth_rate: 0.04,
+            churn_rate: 0.05,
+            seed: 0x13EA,
+        }
+    }
+}
+
+/// Produces the next yearly snapshot of a generated graph: new companies
+/// are incorporated (owned by existing persons), and a fraction of the
+/// existing stakes change hands. Persons and ground truth are carried
+/// over unchanged; node ids of survivors are stable.
+pub fn evolve(prev: &GeneratedCompanyGraph, cfg: &EvolutionConfig) -> GeneratedCompanyGraph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = prev.graph.clone();
+    let share_label = g.label_id("Shareholding");
+    let company_label = g.label_id("Company");
+    let mut companies = prev.companies.clone();
+    let persons = prev.persons.clone();
+
+    // Stake churn: rebuild the graph without the churned edges, then give
+    // the stake to a different (zipf-popular) person.
+    let victims: Vec<(NodeId, NodeId, f64)> = g
+        .edge_ids()
+        .filter(|&e| g.edge_label(e) == share_label)
+        .filter_map(|e| {
+            let (s, d) = g.endpoints(e);
+            (s != d && rng.random::<f64>() < cfg.churn_rate).then(|| {
+                let w = g
+                    .edge_prop(e, "w")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                (s, d, w)
+            })
+        })
+        .collect();
+    if !victims.is_empty() && !persons.is_empty() {
+        let victim_set: std::collections::HashSet<(NodeId, NodeId)> =
+            victims.iter().map(|&(s, d, _)| (s, d)).collect();
+        let mut rebuilt = PropertyGraph::with_capacity(g.node_count(), g.edge_count());
+        for n in g.node_ids() {
+            let label = rebuilt.label_id(g.label_name(g.node_label(n)));
+            let props = g
+                .node_props(n)
+                .iter()
+                .map(|(k, v)| (rebuilt.key_id(g.key_name(*k)), v.clone()))
+                .collect();
+            rebuilt.add_node_with(label, props);
+        }
+        for e in g.edge_ids() {
+            let (s, d) = g.endpoints(e);
+            if g.edge_label(e) == share_label && victim_set.contains(&(s, d)) {
+                continue;
+            }
+            let label = rebuilt.label_id(g.label_name(g.edge_label(e)));
+            let props = g
+                .edge_props(e)
+                .iter()
+                .map(|(k, v)| (rebuilt.key_id(g.key_name(*k)), v.clone()))
+                .collect();
+            rebuilt.add_edge_with(label, s, d, props);
+        }
+        g = rebuilt;
+        for (_, d, w) in victims {
+            let buyer = persons[zipf(&mut rng, persons.len())];
+            if buyer != d {
+                let e = g.add_edge("Shareholding", buyer, d);
+                g.set_edge_prop(e, "w", Value::float(w));
+            }
+        }
+    }
+
+    // Incorporations: new companies owned by existing persons.
+    let births = ((companies.len() as f64) * cfg.birth_rate).round() as usize;
+    for bi in 0..births {
+        let node = g.add_node_with(company_label, Vec::new());
+        let stem = COMPANY_STEMS[rng.random_range(0..COMPANY_STEMS.len())];
+        let suffix = COMPANY_SUFFIXES[rng.random_range(0..COMPANY_SUFFIXES.len())];
+        g.set_node_prop(node, "name", Value::Str(format!("{stem} {suffix} NEW {bi}")));
+        g.set_node_prop(node, "inc_date", Value::Int(43_000 + bi as i64));
+        if !persons.is_empty() {
+            let owner = persons[zipf(&mut rng, persons.len())];
+            let e = g.add_edge("Shareholding", owner, node);
+            g.set_edge_prop(e, "w", Value::float(1.0 - rng.random_range(0.0..0.4)));
+        }
+        companies.push(node);
+    }
+
+    GeneratedCompanyGraph {
+        graph: g,
+        persons,
+        companies,
+        truth: prev.truth.clone(),
+    }
+}
+
+#[cfg(test)]
+mod evolve_tests {
+    use super::*;
+
+    #[test]
+    fn evolution_grows_and_churns() {
+        let y0 = generate(&CompanyGraphConfig {
+            persons: 400,
+            companies: 200,
+            seed: 6,
+            ..Default::default()
+        });
+        let y1 = evolve(&y0, &EvolutionConfig::default());
+        assert!(y1.companies.len() > y0.companies.len(), "incorporations");
+        assert_eq!(y1.persons, y0.persons, "persons carried over");
+        assert_eq!(y1.truth.links, y0.truth.links, "ground truth stable");
+        // Survivor node properties are stable under churn.
+        let p = y0.persons[0];
+        assert_eq!(
+            y0.graph.node_prop(p, "surname"),
+            y1.graph.node_prop(p, "surname")
+        );
+        // Some edges changed hands: edge sets differ.
+        let count_edges = |gg: &GeneratedCompanyGraph| gg.graph.edge_count();
+        assert_ne!(count_edges(&y0), count_edges(&y1));
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let y0 = generate(&CompanyGraphConfig {
+            persons: 200,
+            companies: 100,
+            seed: 2,
+            ..Default::default()
+        });
+        let a = evolve(&y0, &EvolutionConfig::default());
+        let b = evolve(&y0, &EvolutionConfig::default());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.companies, b.companies);
+    }
+
+    #[test]
+    fn multi_year_chain() {
+        let mut snapshot = generate(&CompanyGraphConfig {
+            persons: 300,
+            companies: 150,
+            seed: 4,
+            ..Default::default()
+        });
+        for year in 0..5 {
+            snapshot = evolve(
+                &snapshot,
+                &EvolutionConfig {
+                    seed: 100 + year,
+                    ..Default::default()
+                },
+            );
+        }
+        assert!(snapshot.companies.len() > 150);
+        // Incoming shares stay within bounds through the churn.
+        for &c in &snapshot.companies {
+            let total: f64 = snapshot
+                .graph
+                .in_edges(c)
+                .iter()
+                .map(|e| {
+                    snapshot
+                        .graph
+                        .edge_prop(*e, "w")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0)
+                })
+                .sum();
+            assert!(total <= 1.6, "company {c} badly oversubscribed: {total}");
+        }
+    }
+}

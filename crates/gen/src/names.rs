@@ -1,0 +1,111 @@
+//! Italian name, place and company-attribute pools for feature synthesis.
+
+/// Common Italian male first names.
+pub const MALE_NAMES: &[&str] = &[
+    "Giuseppe", "Giovanni", "Antonio", "Mario", "Luigi", "Francesco", "Angelo", "Vincenzo",
+    "Pietro", "Salvatore", "Carlo", "Franco", "Domenico", "Bruno", "Paolo", "Michele", "Giorgio",
+    "Aldo", "Sergio", "Luciano", "Roberto", "Alessandro", "Stefano", "Marco", "Andrea", "Luca",
+    "Matteo", "Davide", "Simone", "Federico", "Lorenzo", "Riccardo", "Enrico", "Dario", "Fabio",
+    "Claudio", "Massimo", "Renato", "Ugo", "Nicola",
+];
+
+/// Common Italian female first names.
+pub const FEMALE_NAMES: &[&str] = &[
+    "Maria", "Anna", "Giuseppina", "Rosa", "Angela", "Giovanna", "Teresa", "Lucia", "Carmela",
+    "Caterina", "Francesca", "Antonietta", "Elena", "Concetta", "Rita", "Margherita", "Franca",
+    "Paola", "Laura", "Carla", "Giulia", "Sofia", "Martina", "Chiara", "Sara", "Valentina",
+    "Elisa", "Alessia", "Silvia", "Federica", "Elisabetta", "Monica", "Daniela", "Patrizia",
+    "Roberta", "Simona", "Barbara", "Cristina", "Emanuela", "Alessandra",
+];
+
+/// Common Italian surnames.
+pub const SURNAMES: &[&str] = &[
+    "Rossi", "Russo", "Ferrari", "Esposito", "Bianchi", "Romano", "Colombo", "Ricci", "Marino",
+    "Greco", "Bruno", "Gallo", "Conti", "DeLuca", "Mancini", "Costa", "Giordano", "Rizzo",
+    "Lombardi", "Moretti", "Barbieri", "Fontana", "Santoro", "Mariani", "Rinaldi", "Caruso",
+    "Ferrara", "Galli", "Martini", "Leone", "Longo", "Gentile", "Martinelli", "Vitale",
+    "Lombardo", "Serra", "Coppola", "DeSantis", "DAngelo", "Marchetti", "Parisi", "Villa",
+    "Conte", "Ferraro", "Ferri", "Fabbri", "Bianco", "Marini", "Grasso", "Valentini", "Messina",
+    "Sala", "DeAngelis", "Gatti", "Pellegrini", "Palumbo", "Sanna", "Farina", "Rizzi", "Monti",
+    "Cattaneo", "Morelli", "Amato", "Silvestri", "Mazza", "Testa", "Grassi", "Pellegrino",
+    "Carbone", "Giuliani", "Benedetti", "Barone", "Rossetti", "Caputo", "Montanari", "Guerra",
+    "Palmieri", "Bernardi", "Martino", "Fiore", "DeRosa", "Ferretti", "Bellini", "Basile",
+    "Riva", "Donati", "Piras", "Vitali", "Battaglia", "Sartori", "Neri", "Costantini", "Milani",
+    "Pagano", "Ruggiero", "Sorrentino", "DAmico", "Orlando", "Damico", "Negri",
+];
+
+/// Italian cities (birth places, company seats).
+pub const CITIES: &[&str] = &[
+    "Roma", "Milano", "Napoli", "Torino", "Palermo", "Genova", "Bologna", "Firenze", "Bari",
+    "Catania", "Venezia", "Verona", "Messina", "Padova", "Trieste", "Brescia", "Parma", "Prato",
+    "Taranto", "Modena", "Reggio Calabria", "Reggio Emilia", "Perugia", "Ravenna", "Livorno",
+    "Cagliari", "Foggia", "Rimini", "Salerno", "Ferrara", "Sassari", "Latina", "Monza",
+    "Siracusa", "Pescara", "Bergamo", "Forli", "Trento", "Vicenza", "Terni", "Bolzano",
+    "Novara", "Piacenza", "Ancona", "Andria", "Arezzo", "Udine", "Cesena", "Lecce", "Pesaro",
+];
+
+/// Street names for address synthesis.
+pub const STREETS: &[&str] = &[
+    "Via Roma", "Via Garibaldi", "Via Mazzini", "Corso Italia", "Via Dante", "Via Verdi",
+    "Via Cavour", "Piazza Duomo", "Via Marconi", "Viale Europa", "Via XX Settembre",
+    "Via della Liberta", "Corso Vittorio Emanuele", "Via San Francesco", "Via Trieste",
+    "Via Milano", "Via Napoli", "Via Firenze", "Via Manzoni", "Via Leopardi", "Via Galilei",
+    "Via Volta", "Via Colombo", "Via Vespucci", "Via dei Mille", "Largo Augusto",
+    "Via Puccini", "Via Rossini", "Via Donizetti", "Via Bellini",
+];
+
+/// Legal forms of Italian companies.
+pub const LEGAL_FORMS: &[&str] = &["SRL", "SPA", "SAS", "SNC", "SRLS", "SCARL", "COOP"];
+
+/// Industry sectors (ATECO-like macro buckets).
+pub const SECTORS: &[&str] = &[
+    "manifattura", "costruzioni", "commercio", "trasporti", "alloggio", "informatica",
+    "finanza", "immobiliare", "professioni", "noleggio", "istruzione", "sanita",
+    "intrattenimento", "agricoltura", "energia", "estrazione",
+];
+
+/// Company-name stems.
+pub const COMPANY_STEMS: &[&str] = &[
+    "Alfa", "Beta", "Gamma", "Delta", "Omega", "Italia", "Euro", "Mediterranea", "Adriatica",
+    "Tirrenia", "Nova", "Prima", "Centrale", "Nazionale", "Generale", "Industriale",
+    "Commerciale", "Finanziaria", "Immobiliare", "Tecno", "Agri", "Edil", "Metal", "Termo",
+    "Idro", "Elettro", "Auto", "Trans", "Logistica", "Servizi",
+];
+
+/// Company-name suffixes.
+pub const COMPANY_SUFFIXES: &[&str] = &[
+    "Holding", "Group", "Partecipazioni", "Investimenti", "Costruzioni", "Impianti",
+    "Consulting", "Trading", "Distribuzione", "Sviluppo", "Gestioni", "Solutions", "Italia",
+    "Sud", "Nord", "Centro",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_distinct() {
+        for pool in [
+            MALE_NAMES,
+            FEMALE_NAMES,
+            SURNAMES,
+            CITIES,
+            STREETS,
+            LEGAL_FORMS,
+            SECTORS,
+            COMPANY_STEMS,
+            COMPANY_SUFFIXES,
+        ] {
+            assert!(!pool.is_empty());
+            let mut sorted: Vec<&str> = pool.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len(), "duplicate entries in pool");
+        }
+    }
+
+    #[test]
+    fn surname_pool_is_large_enough_for_blocking_tests() {
+        assert!(SURNAMES.len() >= 90);
+    }
+}

@@ -1,0 +1,70 @@
+//! Calibration test: the synthetic register must reproduce the Section 2
+//! statistical profile of the Italian company graph (scaled down).
+
+use gen::company::{generate, CompanyGraphConfig};
+use pgraph::GraphStats;
+
+#[test]
+fn section2_profile_at_30k_nodes() {
+    let out = generate(&CompanyGraphConfig::scaled(30_000, 0xEDB7));
+    let stats = GraphStats::compute(&out.graph, "w");
+
+    // Mean degree ≈ 1 (paper: 3.96M edges / 4.06M nodes).
+    assert!(
+        stats.mean_degree > 0.7 && stats.mean_degree < 1.3,
+        "mean degree {}",
+        stats.mean_degree
+    );
+    // SCCs are essentially all singletons; cycles are tiny and rare.
+    assert!(stats.scc_avg_size < 1.01, "scc avg {}", stats.scc_avg_size);
+    assert!(stats.scc_max_size <= 20, "scc max {}", stats.scc_max_size);
+    // Fragmentation: a large number of weak components...
+    assert!(
+        stats.wcc_count > stats.nodes / 10,
+        "wcc count {}",
+        stats.wcc_count
+    );
+    // ...plus one giant component well above the average size.
+    assert!(
+        stats.wcc_max_size > stats.nodes / 10,
+        "wcc max {}",
+        stats.wcc_max_size
+    );
+    // Hub shareholders far above the mean degree.
+    assert!(stats.max_out_degree > 100, "max out {}", stats.max_out_degree);
+    assert!(stats.max_in_degree > 30, "max in {}", stats.max_in_degree);
+    // Clustering coefficient near the paper's 0.0084 (triangle closure).
+    assert!(
+        stats.clustering_coefficient > 0.002 && stats.clustering_coefficient < 0.03,
+        "clustering {}",
+        stats.clustering_coefficient
+    );
+    // Self-loops ≈ 0.07% of companies.
+    let loop_rate = stats.self_loops as f64 / out.companies.len() as f64;
+    assert!(loop_rate < 0.005, "self-loop rate {loop_rate}");
+    // Scale-free: a power-law fit exists with a plausible exponent.
+    let fit = stats.power_law.expect("power-law fit");
+    assert!(fit.alpha > 1.3 && fit.alpha < 4.0, "alpha {}", fit.alpha);
+}
+
+#[test]
+fn family_structure_scales_with_population() {
+    let small = generate(&CompanyGraphConfig {
+        persons: 500,
+        companies: 250,
+        seed: 3,
+        ..Default::default()
+    });
+    let large = generate(&CompanyGraphConfig {
+        persons: 5_000,
+        companies: 2_500,
+        seed: 3,
+        ..Default::default()
+    });
+    assert!(large.truth.family_count() > 5 * small.truth.family_count());
+    assert!(large.truth.links.len() > 5 * small.truth.links.len());
+    // Link density per person stays in a narrow band.
+    let rate_small = small.truth.links.len() as f64 / 500.0;
+    let rate_large = large.truth.links.len() as f64 / 5_000.0;
+    assert!((rate_small - rate_large).abs() < 0.5, "{rate_small} vs {rate_large}");
+}

@@ -1,0 +1,327 @@
+//! Multi-feature Bayesian link classifier with Graham combination.
+//!
+//! The paper models family-link presence as follows: for each feature `f_i`
+//! the classifier estimates the conditional probability
+//! `p_i = P(L_xy | d(f_i^x, f_i^y) < T_i)` of a link given that the feature
+//! distance is under a per-feature threshold, estimable from training data
+//! via Bayes' rule:
+//!
+//! `p_i = P(d < T | L)·P(L) / P(d < T)`
+//!
+//! The per-feature probabilities are then fused with **Graham combination**
+//! (the "naive Bayes on probabilities" rule popularized by Paul Graham's
+//! spam filter, cited as \[25\] in the paper):
+//!
+//! `p = Πp_i / (Πp_i + Π(1 − p_i))`
+//!
+//! A pair is predicted linked when `p > 0.5` (Algorithm 7).
+
+/// Specification of one feature used by the classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSpec {
+    /// Human-readable feature name (e.g. `"surname"`).
+    pub name: String,
+    /// Distance threshold `T_i`: the binary evidence is `d_i < T_i`.
+    pub threshold: f64,
+}
+
+impl FeatureSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, threshold: f64) -> Self {
+        FeatureSpec {
+            name: name.to_owned(),
+            threshold,
+        }
+    }
+}
+
+/// A labelled training pair: per-feature distances plus the link label.
+#[derive(Debug, Clone)]
+pub struct TrainingPair {
+    /// Distance per feature, aligned with the model's [`FeatureSpec`]s.
+    /// `None` marks a missing feature (skipped in training and scoring).
+    pub distances: Vec<Option<f64>>,
+    /// Whether the pair is truly linked.
+    pub linked: bool,
+}
+
+/// A trained multi-feature Bayesian model.
+#[derive(Debug, Clone)]
+pub struct BayesModel {
+    features: Vec<FeatureSpec>,
+    /// `p_i = P(L | d_i < T_i)` per feature.
+    p_link_given_close: Vec<f64>,
+    /// `P(L | d_i >= T_i)` per feature (evidence from a far feature).
+    p_link_given_far: Vec<f64>,
+    /// Prior `P(L)`.
+    prior: f64,
+}
+
+/// Laplace-smoothed ratio.
+fn smooth(hits: usize, total: usize) -> f64 {
+    (hits as f64 + 1.0) / (total as f64 + 2.0)
+}
+
+/// Clamps probabilities away from 0/1 so single features can never veto
+/// the combination outright (Graham's 0.01/0.99 clamp).
+fn clamp(p: f64) -> f64 {
+    p.clamp(0.01, 0.99)
+}
+
+impl BayesModel {
+    /// Trains the model: estimates `P(d_i < T_i | L)`, `P(d_i < T_i | ¬L)`
+    /// and the prior from labelled pairs, then derives the per-feature
+    /// posteriors by Bayes' rule.
+    ///
+    /// # Panics
+    /// Panics if a training pair's distance vector length differs from the
+    /// feature list.
+    pub fn train(features: Vec<FeatureSpec>, pairs: &[TrainingPair]) -> Self {
+        let nf = features.len();
+        let mut close_link = vec![0usize; nf];
+        let mut close_nolink = vec![0usize; nf];
+        let mut seen_link = vec![0usize; nf];
+        let mut seen_nolink = vec![0usize; nf];
+        let mut links = 0usize;
+        for p in pairs {
+            assert_eq!(p.distances.len(), nf, "distance vector length mismatch");
+            if p.linked {
+                links += 1;
+            }
+            for (i, d) in p.distances.iter().enumerate() {
+                let Some(d) = d else { continue };
+                let close = *d < features[i].threshold;
+                if p.linked {
+                    seen_link[i] += 1;
+                    if close {
+                        close_link[i] += 1;
+                    }
+                } else {
+                    seen_nolink[i] += 1;
+                    if close {
+                        close_nolink[i] += 1;
+                    }
+                }
+            }
+        }
+        let prior = smooth(links, pairs.len());
+        let mut p_link_given_close = Vec::with_capacity(nf);
+        let mut p_link_given_far = Vec::with_capacity(nf);
+        for i in 0..nf {
+            // P(close | L), P(close | ¬L) with Laplace smoothing.
+            let pc_l = smooth(close_link[i], seen_link[i]);
+            let pc_n = smooth(close_nolink[i], seen_nolink[i]);
+            // Bayes: P(L | close) = P(close|L)P(L) / (P(close|L)P(L) + P(close|¬L)P(¬L)).
+            let close_post =
+                pc_l * prior / (pc_l * prior + pc_n * (1.0 - prior));
+            let far_post = (1.0 - pc_l) * prior
+                / ((1.0 - pc_l) * prior + (1.0 - pc_n) * (1.0 - prior));
+            p_link_given_close.push(clamp(close_post));
+            p_link_given_far.push(clamp(far_post));
+        }
+        BayesModel {
+            features,
+            p_link_given_close,
+            p_link_given_far,
+            prior,
+        }
+    }
+
+    /// Builds a model directly from per-feature posteriors (when training
+    /// data is unavailable and probabilities come from domain expertise).
+    pub fn from_posteriors(
+        features: Vec<FeatureSpec>,
+        p_link_given_close: Vec<f64>,
+        p_link_given_far: Vec<f64>,
+        prior: f64,
+    ) -> Self {
+        assert_eq!(features.len(), p_link_given_close.len());
+        assert_eq!(features.len(), p_link_given_far.len());
+        BayesModel {
+            features,
+            p_link_given_close: p_link_given_close.into_iter().map(clamp).collect(),
+            p_link_given_far: p_link_given_far.into_iter().map(clamp).collect(),
+            prior,
+        }
+    }
+
+    /// The feature specifications.
+    pub fn features(&self) -> &[FeatureSpec] {
+        &self.features
+    }
+
+    /// The trained prior `P(L)`.
+    pub fn prior(&self) -> f64 {
+        self.prior
+    }
+
+    /// Per-feature posterior `P(L | d_i < T_i)`.
+    pub fn posterior_close(&self, i: usize) -> f64 {
+        self.p_link_given_close[i]
+    }
+
+    /// Combined link probability for a pair's distance vector via Graham
+    /// combination. Missing features are skipped; with no evidence at all
+    /// the prior is returned.
+    pub fn link_probability(&self, distances: &[Option<f64>]) -> f64 {
+        assert_eq!(
+            distances.len(),
+            self.features.len(),
+            "distance vector length mismatch"
+        );
+        let mut prod_p = 1.0f64;
+        let mut prod_np = 1.0f64;
+        let mut any = false;
+        for (i, d) in distances.iter().enumerate() {
+            let Some(d) = d else { continue };
+            any = true;
+            let p = if *d < self.features[i].threshold {
+                self.p_link_given_close[i]
+            } else {
+                self.p_link_given_far[i]
+            };
+            prod_p *= p;
+            prod_np *= 1.0 - p;
+        }
+        if !any {
+            return self.prior;
+        }
+        prod_p / (prod_p + prod_np)
+    }
+
+    /// Predicts whether the pair is linked (`p > 0.5`, Algorithm 7).
+    pub fn predict(&self, distances: &[Option<f64>]) -> bool {
+        self.link_probability(distances) > 0.5
+    }
+}
+
+/// Standalone Graham combination of independent probabilities.
+pub fn graham_combination(ps: &[f64]) -> f64 {
+    let mut prod_p = 1.0;
+    let mut prod_np = 1.0;
+    for &p in ps {
+        let p = clamp(p);
+        prod_p *= p;
+        prod_np *= 1.0 - p;
+    }
+    if ps.is_empty() {
+        0.5
+    } else {
+        prod_p / (prod_p + prod_np)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_training(n: usize) -> (Vec<FeatureSpec>, Vec<TrainingPair>) {
+        // Two features: "surname distance" (very informative) and
+        // "address distance" (mildly informative).
+        let features = vec![FeatureSpec::new("surname", 0.3), FeatureSpec::new("addr", 0.5)];
+        let mut pairs = Vec::new();
+        let mut rng_state = 42u64;
+        let mut next = || {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng_state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            let linked = i % 4 == 0; // 25% prior
+            let close_draw = next() * 0.25;
+            let d_surname = if linked || next() < 0.1 {
+                close_draw // linked pairs are close; 10% false-close noise
+            } else {
+                0.4 + next() * 0.6
+            };
+            let d_addr = if linked {
+                if next() < 0.7 {
+                    next() * 0.4
+                } else {
+                    next()
+                }
+            } else if next() < 0.3 {
+                next() * 0.4
+            } else {
+                next()
+            };
+            pairs.push(TrainingPair {
+                distances: vec![Some(d_surname), Some(d_addr)],
+                linked,
+            });
+        }
+        (features, pairs)
+    }
+
+    #[test]
+    fn training_learns_informative_features() {
+        let (features, pairs) = synthetic_training(4000);
+        let model = BayesModel::train(features, &pairs);
+        assert!((model.prior() - 0.25).abs() < 0.02);
+        // A close surname is strong evidence for a link.
+        assert!(model.posterior_close(0) > 0.6, "{}", model.posterior_close(0));
+        // A close address alone is weak.
+        assert!(model.posterior_close(1) < model.posterior_close(0));
+    }
+
+    #[test]
+    fn prediction_accuracy_on_held_out() {
+        let (features, pairs) = synthetic_training(4000);
+        let model = BayesModel::train(features, &pairs[..3000]);
+        let mut correct = 0usize;
+        for p in &pairs[3000..] {
+            if model.predict(&p.distances) == p.linked {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / 1000.0;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn missing_features_fall_back_gracefully() {
+        let (features, pairs) = synthetic_training(2000);
+        let model = BayesModel::train(features, &pairs);
+        let p_all_missing = model.link_probability(&[None, None]);
+        assert!((p_all_missing - model.prior()).abs() < 1e-12);
+        // Only surname available, and it is close: still predicts a link.
+        assert!(model.predict(&[Some(0.0), None]));
+    }
+
+    #[test]
+    fn graham_combination_properties() {
+        assert_eq!(graham_combination(&[]), 0.5);
+        assert!((graham_combination(&[0.5, 0.5]) - 0.5).abs() < 1e-12);
+        // Two strong signals reinforce.
+        let combined = graham_combination(&[0.9, 0.9]);
+        assert!(combined > 0.97);
+        // A strong and a weak signal pull toward the strong one.
+        let mixed = graham_combination(&[0.9, 0.2]);
+        assert!(mixed > 0.5 && mixed < 0.9);
+        // The paper's formula exactly: p1 p2 / (p1 p2 + (1-p1)(1-p2)).
+        let p = graham_combination(&[0.8, 0.6]);
+        let expect = 0.8 * 0.6 / (0.8 * 0.6 + 0.2 * 0.4);
+        assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_posteriors_clamps() {
+        let m = BayesModel::from_posteriors(
+            vec![FeatureSpec::new("x", 0.5)],
+            vec![1.0],
+            vec![0.0],
+            0.5,
+        );
+        assert!(m.posterior_close(0) <= 0.99);
+        assert!(m.link_probability(&[Some(0.9)]) >= 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_arity_panics() {
+        let (features, pairs) = synthetic_training(100);
+        let model = BayesModel::train(features, &pairs);
+        model.link_probability(&[Some(0.1)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Feature-based blocking (`#GenerateBlocks`, Algorithm 3).
+//!
+//! Blocking is the record-linkage community's answer to the quadratic
+//! blow-up of pairwise comparison: only records that share a *blocking key*
+//! (a deterministic function of their features) are compared. The paper's
+//! second-level clustering is exactly this, and Section 6.1 stresses that
+//! VADA-LINK supports hash- and Skolem-based implementations and lets
+//! experiments "hijack the mapping into an increasing number of clusters"
+//! — which [`FeatureBlocker::with_block_count`] reproduces.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Groups item indexes by an arbitrary blocking key.
+pub fn block_by_key<T, K: Eq + Hash>(
+    items: &[T],
+    key: impl Fn(&T) -> K,
+) -> HashMap<K, Vec<usize>> {
+    let mut blocks: HashMap<K, Vec<usize>> = HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        blocks.entry(key(item)).or_default().push(i);
+    }
+    blocks
+}
+
+/// A deterministic feature-vector blocker.
+///
+/// In *natural* mode each distinct feature-key maps to its own block (the
+/// Skolem-style `#GenerateBlocks` of Section 4.2). In *fixed-count* mode
+/// keys are hashed into exactly `k` buckets — the device used in the
+/// Figure 4(c)/(e) sweeps to control the number and size of clusters.
+#[derive(Debug, Clone)]
+pub struct FeatureBlocker {
+    block_count: Option<usize>,
+    salt: u64,
+}
+
+impl Default for FeatureBlocker {
+    fn default() -> Self {
+        FeatureBlocker {
+            block_count: None,
+            salt: 0x5A17,
+        }
+    }
+}
+
+impl FeatureBlocker {
+    /// Natural blocking: one block per distinct key.
+    pub fn natural() -> Self {
+        Self::default()
+    }
+
+    /// Fixed-count blocking into `k` buckets (k ≥ 1).
+    pub fn with_block_count(k: usize) -> Self {
+        FeatureBlocker {
+            block_count: Some(k.max(1)),
+            salt: 0x5A17,
+        }
+    }
+
+    /// Sets the hash salt (varies the bucket assignment across runs).
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The configured block count, if fixed.
+    pub fn block_count(&self) -> Option<usize> {
+        self.block_count
+    }
+
+    /// Maps a feature key to its block id.
+    pub fn block_of<K: Hash>(&self, key: &K) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.salt.hash(&mut h);
+        key.hash(&mut h);
+        let raw = h.finish();
+        match self.block_count {
+            Some(k) => raw % k as u64,
+            None => raw,
+        }
+    }
+
+    /// Blocks a slice of items by a key extractor.
+    pub fn blocks<T, K: Hash>(
+        &self,
+        items: &[T],
+        key: impl Fn(&T) -> K,
+    ) -> HashMap<u64, Vec<usize>> {
+        let mut blocks: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, item) in items.iter().enumerate() {
+            blocks.entry(self.block_of(&key(item))).or_default().push(i);
+        }
+        blocks
+    }
+}
+
+/// Number of pairwise comparisons implied by a blocking (Σ n_b·(n_b−1)/2).
+/// This is the quantity the paper's clustering keeps far below `|N|²`.
+pub fn comparison_count(blocks: &HashMap<u64, Vec<usize>>) -> usize {
+    blocks
+        .values()
+        .map(|b| b.len() * b.len().saturating_sub(1) / 2)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_by_key_partitions() {
+        let items = ["rossi", "russo", "rossi", "bianchi"];
+        let blocks = block_by_key(&items, |s| s.to_owned());
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks["rossi"], vec![0, 2]);
+    }
+
+    #[test]
+    fn natural_blocker_is_injective_on_keys() {
+        let b = FeatureBlocker::natural();
+        assert_eq!(b.block_of(&"abc"), b.block_of(&"abc"));
+        assert_ne!(b.block_of(&"abc"), b.block_of(&"abd"));
+        assert_eq!(b.block_count(), None);
+    }
+
+    #[test]
+    fn fixed_count_respects_k() {
+        let b = FeatureBlocker::with_block_count(7);
+        for key in 0..1000u32 {
+            assert!(b.block_of(&key) < 7);
+        }
+    }
+
+    #[test]
+    fn fixed_count_distributes_roughly_evenly() {
+        let b = FeatureBlocker::with_block_count(10);
+        let items: Vec<u32> = (0..10_000).collect();
+        let blocks = b.blocks(&items, |x| *x);
+        assert_eq!(blocks.len(), 10);
+        for members in blocks.values() {
+            let n = members.len();
+            assert!((700..1300).contains(&n), "skewed block of {n}");
+        }
+    }
+
+    #[test]
+    fn more_blocks_means_fewer_comparisons() {
+        let items: Vec<u32> = (0..1000).collect();
+        let few = FeatureBlocker::with_block_count(2).blocks(&items, |x| *x);
+        let many = FeatureBlocker::with_block_count(50).blocks(&items, |x| *x);
+        assert!(comparison_count(&many) < comparison_count(&few));
+        // Single block = full quadratic comparison.
+        let one = FeatureBlocker::with_block_count(1).blocks(&items, |x| *x);
+        assert_eq!(comparison_count(&one), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn salt_changes_assignment() {
+        let a = FeatureBlocker::with_block_count(16);
+        let b = FeatureBlocker::with_block_count(16).with_salt(99);
+        let items: Vec<u32> = (0..256).collect();
+        let same = items
+            .iter()
+            .filter(|x| a.block_of(x) == b.block_of(x))
+            .count();
+        assert!(same < 200, "salts should reshuffle most keys, same={same}");
+    }
+
+    #[test]
+    fn zero_block_count_clamped() {
+        let b = FeatureBlocker::with_block_count(0);
+        assert_eq!(b.block_of(&42), 0);
+    }
+}

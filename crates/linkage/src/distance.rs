@@ -1,0 +1,257 @@
+//! String and numeric distance measures for feature comparison.
+//!
+//! The paper's family-link classifier thresholds "some distance between the
+//! feature values … (e.g., Levenshtein distance between two strings 'name'
+//! of person)". These implementations operate on `char` sequences, so
+//! accented Italian names are handled per code point.
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein scaled into `[0, 1]` by the longer string length
+/// (0 = identical, 1 = completely different). Empty vs empty is 0.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max as f64
+}
+
+/// Damerau-Levenshtein distance (adds adjacent transpositions), restricted
+/// variant (optimal string alignment).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, slot) in d[0].iter_mut().enumerate() {
+        *slot = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = best;
+        }
+    }
+    d[n][m]
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_match = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches += 1;
+                a_match.push((i, j));
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut transpositions = 0usize;
+    let b_order: Vec<usize> = {
+        let mut order: Vec<(usize, usize)> = a_match.clone();
+        order.sort_by_key(|&(i, _)| i);
+        order.into_iter().map(|(_, j)| j).collect()
+    };
+    for w in b_order.windows(2) {
+        if w[0] > w[1] {
+            transpositions += 1;
+        }
+    }
+    let m = matches as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by a shared prefix (length ≤ 4,
+/// scaling 0.1) — the standard choice for person names.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// American Soundex code (letter + 3 digits) for phonetic blocking of
+/// surnames. Non-ASCII-alphabetic characters are skipped; empty input
+/// yields `"0000"`.
+pub fn soundex(s: &str) -> String {
+    fn code(c: char) -> u8 {
+        match c.to_ascii_lowercase() {
+            'b' | 'f' | 'p' | 'v' => b'1',
+            'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => b'2',
+            'd' | 't' => b'3',
+            'l' => b'4',
+            'm' | 'n' => b'5',
+            'r' => b'6',
+            _ => b'0', // vowels and h/w/y
+        }
+    }
+    let letters: Vec<char> = s.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    let Some(&first) = letters.first() else {
+        return "0000".to_owned();
+    };
+    let mut out = String::new();
+    out.push(first.to_ascii_uppercase());
+    let mut prev = code(first);
+    for &c in &letters[1..] {
+        let k = code(c);
+        let lower = c.to_ascii_lowercase();
+        if k != b'0' && k != prev {
+            out.push(k as char);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        // h and w do not reset the previous code; vowels do.
+        if lower != 'h' && lower != 'w' {
+            prev = k;
+        }
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// Absolute numeric distance scaled by `scale` (e.g. days for dates),
+/// saturating at 1.0. `scale <= 0` yields 1.0 for unequal values.
+pub fn numeric_distance(a: f64, b: f64, scale: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    if scale <= 0.0 {
+        return 1.0;
+    }
+    ((a - b).abs() / scale).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("rossi", "rossi"), 0);
+        assert_eq!(levenshtein("rossi", "rosso"), 1);
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(levenshtein("nicolò", "nicolo"), 1);
+        assert_eq!(levenshtein("è", "e"), 1);
+    }
+
+    #[test]
+    fn normalized_levenshtein_range() {
+        assert_eq!(normalized_levenshtein("", ""), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 1.0);
+        let d = normalized_levenshtein("rossi", "rosso");
+        assert!((d - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions() {
+        assert_eq!(levenshtein("ab", "ba"), 2);
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+        assert_eq!(damerau_levenshtein("ca", "abc"), 3);
+        assert_eq!(damerau_levenshtein("mario", "maroi"), 1);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-4);
+        assert!((jaro("dixon", "dicksonx") - 0.766667).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix() {
+        let jw = jaro_winkler("martha", "marhta");
+        assert!((jw - 0.961111).abs() < 1e-4);
+        assert!(jaro_winkler("rossi", "rossini") > jaro("rossi", "rossini"));
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn soundex_known_codes() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("Rossi"), soundex("Rosi"));
+    }
+
+    #[test]
+    fn numeric_distance_scales() {
+        assert_eq!(numeric_distance(10.0, 10.0, 5.0), 0.0);
+        assert_eq!(numeric_distance(0.0, 10.0, 5.0), 1.0);
+        assert!((numeric_distance(0.0, 2.5, 5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(numeric_distance(1.0, 2.0, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the record-linkage toolkit: metric axioms for
+//! the string distances, range/symmetry of the similarity measures, and
+//! the algebra of Graham combination.
+
+use proptest::prelude::*;
+
+use linkage::bayes::graham_combination;
+use linkage::blocking::FeatureBlocker;
+use linkage::distance::{
+    damerau_levenshtein, jaro, jaro_winkler, levenshtein, normalized_levenshtein, soundex,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn levenshtein_metric_axioms(a in "[a-zà-ü]{0,12}", b in "[a-zà-ü]{0,12}", c in "[a-zà-ü]{0,12}") {
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounded by the longer length.
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+        // Damerau never exceeds plain Levenshtein.
+        prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+    }
+
+    #[test]
+    fn single_edit_costs_one(a in "[a-z]{1,10}", ch in prop::char::range('a', 'z')) {
+        let mut appended = a.clone();
+        appended.push(ch);
+        prop_assert_eq!(levenshtein(&a, &appended), 1);
+    }
+
+    #[test]
+    fn normalized_levenshtein_in_unit_interval(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        let d = normalized_levenshtein(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(normalized_levenshtein(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn jaro_family_range_and_symmetry(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        for f in [jaro, jaro_winkler] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{s} out of range");
+            prop_assert!((f(&a, &b) - f(&b, &a)).abs() < 1e-12);
+        }
+        if !a.is_empty() {
+            prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+        }
+        // Winkler only boosts.
+        prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn soundex_shape(a in "[A-Za-z]{1,15}") {
+        let code = soundex(&a);
+        prop_assert_eq!(code.len(), 4);
+        let mut chars = code.chars();
+        let first = chars.next().unwrap();
+        prop_assert!(first.is_ascii_uppercase());
+        prop_assert!(chars.all(|c| c.is_ascii_digit()));
+        // Case-insensitive.
+        prop_assert_eq!(soundex(&a.to_lowercase()), soundex(&a.to_uppercase()));
+    }
+
+    #[test]
+    fn graham_combination_properties(ps in prop::collection::vec(0.0f64..=1.0, 0..6)) {
+        let p = graham_combination(&ps);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Permutation invariance.
+        let mut rev = ps.clone();
+        rev.reverse();
+        prop_assert!((graham_combination(&rev) - p).abs() < 1e-12);
+        // Adding a neutral 0.5 never changes the result.
+        let mut with_neutral = ps.clone();
+        with_neutral.push(0.5);
+        prop_assert!((graham_combination(&with_neutral) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocker_is_deterministic_and_in_range(keys in prop::collection::vec(any::<u64>(), 1..50), k in 1usize..64) {
+        let b = FeatureBlocker::with_block_count(k);
+        for key in &keys {
+            let id = b.block_of(key);
+            prop_assert!(id < k as u64);
+            prop_assert_eq!(id, b.block_of(key));
+        }
+    }
+}

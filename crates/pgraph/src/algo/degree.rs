@@ -1,0 +1,125 @@
+//! Degree statistics and histograms.
+//!
+//! Section 2 of the paper characterizes the Italian company graph by average
+//! in/out degree (≈1), maximum in-degree (>5K — holding companies with many
+//! shareholders) and maximum out-degree (>28K — funds holding thousands of
+//! participations). [`DegreeStats`] reproduces those figures.
+
+use crate::csr::Csr;
+use crate::id::NodeId;
+
+/// Aggregate degree statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Mean in-degree (= mean out-degree = |E|/|N|).
+    pub mean: f64,
+    /// Maximum in-degree over all nodes.
+    pub max_in: usize,
+    /// Maximum out-degree over all nodes.
+    pub max_out: usize,
+    /// Node attaining the maximum in-degree.
+    pub argmax_in: Option<NodeId>,
+    /// Node attaining the maximum out-degree.
+    pub argmax_out: Option<NodeId>,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics from a CSR snapshot.
+    pub fn compute(csr: &Csr) -> Self {
+        let n = csr.node_count();
+        let mut max_in = 0usize;
+        let mut max_out = 0usize;
+        let mut argmax_in = None;
+        let mut argmax_out = None;
+        for v in 0..n {
+            let id = NodeId::from_usize(v);
+            let di = csr.in_degree(id);
+            let dr = csr.out_degree(id);
+            if di > max_in {
+                max_in = di;
+                argmax_in = Some(id);
+            }
+            if dr > max_out {
+                max_out = dr;
+                argmax_out = Some(id);
+            }
+        }
+        let mean = if n == 0 {
+            0.0
+        } else {
+            csr.edge_count() as f64 / n as f64
+        };
+        DegreeStats {
+            mean,
+            max_in,
+            max_out,
+            argmax_in,
+            argmax_out,
+        }
+    }
+}
+
+/// Histogram of total (in+out) degree: `hist[d]` = number of nodes with
+/// degree `d`. The tail of this histogram feeds the power-law fit.
+pub fn degree_histogram(csr: &Csr) -> Vec<usize> {
+    let n = csr.node_count();
+    let mut max_d = 0usize;
+    let mut degs = Vec::with_capacity(n);
+    for v in 0..n {
+        let d = csr.degree(NodeId::from_usize(v));
+        max_d = max_d.max(d);
+        degs.push(d);
+    }
+    let mut hist = vec![0usize; max_d + 1];
+    for d in degs {
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropertyGraph;
+
+    fn star(k: u32) -> Csr {
+        // node 0 owns k subsidiaries
+        let mut g = PropertyGraph::new();
+        let hub = g.add_node("C");
+        for _ in 0..k {
+            let s = g.add_node("C");
+            g.add_edge("S", hub, s);
+        }
+        Csr::from_graph(&g, "w")
+    }
+
+    #[test]
+    fn star_stats() {
+        let csr = star(5);
+        let s = DegreeStats::compute(&csr);
+        assert_eq!(s.max_out, 5);
+        assert_eq!(s.max_in, 1);
+        assert_eq!(s.argmax_out, Some(NodeId(0)));
+        assert!((s.mean - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let csr = star(5);
+        let h = degree_histogram(&csr);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[1], 5); // the 5 leaves
+        assert_eq!(h[5], 1); // the hub
+    }
+
+    #[test]
+    fn empty_graph_defaults() {
+        let g = PropertyGraph::new();
+        let csr = Csr::from_graph(&g, "w");
+        let s = DegreeStats::compute(&csr);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max_in, 0);
+        assert!(s.argmax_in.is_none());
+        assert_eq!(degree_histogram(&csr), vec![0usize; 1]);
+    }
+}

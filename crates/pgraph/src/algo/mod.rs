@@ -1,0 +1,23 @@
+//! Graph analytics used to characterize company ownership graphs.
+//!
+//! Section 2 of the paper profiles the Italian company graph with strongly
+//! and weakly connected components, degree distributions, the clustering
+//! coefficient, self-loop counts and a power-law degree fit. This module
+//! implements each of those measures, plus the simple-path enumeration that
+//! underlies accumulated ownership (Definition 2.5).
+
+mod clustering;
+mod degree;
+mod paths;
+mod powerlaw;
+mod scc;
+mod traversal;
+mod wcc;
+
+pub use clustering::{average_clustering_coefficient, local_clustering_coefficient};
+pub use degree::{degree_histogram, DegreeStats};
+pub use paths::{enumerate_simple_paths, PathEnumeration, PathLimits};
+pub use powerlaw::{fit_power_law, PowerLawFit};
+pub use scc::{strongly_connected_components, SccResult};
+pub use traversal::{bfs_distances, reachable_from};
+pub use wcc::{weakly_connected_components, WccResult};

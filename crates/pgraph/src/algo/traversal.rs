@@ -1,0 +1,78 @@
+//! Breadth-first traversal utilities.
+
+use std::collections::VecDeque;
+
+use crate::csr::Csr;
+use crate::id::NodeId;
+
+/// BFS hop distances from `src` following edge direction.
+///
+/// Returns `u32::MAX` for unreachable nodes.
+pub fn bfs_distances(csr: &Csr, src: NodeId) -> Vec<u32> {
+    let n = csr.node_count();
+    let mut dist = vec![u32::MAX; n];
+    if src.index() >= n {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src.0);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in csr.out_neighbors(NodeId(v)) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Set of nodes reachable from `src` (including `src`), following direction.
+pub fn reachable_from(csr: &Csr, src: NodeId) -> Vec<NodeId> {
+    bfs_distances(csr, src)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, d)| *d != u32::MAX)
+        .map(|(i, _)| NodeId::from_usize(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropertyGraph;
+
+    fn csr_of(edges: &[(u32, u32)], n: usize) -> Csr {
+        let mut g = PropertyGraph::new();
+        for _ in 0..n {
+            g.add_node("C");
+        }
+        for &(s, t) in edges {
+            g.add_edge("S", NodeId(s), NodeId(t));
+        }
+        Csr::from_graph(&g, "w")
+    }
+
+    #[test]
+    fn distances_follow_direction() {
+        let csr = csr_of(&[(0, 1), (1, 2), (3, 2)], 4);
+        let d = bfs_distances(&csr, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, u32::MAX]);
+    }
+
+    #[test]
+    fn reachable_set() {
+        let csr = csr_of(&[(0, 1), (1, 2), (3, 2)], 4);
+        let r = reachable_from(&csr, NodeId(0));
+        assert_eq!(r, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let csr = csr_of(&[(0, 1), (1, 0)], 2);
+        let d = bfs_distances(&csr, NodeId(0));
+        assert_eq!(d, vec![0, 1]);
+    }
+}

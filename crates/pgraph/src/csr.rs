@@ -1,0 +1,211 @@
+//! Compressed-sparse-row snapshots of a [`PropertyGraph`].
+//!
+//! The analytics ([`crate::algo`]) and the node-embedding layer walk the
+//! graph millions of times; a flat CSR image avoids pointer chasing through
+//! per-node `Vec`s and keeps the working set contiguous. The snapshot is
+//! immutable — the augmentation loop rebuilds it whenever new edges have been
+//! added (the paper's "reinforcement principle" re-embeds the updated graph).
+
+use crate::graph::PropertyGraph;
+use crate::id::NodeId;
+
+/// Immutable CSR image with out- and in-adjacency plus edge weights.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    n: usize,
+    out_off: Vec<u32>,
+    out_dst: Vec<u32>,
+    out_w: Vec<f64>,
+    in_off: Vec<u32>,
+    in_src: Vec<u32>,
+    in_w: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR snapshot; `weight_key` names the edge property holding
+    /// the weight (e.g. the share fraction `w`), defaulting to 1.0 when the
+    /// property is missing or non-numeric.
+    pub fn from_graph(g: &PropertyGraph, weight_key: &str) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let mut out_off = vec![0u32; n + 1];
+        let mut in_off = vec![0u32; n + 1];
+        for e in g.edge_ids() {
+            let (s, d) = g.endpoints(e);
+            out_off[s.index() + 1] += 1;
+            in_off[d.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_off[i + 1] += out_off[i];
+            in_off[i + 1] += in_off[i];
+        }
+        let mut out_dst = vec![0u32; m];
+        let mut out_w = vec![0f64; m];
+        let mut in_src = vec![0u32; m];
+        let mut in_w = vec![0f64; m];
+        let mut out_cur = out_off.clone();
+        let mut in_cur = in_off.clone();
+        for e in g.edge_ids() {
+            let (s, d) = g.endpoints(e);
+            let w = g
+                .edge_prop(e, weight_key)
+                .and_then(|v| v.as_f64())
+                .unwrap_or(1.0);
+            let oi = out_cur[s.index()] as usize;
+            out_dst[oi] = d.0;
+            out_w[oi] = w;
+            out_cur[s.index()] += 1;
+            let ii = in_cur[d.index()] as usize;
+            in_src[ii] = s.0;
+            in_w[ii] = w;
+            in_cur[d.index()] += 1;
+        }
+        Csr {
+            n,
+            out_off,
+            out_dst,
+            out_w,
+            in_off,
+            in_src,
+            in_w,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_dst.len()
+    }
+
+    /// Out-neighbours of `v` (targets of edges leaving `v`).
+    pub fn out_neighbors(&self, v: NodeId) -> &[u32] {
+        let (a, b) = (
+            self.out_off[v.index()] as usize,
+            self.out_off[v.index() + 1] as usize,
+        );
+        &self.out_dst[a..b]
+    }
+
+    /// Weights parallel to [`Csr::out_neighbors`].
+    pub fn out_weights(&self, v: NodeId) -> &[f64] {
+        let (a, b) = (
+            self.out_off[v.index()] as usize,
+            self.out_off[v.index() + 1] as usize,
+        );
+        &self.out_w[a..b]
+    }
+
+    /// In-neighbours of `v` (sources of edges entering `v`).
+    pub fn in_neighbors(&self, v: NodeId) -> &[u32] {
+        let (a, b) = (
+            self.in_off[v.index()] as usize,
+            self.in_off[v.index() + 1] as usize,
+        );
+        &self.in_src[a..b]
+    }
+
+    /// Weights parallel to [`Csr::in_neighbors`].
+    pub fn in_weights(&self, v: NodeId) -> &[f64] {
+        let (a, b) = (
+            self.in_off[v.index()] as usize,
+            self.in_off[v.index() + 1] as usize,
+        );
+        &self.in_w[a..b]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.out_off[v.index() + 1] - self.out_off[v.index()]) as usize
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_off[v.index() + 1] - self.in_off[v.index()]) as usize
+    }
+
+    /// Undirected neighbours of `v`: out- then in-neighbours, possibly with
+    /// duplicates for reciprocal edges. Used by the embedding random walks,
+    /// which treat ownership as a symmetric proximity signal.
+    pub fn undirected_neighbors(&self, v: NodeId) -> impl Iterator<Item = u32> + '_ {
+        self.out_neighbors(v)
+            .iter()
+            .copied()
+            .chain(self.in_neighbors(v).iter().copied())
+    }
+
+    /// Undirected degree (out + in).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn diamond() -> PropertyGraph {
+        // a -> b -> d, a -> c -> d with weights 0.1..0.4
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("C");
+        let b = g.add_node("C");
+        let c = g.add_node("C");
+        let d = g.add_node("C");
+        for (i, (s, t)) in [(a, b), (a, c), (b, d), (c, d)].into_iter().enumerate() {
+            let e = g.add_edge("S", s, t);
+            g.set_edge_prop(e, "w", Value::from((i + 1) as f64 / 10.0));
+        }
+        g
+    }
+
+    #[test]
+    fn structure_matches_graph() {
+        let g = diamond();
+        let csr = Csr::from_graph(&g, "w");
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.out_neighbors(NodeId(0)), &[1, 2]);
+        assert_eq!(csr.in_neighbors(NodeId(3)), &[1, 2]);
+        assert_eq!(csr.out_degree(NodeId(0)), 2);
+        assert_eq!(csr.in_degree(NodeId(0)), 0);
+        assert_eq!(csr.degree(NodeId(3)), 2);
+    }
+
+    #[test]
+    fn weights_parallel_to_neighbors() {
+        let g = diamond();
+        let csr = Csr::from_graph(&g, "w");
+        assert_eq!(csr.out_weights(NodeId(0)), &[0.1, 0.2]);
+        assert_eq!(csr.in_weights(NodeId(3)), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn missing_weight_defaults_to_one() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("C");
+        let b = g.add_node("C");
+        g.add_edge("S", a, b);
+        let csr = Csr::from_graph(&g, "w");
+        assert_eq!(csr.out_weights(NodeId(0)), &[1.0]);
+    }
+
+    #[test]
+    fn undirected_neighbors_chain_both_sides() {
+        let g = diamond();
+        let csr = Csr::from_graph(&g, "w");
+        let n: Vec<u32> = csr.undirected_neighbors(NodeId(1)).collect();
+        assert_eq!(n, vec![3, 0]); // out: d(3); in: a(0)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = PropertyGraph::new();
+        let csr = Csr::from_graph(&g, "w");
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+}

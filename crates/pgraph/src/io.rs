@@ -1,0 +1,194 @@
+//! Minimal CSV import/export for property graphs.
+//!
+//! The paper's pipeline ingests relational exports of the company register
+//! through ETL jobs. This module provides the equivalent boundary for the
+//! reproduction: a node file (`id,label,key=value;...`) and an edge file
+//! (`src,dst,label,key=value;...`). Values are typed by syntax: `true/false`
+//! are booleans, integers and floats are numeric, everything else a string.
+//! Fields are `;`-separated inside the property column, so the format needs
+//! no quoting for our generators' data.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+use crate::graph::PropertyGraph;
+use crate::id::NodeId;
+use crate::value::Value;
+
+/// Parses a property literal into a typed [`Value`].
+pub fn parse_value(s: &str) -> Value {
+    match s {
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        "null" => return Value::Null,
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::float(f);
+    }
+    Value::Str(s.to_owned())
+}
+
+fn parse_props(field: &str) -> Vec<(String, Value)> {
+    if field.is_empty() {
+        return Vec::new();
+    }
+    field
+        .split(';')
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            Some((k.to_owned(), parse_value(v)))
+        })
+        .collect()
+}
+
+/// Reads a graph from node and edge CSV readers.
+///
+/// Node lines: `id,label[,k=v;k=v...]` — ids must be dense `0..n` integers.
+/// Edge lines: `src,dst,label[,k=v;k=v...]`.
+/// Lines starting with `#` and blank lines are skipped.
+pub fn read_csv<N: BufRead, E: BufRead>(nodes: N, edges: E) -> io::Result<PropertyGraph> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut g = PropertyGraph::new();
+    let mut expected = 0u32;
+    for line in nodes.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ',');
+        let id: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("bad node id in {line:?}")))?;
+        if id != expected {
+            return Err(bad(format!("node ids must be dense, got {id}, expected {expected}")));
+        }
+        expected += 1;
+        let label = parts
+            .next()
+            .ok_or_else(|| bad(format!("missing label in {line:?}")))?;
+        let node = g.add_node(label);
+        for (k, v) in parse_props(parts.next().unwrap_or("")) {
+            g.set_node_prop(node, &k, v);
+        }
+    }
+    for line in edges.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, ',');
+        let src: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("bad src in {line:?}")))?;
+        let dst: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("bad dst in {line:?}")))?;
+        let label = parts
+            .next()
+            .ok_or_else(|| bad(format!("missing label in {line:?}")))?;
+        if src >= expected || dst >= expected {
+            return Err(bad(format!("edge endpoint out of range in {line:?}")));
+        }
+        let edge = g.add_edge(label, NodeId(src), NodeId(dst));
+        for (k, v) in parse_props(parts.next().unwrap_or("")) {
+            g.set_edge_prop(edge, &k, v);
+        }
+    }
+    Ok(g)
+}
+
+/// Writes the graph to node and edge CSV writers in the format accepted by
+/// [`read_csv`].
+pub fn write_csv<N: Write, E: Write>(g: &PropertyGraph, mut nodes: N, mut edges: E) -> io::Result<()> {
+    for n in g.node_ids() {
+        let mut props = String::new();
+        for (i, (k, v)) in g.node_props(n).iter().enumerate() {
+            if i > 0 {
+                props.push(';');
+            }
+            let _ = write!(props, "{}={}", g.key_name(*k), v);
+        }
+        writeln!(nodes, "{},{},{}", n.0, g.label_name(g.node_label(n)), props)?;
+    }
+    for e in g.edge_ids() {
+        let (s, d) = g.endpoints(e);
+        let mut props = String::new();
+        for (i, (k, v)) in g.edge_props(e).iter().enumerate() {
+            if i > 0 {
+                props.push(';');
+            }
+            let _ = write!(props, "{}={}", g.key_name(*k), v);
+        }
+        writeln!(edges, "{},{},{},{}", s.0, d.0, g.label_name(g.edge_label(e)), props)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("0.5"), Value::Float(0.5));
+        assert_eq!(parse_value("null"), Value::Null);
+        assert_eq!(parse_value("ACME spa"), Value::Str("ACME spa".into()));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("Company");
+        let p = g.add_node("Person");
+        g.set_node_prop(a, "name", Value::from("ACME"));
+        g.set_node_prop(p, "name", Value::from("Rossi"));
+        g.set_node_prop(p, "birth", Value::Int(10957));
+        let e = g.add_edge("Shareholding", p, a);
+        g.set_edge_prop(e, "w", Value::from(0.6));
+
+        let mut nbuf = Vec::new();
+        let mut ebuf = Vec::new();
+        write_csv(&g, &mut nbuf, &mut ebuf).unwrap();
+        let g2 = read_csv(&nbuf[..], &ebuf[..]).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        assert_eq!(g2.node_prop(NodeId(0), "name").unwrap().as_str(), Some("ACME"));
+        assert_eq!(g2.node_prop(NodeId(1), "birth").unwrap().as_i64(), Some(10957));
+        let e0 = g2.edge_ids().next().unwrap();
+        assert_eq!(g2.edge_prop(e0, "w").unwrap().as_f64(), Some(0.6));
+        assert_eq!(g2.endpoints(e0), (NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let nodes = "# header\n0,C,\n\n1,C,\n";
+        let edges = "# edges\n0,1,S,w=0.5\n";
+        let g = read_csv(nodes.as_bytes(), edges.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let nodes = "0,C,\n2,C,\n";
+        assert!(read_csv(nodes.as_bytes(), &b""[..]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let nodes = "0,C,\n";
+        let edges = "0,5,S,\n";
+        assert!(read_csv(nodes.as_bytes(), edges.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! One-call structural summary of a property graph.
+//!
+//! [`GraphStats::compute`] reproduces every figure quoted for the Italian
+//! company graph in Section 2 of the paper: node/edge counts, SCC and WCC
+//! counts with average and maximum sizes, mean degree, maximum in/out
+//! degree, the average clustering coefficient, self-loop count, and the
+//! power-law exponent of the degree distribution.
+
+use crate::algo::{
+    average_clustering_coefficient, degree_histogram, fit_power_law,
+    strongly_connected_components, weakly_connected_components, DegreeStats, PowerLawFit,
+};
+use crate::csr::Csr;
+use crate::graph::PropertyGraph;
+
+/// Structural statistics of a company graph (the Section 2 profile).
+#[derive(Debug, Clone)]
+pub struct GraphStats {
+    /// `|N|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Number of strongly connected components.
+    pub scc_count: usize,
+    /// Average SCC size.
+    pub scc_avg_size: f64,
+    /// Largest SCC size.
+    pub scc_max_size: usize,
+    /// Number of weakly connected components.
+    pub wcc_count: usize,
+    /// Average WCC size.
+    pub wcc_avg_size: f64,
+    /// Largest WCC size.
+    pub wcc_max_size: usize,
+    /// Mean in-degree = mean out-degree = |E|/|N|.
+    pub mean_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Average clustering coefficient (undirected).
+    pub clustering_coefficient: f64,
+    /// Number of self-loop edges (share buy-backs).
+    pub self_loops: usize,
+    /// Power-law fit of the total-degree distribution, if one exists.
+    pub power_law: Option<PowerLawFit>,
+}
+
+impl GraphStats {
+    /// Computes all statistics over a graph whose edge weights live in the
+    /// property `weight_key`.
+    pub fn compute(g: &PropertyGraph, weight_key: &str) -> Self {
+        let csr = Csr::from_graph(g, weight_key);
+        Self::compute_from_csr(g, &csr)
+    }
+
+    /// Computes statistics reusing an existing CSR snapshot.
+    pub fn compute_from_csr(g: &PropertyGraph, csr: &Csr) -> Self {
+        let scc = strongly_connected_components(csr);
+        let wcc = weakly_connected_components(csr);
+        let deg = DegreeStats::compute(csr);
+        let hist = degree_histogram(csr);
+        GraphStats {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            scc_count: scc.count,
+            scc_avg_size: scc.average_size(),
+            scc_max_size: scc.largest(),
+            wcc_count: wcc.count,
+            wcc_avg_size: wcc.average_size(),
+            wcc_max_size: wcc.largest(),
+            mean_degree: deg.mean,
+            max_in_degree: deg.max_in,
+            max_out_degree: deg.max_out,
+            clustering_coefficient: average_clustering_coefficient(csr),
+            self_loops: g.self_loop_count(),
+            power_law: fit_power_law(&hist, 1),
+        }
+    }
+
+    /// Renders the statistics as aligned `key: value` lines, one per
+    /// Section 2 figure, for the reproduction harness.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        let mut line = |k: &str, v: String| {
+            s.push_str(&format!("{k:<28} {v}\n"));
+        };
+        line("nodes", format!("{}", self.nodes));
+        line("edges", format!("{}", self.edges));
+        line("scc_count", format!("{}", self.scc_count));
+        line("scc_avg_size", format!("{:.3}", self.scc_avg_size));
+        line("scc_max_size", format!("{}", self.scc_max_size));
+        line("wcc_count", format!("{}", self.wcc_count));
+        line("wcc_avg_size", format!("{:.3}", self.wcc_avg_size));
+        line("wcc_max_size", format!("{}", self.wcc_max_size));
+        line("mean_degree", format!("{:.4}", self.mean_degree));
+        line("max_in_degree", format!("{}", self.max_in_degree));
+        line("max_out_degree", format!("{}", self.max_out_degree));
+        line(
+            "clustering_coefficient",
+            format!("{:.5}", self.clustering_coefficient),
+        );
+        line("self_loops", format!("{}", self.self_loops));
+        match &self.power_law {
+            Some(fit) => {
+                line("power_law_alpha", format!("{:.3}", fit.alpha));
+                line("power_law_ks", format!("{:.4}", fit.ks_distance));
+            }
+            None => line("power_law_alpha", "n/a".to_owned()),
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NodeId;
+
+    fn sample() -> PropertyGraph {
+        // 0→1→2 chain, 3↔4 cycle, 5 self-loop, 6 isolated.
+        let mut g = PropertyGraph::new();
+        for _ in 0..7 {
+            g.add_node("C");
+        }
+        for (s, t) in [(0, 1), (1, 2), (3, 4), (4, 3), (5, 5)] {
+            g.add_edge("S", NodeId(s), NodeId(t));
+        }
+        g
+    }
+
+    #[test]
+    fn counts_match() {
+        let s = GraphStats::compute(&sample(), "w");
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.self_loops, 1);
+        // SCCs: {0},{1},{2},{3,4},{5},{6} = 6
+        assert_eq!(s.scc_count, 6);
+        assert_eq!(s.scc_max_size, 2);
+        // WCCs: {0,1,2},{3,4},{5},{6} = 4
+        assert_eq!(s.wcc_count, 4);
+        assert_eq!(s.wcc_max_size, 3);
+        assert!((s.mean_degree - 5.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.max_out_degree, 1);
+    }
+
+    #[test]
+    fn report_contains_every_metric() {
+        let s = GraphStats::compute(&sample(), "w");
+        let r = s.report();
+        for key in [
+            "nodes",
+            "edges",
+            "scc_count",
+            "wcc_count",
+            "mean_degree",
+            "max_in_degree",
+            "max_out_degree",
+            "clustering_coefficient",
+            "self_loops",
+            "power_law_alpha",
+        ] {
+            assert!(r.contains(key), "missing {key} in report:\n{r}");
+        }
+    }
+}

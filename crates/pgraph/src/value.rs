@@ -1,0 +1,230 @@
+//! Property values (the V set of Definition 2.1).
+//!
+//! Company graphs carry heterogeneous features: share fractions (floats),
+//! legal names and addresses (strings), incorporation dates (dates encoded
+//! as days), booleans and integers. [`Value`] is a small tagged union over
+//! those shapes with total ordering and hashing, so values can be used as
+//! blocking keys and Datalog constants.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A property value attached to a node or an edge.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Absence of a value (σ is a partial function).
+    Null,
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer (also used for dates as days-since-epoch).
+    Int(i64),
+    /// IEEE-754 double; `NaN` is normalized away (see [`Value::float`]).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Builds a float value, mapping `NaN` to [`Value::Null`] so that the
+    /// total-order and hash invariants hold for every constructible value.
+    pub fn float(f: f64) -> Self {
+        if f.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(f)
+        }
+    }
+
+    /// Returns the value as a float if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an integer if it is [`Value::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Rank used to order values of different types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::float(f)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            // NaN is unconstructible (normalized to Null), so total_cmp
+            // agrees with the usual order on every stored float.
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float that compare equal must hash equal: hash the
+            // f64 bit pattern of the numeric value for both.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn nan_normalizes_to_null() {
+        assert!(Value::float(f64::NAN).is_null());
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn heterogeneous_ordering_is_total() {
+        let mut vals = [Value::Str("b".into()),
+            Value::Null,
+            Value::Int(1),
+            Value::Bool(true),
+            Value::Float(0.5),
+            Value::Str("a".into())];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals.last().unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(5i64).as_i64(), Some(5));
+        assert_eq!(Value::from(0.25).as_f64(), Some(0.25));
+        assert_eq!(Value::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Float(0.5).to_string(), "0.5");
+    }
+}

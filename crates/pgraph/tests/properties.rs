@@ -1,0 +1,141 @@
+//! Property-based tests of the property-graph substrate.
+
+use proptest::prelude::*;
+
+use pgraph::algo::{
+    enumerate_simple_paths, strongly_connected_components, weakly_connected_components,
+    PathLimits,
+};
+use pgraph::{Csr, NodeId, PropertyGraph, Value};
+
+const N: usize = 10;
+
+fn graph_of(edges: &[(u8, u8)]) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    for _ in 0..N {
+        g.add_node("C");
+    }
+    for &(a, b) in edges {
+        let e = g.add_edge("S", NodeId(a as u32 % N as u32), NodeId(b as u32 % N as u32));
+        g.set_edge_prop(e, "w", Value::from(0.5));
+    }
+    g
+}
+
+/// BFS reachability oracle.
+fn reaches(g: &PropertyGraph, from: NodeId, to: NodeId) -> bool {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![from];
+    while let Some(v) = stack.pop() {
+        if v == to {
+            return true;
+        }
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        stack.extend(g.successors(v));
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_matches_graph(edges in prop::collection::vec((0..N as u8, 0..N as u8), 0..40)) {
+        let g = graph_of(&edges);
+        let csr = Csr::from_graph(&g, "w");
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        for v in g.node_ids() {
+            prop_assert_eq!(csr.out_degree(v), g.out_degree(v));
+            prop_assert_eq!(csr.in_degree(v), g.in_degree(v));
+            let mut a: Vec<u32> = csr.out_neighbors(v).to_vec();
+            let mut b: Vec<u32> = g.successors(v).map(|n| n.0).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn scc_agrees_with_mutual_reachability(
+        edges in prop::collection::vec((0..N as u8, 0..N as u8), 0..30)
+    ) {
+        let g = graph_of(&edges);
+        let csr = Csr::from_graph(&g, "w");
+        let scc = strongly_connected_components(&csr);
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                let mutual = reaches(&g, a, b) && reaches(&g, b, a);
+                prop_assert_eq!(
+                    scc.same_component(a, b),
+                    mutual,
+                    "scc vs reachability mismatch at ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_partitions_and_respects_edges(
+        edges in prop::collection::vec((0..N as u8, 0..N as u8), 0..30)
+    ) {
+        let g = graph_of(&edges);
+        let csr = Csr::from_graph(&g, "w");
+        let wcc = weakly_connected_components(&csr);
+        prop_assert_eq!(wcc.sizes().iter().sum::<usize>(), N);
+        for e in g.edge_ids() {
+            let (s, d) = g.endpoints(e);
+            prop_assert_eq!(wcc.component[s.index()], wcc.component[d.index()]);
+        }
+    }
+
+    #[test]
+    fn simple_paths_weight_is_bounded(
+        edges in prop::collection::vec((0..N as u8, 0..N as u8), 0..20),
+        src in 0..N as u8,
+        dst in 0..N as u8,
+    ) {
+        let g = graph_of(&edges);
+        let csr = Csr::from_graph(&g, "w");
+        let r = enumerate_simple_paths(
+            &csr,
+            NodeId(src as u32),
+            NodeId(dst as u32),
+            PathLimits::default(),
+        );
+        prop_assert!(r.weight_sum >= 0.0);
+        // Each path contributes at most 0.5 (every edge weighs 0.5),
+        // so the sum is bounded by 0.5 · #paths.
+        prop_assert!(r.weight_sum <= 0.5 * r.path_count as f64 + 1e-9);
+        // Positive weight implies reachability.
+        if r.path_count > 0 && src != dst {
+            prop_assert!(reaches(&g, NodeId(src as u32), NodeId(dst as u32)));
+        }
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_sortable(
+        ints in prop::collection::vec(any::<i64>(), 0..8),
+        floats in prop::collection::vec(-1e6f64..1e6, 0..8),
+        strs in prop::collection::vec("[a-z]{0,5}", 0..8),
+    ) {
+        let mut vals: Vec<Value> = Vec::new();
+        vals.extend(ints.into_iter().map(Value::Int));
+        vals.extend(floats.into_iter().map(Value::float));
+        vals.extend(strs.into_iter().map(Value::Str));
+        vals.push(Value::Null);
+        vals.push(Value::Bool(true));
+        let mut sorted = vals.clone();
+        sorted.sort();
+        // Sorting is stable under re-sort and respects pairwise order.
+        for w in sorted.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut again = sorted.clone();
+        again.sort();
+        prop_assert_eq!(sorted, again);
+    }
+}

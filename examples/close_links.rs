@@ -1,0 +1,83 @@
+//! Asset eligibility (close links): can company Y guarantee a loan to X?
+//!
+//! Under ECB rules, Y may not act as guarantor for X if the two are
+//! *closely linked* — accumulated ownership of 20% or more between them,
+//! or a common third party owning 20%+ of both (Definition 2.6). This
+//! example finds all close links in a generated register extract, shows
+//! the reason for each, and compares the exact simple-path semantics with
+//! the walk-sum relaxation computed by the Datalog program.
+//!
+//! ```sh
+//! cargo run --release --example close_links
+//! ```
+
+use vada_link_suite::gen::company::{generate, CompanyGraphConfig};
+use vada_link_suite::pgraph::algo::PathLimits;
+use vada_link_suite::vada_link::closelink::{
+    accumulated_from, close_links, walk_ownership_from, CloseLinkReason,
+};
+use vada_link_suite::vada_link::model::CompanyGraph;
+use vada_link_suite::vada_link::programs::run_close_links;
+
+fn main() {
+    let out = generate(&CompanyGraphConfig {
+        persons: 600,
+        companies: 400,
+        seed: 0xC105E,
+        ..Default::default()
+    });
+    let g = CompanyGraph::new(out.graph);
+    let limits = PathLimits::default();
+
+    let links = close_links(&g, 0.2, limits);
+    let by_common_owner = links
+        .iter()
+        .filter(|l| matches!(l.reason, CloseLinkReason::CommonOwner(_)))
+        .count();
+    println!(
+        "{} close links at t = 0.2 ({} via accumulated ownership, {} via a common owner)",
+        links.len(),
+        links.len() - by_common_owner,
+        by_common_owner
+    );
+    for link in links.iter().take(8) {
+        let name = |n| g.str_prop(n, "name").unwrap_or("?").to_owned();
+        match link.reason {
+            CloseLinkReason::Accumulated(v) => println!(
+                "  {:<40} ~ {:<40} Φ = {v:.3}",
+                name(link.x),
+                name(link.y)
+            ),
+            CloseLinkReason::CommonOwner(z) => println!(
+                "  {:<40} ~ {:<40} common owner: {}",
+                name(link.x),
+                name(link.y),
+                name(z)
+            ),
+        }
+    }
+
+    // Declarative path: Algorithm 6 on the Datalog engine.
+    let datalog_pairs = run_close_links(&g, 0.2);
+    println!("\ndatalog (Alg. 6) reports {} close-link pairs", datalog_pairs.len());
+
+    // Exact vs walk-sum accumulated ownership: identical on acyclic
+    // ownership (the typical case), walk-sum over-approximates on cycles.
+    let mut max_gap = 0.0f64;
+    let mut measured = 0usize;
+    for z in g.graph().node_ids().take(500) {
+        if g.graph().out_degree(z) == 0 {
+            continue;
+        }
+        let exact = accumulated_from(&g, z, limits);
+        let walk = walk_ownership_from(&g, z, 32, 1e-12);
+        for (n, v) in &exact {
+            let wv = walk.get(n).copied().unwrap_or(0.0);
+            max_gap = max_gap.max(wv - v);
+            measured += 1;
+        }
+    }
+    println!(
+        "\nexact vs walk-sum over {measured} (source, target) pairs: max over-approximation {max_gap:.2e}"
+    );
+}

@@ -1,0 +1,108 @@
+//! End-to-end pipeline test: generate a register extract, profile it,
+//! augment it with all three link families, persist it through the CSV
+//! boundary and reason over the reloaded graph.
+
+use vada_link_suite::gen::company::{generate, CompanyGraphConfig};
+use vada_link_suite::pgraph::{io, GraphStats};
+use vada_link_suite::vada_link::augment::{augment, AugmentOptions, PersonLinkCandidate};
+use vada_link_suite::vada_link::family::{FamilyDetector, FamilyDetectorConfig};
+use vada_link_suite::vada_link::mapping::{load_facts, materialize_links};
+use vada_link_suite::vada_link::model::CompanyGraph;
+use vada_link_suite::vada_link::programs::CONTROL_PROGRAM;
+use vada_link_suite::datalog::{Database, Engine, Program};
+
+#[test]
+fn full_pipeline_generate_augment_persist_reason() {
+    // 1. Generate and profile.
+    let out = generate(&CompanyGraphConfig {
+        persons: 800,
+        companies: 400,
+        seed: 0xE2E,
+        ..Default::default()
+    });
+    let mut g = CompanyGraph::new(out.graph);
+    let stats = GraphStats::compute(g.graph(), "w");
+    assert!(stats.mean_degree > 0.3 && stats.mean_degree < 2.0);
+    let base_edges = g.graph().edge_count();
+
+    // 2. Family-link augmentation (Algorithm 1).
+    let detector = FamilyDetector::train(&g, &out.truth, &FamilyDetectorConfig::default());
+    let candidate = PersonLinkCandidate::new(detector);
+    let aug = augment(&mut g, &[&candidate], &AugmentOptions::default());
+    assert!(aug.links_added > 0, "family links must be found");
+    assert_eq!(g.graph().edge_count(), base_edges + aug.links_added);
+
+    // 3. Control links through the declarative path, materialized back
+    //    into the property graph (output mapping, Algorithm 4).
+    let program = Program::parse(CONTROL_PROGRAM).unwrap();
+    let engine = Engine::new(&program).unwrap();
+    let mut db = Database::new();
+    load_facts(&g, &mut db);
+    engine.run(&mut db).unwrap();
+    let control_links = materialize_links(&mut g, &db, "control", "Control");
+    assert!(control_links > 0, "control links must be derived");
+
+    // 4. Persist through the CSV boundary and reload.
+    let mut nodes_csv = Vec::new();
+    let mut edges_csv = Vec::new();
+    io::write_csv(g.graph(), &mut nodes_csv, &mut edges_csv).unwrap();
+    let reloaded = io::read_csv(&nodes_csv[..], &edges_csv[..]).unwrap();
+    assert_eq!(reloaded.node_count(), g.graph().node_count());
+    assert_eq!(reloaded.edge_count(), g.graph().edge_count());
+
+    // 5. The reloaded graph supports the same reasoning: control pairs on
+    //    the reloaded shareholding structure match the original.
+    let g2 = CompanyGraph::new(reloaded);
+    let before = vada_link_suite::vada_link::control::all_control(&g2);
+    assert_eq!(before.len(), {
+        let orig = vada_link_suite::vada_link::control::all_control(&g);
+        orig.len()
+    });
+}
+
+#[test]
+fn augmented_links_never_touch_shareholdings() {
+    let out = generate(&CompanyGraphConfig {
+        persons: 300,
+        companies: 150,
+        seed: 3,
+        ..Default::default()
+    });
+    let mut g = CompanyGraph::new(out.graph);
+    let shareholdings_before: Vec<_> = g.share_edges().collect();
+    let detector = FamilyDetector::train(&g, &out.truth, &FamilyDetectorConfig::default());
+    let candidate = PersonLinkCandidate::new(detector);
+    augment(&mut g, &[&candidate], &AugmentOptions::default());
+    let shareholdings_after: Vec<_> = g.share_edges().collect();
+    assert_eq!(shareholdings_before, shareholdings_after);
+    // Derived links connect persons only.
+    for class in ["PartnerOf", "SiblingOf", "ParentOf"] {
+        for (a, b) in g.links_of(class) {
+            assert!(g.is_person(a) && g.is_person(b));
+        }
+    }
+}
+
+#[test]
+fn determinism_end_to_end() {
+    let run = || {
+        let out = generate(&CompanyGraphConfig {
+            persons: 300,
+            companies: 150,
+            seed: 77,
+            ..Default::default()
+        });
+        let mut g = CompanyGraph::new(out.graph);
+        let det = FamilyDetector::train(&g, &out.truth, &FamilyDetectorConfig::default());
+        let cand = PersonLinkCandidate::new(det);
+        let stats = augment(&mut g, &[&cand], &AugmentOptions::default());
+        let mut links: Vec<(u32, u32)> = ["PartnerOf", "SiblingOf", "ParentOf"]
+            .iter()
+            .flat_map(|c| g.links_of(c))
+            .map(|(a, b)| (a.0, b.0))
+            .collect();
+        links.sort_unstable();
+        (stats.comparisons, stats.links_added, links)
+    };
+    assert_eq!(run(), run(), "the whole pipeline is seed-deterministic");
+}

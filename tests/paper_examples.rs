@@ -1,0 +1,129 @@
+//! Golden tests for every concrete claim the paper makes about its two
+//! example graphs (Figure 1 / Figure 2, Examples 2.4 and 2.7, and the
+//! Introduction's narrative), exercised through the public API and through
+//! the declarative Datalog path.
+
+use vada_link_suite::pgraph::algo::PathLimits;
+use vada_link_suite::vada_link::closelink::{accumulated_ownership, close_links, family_close_links};
+use vada_link_suite::vada_link::control::{all_control, controls, family_control};
+use vada_link_suite::vada_link::paper_graphs::{figure1, figure2};
+use vada_link_suite::vada_link::programs::{run_close_links, run_control, run_family_control};
+
+const LIM: PathLimits = PathLimits {
+    max_len: 32,
+    max_paths: 1_000_000,
+};
+
+#[test]
+fn figure1_control_claims() {
+    // "P1 controls C, D, and E (via C), E (since it controls D, which owns
+    //  40% of E and P1 directly owns 20% of it), and F (via E and D).
+    //  Similarly, P2 controls all its descendants except for L.
+    //  Apparently, P1 exerts no control on L either."
+    let f = figure1();
+    let names = |nodes: Vec<vada_link_suite::pgraph::NodeId>| -> Vec<String> {
+        nodes.into_iter().map(|n| f.name_of(n).to_owned()).collect()
+    };
+    assert_eq!(names(controls(&f.graph, f.node("P1"))), ["C", "D", "E", "F"]);
+    assert_eq!(names(controls(&f.graph, f.node("P2"))), ["G", "H", "I"]);
+}
+
+#[test]
+fn figure1_family_business_l() {
+    // "knowing that P1 and P2 ... are married allows to deduce that P1 and
+    //  P2 together control L ... with P1 and P2 together controlling 60%
+    //  of it."
+    let f = figure1();
+    let joint = family_control(&f.graph, &[f.node("P1"), f.node("P2")]);
+    assert!(joint.contains(&f.node("L")));
+    // Direct check of the 60%: F owns 20% and I owns 40% of L.
+    let phi_f = accumulated_ownership(&f.graph, f.node("F"), f.node("L"), LIM);
+    let phi_i = accumulated_ownership(&f.graph, f.node("I"), f.node("L"), LIM);
+    assert!((phi_f - 0.2).abs() < 1e-9);
+    assert!((phi_i - 0.4).abs() < 1e-9);
+}
+
+#[test]
+fn figure1_close_link_g_i() {
+    // "G and I are closely linked since P2 owns more than 20% of both."
+    let f = figure1();
+    let links = close_links(&f.graph, 0.2, LIM);
+    let g_node = f.node("G").min(f.node("I"));
+    let i_node = f.node("G").max(f.node("I"));
+    assert!(links.iter().any(|l| (l.x, l.y) == (g_node, i_node)));
+}
+
+#[test]
+fn figure1_family_close_link_d_g() {
+    // "although D and G do not strictly fulfil the definition of close
+    //  link, as P1 and P2 have a personal connection ... it is reasonable
+    //  to prevent G from acting as a guarantor for D or vice versa."
+    let f = figure1();
+    let strict = close_links(&f.graph, 0.2, LIM);
+    let d = f.node("D").min(f.node("G"));
+    let g = f.node("D").max(f.node("G"));
+    assert!(
+        !strict.iter().any(|l| (l.x, l.y) == (d, g)),
+        "D-G is NOT a strict close link"
+    );
+    let family = family_close_links(&f.graph, &[f.node("P1"), f.node("P2")], 0.2, LIM);
+    assert!(family.contains(&(d, g)), "but IS a family close link");
+}
+
+#[test]
+fn figure2_example_2_4_control() {
+    // "P1 controls C4 by means of a direct 80% edge; P2 controls C7, via
+    //  C5 and C6."
+    let f = figure2();
+    assert!(controls(&f.graph, f.node("P1")).contains(&f.node("C4")));
+    let p2 = controls(&f.graph, f.node("P2"));
+    assert!(p2.contains(&f.node("C5")));
+    assert!(p2.contains(&f.node("C6")));
+    assert!(p2.contains(&f.node("C7")));
+}
+
+#[test]
+fn figure2_example_2_7_close_links() {
+    // "P3 owns [part] of C4 and [part] of C6, therefore they are in close
+    //  link relationship by Definition 2.6-(iii). Also, since Φ(C4, C7) =
+    //  0.2, it follows that C4 and C7 are in close link relationships by
+    //  Definition 2.6-(i)."
+    let f = figure2();
+    let phi = accumulated_ownership(&f.graph, f.node("C4"), f.node("C7"), LIM);
+    assert!((phi - 0.2).abs() < 1e-9);
+    let links = close_links(&f.graph, 0.2, LIM);
+    let has = |a: &str, b: &str| {
+        let x = f.node(a).min(f.node(b));
+        let y = f.node(a).max(f.node(b));
+        links.iter().any(|l| (l.x, l.y) == (x, y))
+    };
+    assert!(has("C4", "C6"), "C4-C6 via P3");
+    assert!(has("C4", "C7"), "C4-C7 via Φ = 0.2");
+}
+
+#[test]
+fn datalog_reproduces_all_figure_claims() {
+    for fig in [figure1(), figure2()] {
+        let mut native = all_control(&fig.graph);
+        native.sort_unstable();
+        assert_eq!(run_control(&fig.graph), native);
+
+        let mut native_cl: Vec<_> = close_links(&fig.graph, 0.2, LIM)
+            .into_iter()
+            .map(|l| (l.x.min(l.y), l.x.max(l.y)))
+            .collect();
+        native_cl.sort_unstable();
+        assert_eq!(run_close_links(&fig.graph, 0.2), native_cl);
+    }
+}
+
+#[test]
+fn datalog_family_control_of_l() {
+    let f = figure1();
+    let members = vec![f.node("P1"), f.node("P2")];
+    let result = run_family_control(&f.graph, &[("rossi".to_owned(), members.clone())]);
+    let companies: Vec<_> = result.into_iter().map(|(_, c)| c).collect();
+    let native = family_control(&f.graph, &members);
+    assert_eq!(companies, native);
+    assert!(companies.contains(&f.node("L")));
+}
