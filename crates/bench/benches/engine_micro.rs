@@ -14,8 +14,7 @@ use pgraph::Csr;
 fn bench_datalog_tc(c: &mut Criterion) {
     let mut group = c.benchmark_group("datalog_transitive_closure");
     group.sample_size(10);
-    let program =
-        Program::parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+    let program = Program::parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
     let engine = Engine::new(&program).unwrap();
     for &n in &[200usize, 1_000] {
         // A set of disjoint chains: linear-size closure per chain.

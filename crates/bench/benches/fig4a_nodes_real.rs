@@ -16,16 +16,12 @@ fn bench_fig4a(c: &mut Criterion) {
     group.sample_size(10);
     for &persons in &[500usize, 1_000, 2_000, 4_000] {
         let (g, cand) = person_workload(persons, 0xEDB7);
-        group.bench_with_input(
-            BenchmarkId::new("vadalink", persons),
-            &persons,
-            |b, _| {
-                b.iter(|| {
-                    let mut gg = g.clone();
-                    black_box(augment(&mut gg, &[&cand], &AugmentOptions::default()))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("vadalink", persons), &persons, |b, _| {
+            b.iter(|| {
+                let mut gg = g.clone();
+                black_box(augment(&mut gg, &[&cand], &AugmentOptions::default()))
+            });
+        });
         if persons <= 2_000 {
             group.bench_with_input(BenchmarkId::new("naive", persons), &persons, |b, _| {
                 b.iter(|| {

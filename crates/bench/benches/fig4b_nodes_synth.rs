@@ -12,7 +12,11 @@ fn bench_fig4b(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4b_nodes_synth");
     group.sample_size(10);
     for &nodes in &[500usize, 1_000, 2_000] {
-        let g = generate_ba(&BaConfig::with_density(nodes, DensityPreset::Superdense, 0xEDB7));
+        let g = generate_ba(&BaConfig::with_density(
+            nodes,
+            DensityPreset::Superdense,
+            0xEDB7,
+        ));
         let cg = CompanyGraph::new(g);
         let cand = SyntheticCandidate;
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {

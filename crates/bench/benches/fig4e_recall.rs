@@ -24,9 +24,7 @@ fn bench_fig4e(c: &mut Criterion) {
     for &k in &[20usize, 100, 400] {
         let hijacked = HijackedCandidate::new(&cand, k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                black_box(recall_protocol(&g, &hijacked, &ground, k, 0.2, &opts, 7))
-            });
+            b.iter(|| black_box(recall_protocol(&g, &hijacked, &ground, k, 0.2, &opts, 7)));
         });
     }
     group.finish();

@@ -44,7 +44,10 @@ const SEED: u64 = 0xEDB7;
 fn main() {
     let args = parse_args();
     let run = |name: &str| args.exp == "all" || args.exp == name;
-    println!("== VADA-LINK reproduction (scale: {}) ==\n", if args.full { "full" } else { "small" });
+    println!(
+        "== VADA-LINK reproduction (scale: {}) ==\n",
+        if args.full { "full" } else { "small" }
+    );
 
     if run("t1") {
         let nodes = if args.full { 1_000_000 } else { 100_000 };
@@ -60,15 +63,22 @@ fn main() {
         };
         let naive_cap = if args.full { 20_000 } else { 5_000 };
         println!("Figure 4(a): execution time vs nodes (real-world-like company graphs)");
-        println!("{:>9} {:>12} {:>14} {:>12} {:>14}", "persons", "vadalink_s", "comparisons", "naive_s", "naive_cmps");
+        println!(
+            "{:>9} {:>12} {:>14} {:>12} {:>14}",
+            "persons", "vadalink_s", "comparisons", "naive_s", "naive_cmps"
+        );
         for r in exp_fig4a(sizes, naive_cap, SEED) {
             println!(
                 "{:>9} {:>12.3} {:>14} {:>12} {:>14}",
                 r.persons,
                 r.vadalink_secs,
                 r.comparisons,
-                r.naive_secs.map(|s| format!("{s:.3}")).unwrap_or_else(|| "-".into()),
-                r.naive_comparisons.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+                r.naive_secs
+                    .map(|s| format!("{s:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.naive_comparisons
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "-".into()),
             );
         }
         println!("paper: linear-ish growth for VADA-LINK, quadratic for the naive baseline.\n");
@@ -120,7 +130,10 @@ fn main() {
         println!("Figure 4(e): recall vs cluster count ({persons} persons, {repeats} repeats, 20% removed)");
         println!("{:>9} {:>10} {:>14}", "clusters", "recall", "comparisons");
         for r in exp_fig4e(persons, ks, repeats, SEED) {
-            println!("{:>9} {:>10.4} {:>14.0}", r.clusters, r.recall, r.comparisons);
+            println!(
+                "{:>9} {:>10.4} {:>14.0}",
+                r.clusters, r.recall, r.comparisons
+            );
         }
         println!("paper: 100% at 1 cluster, 99.4% at 20, 98.6% at 50, steadily <50% past 400.\n");
     }

@@ -5,11 +5,18 @@
 //! vadalink control   --nodes nodes.csv --edges edges.csv [--explain X,Y]
 //! vadalink closelink --nodes nodes.csv --edges edges.csv [--threshold 0.2]
 //! vadalink demo      [--out DIR]      # writes the Figure 1 graph as CSV
+//! vadalink check     PROGRAM [--lax]  # static analysis of a Vadalog file
 //! ```
 //!
 //! Node files: `id,label[,k=v;k=v...]` with dense integer ids; edge files:
 //! `src,dst,label[,k=v;...]` (see `pgraph::io`). Control and close-link
 //! results are printed as `x,y` pairs of node ids, one per line.
+//!
+//! `check` parses a program (`-` reads stdin) and prints every analyzer
+//! diagnostic as `file:line:col: severity[CODE]: message`. It runs in
+//! strict mode (implicit existentials are errors) unless `--lax` is given,
+//! and exits 1 when any error-level diagnostic is found, 2 on usage or
+//! parse errors, 0 otherwise.
 
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -28,6 +35,8 @@ struct Opts {
     threshold: f64,
     explain: Option<(u32, u32)>,
     out: String,
+    file: Option<String>,
+    lax: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -39,12 +48,16 @@ fn parse_opts() -> Result<Opts, String> {
         threshold: 0.2,
         explain: None,
         out: ".".to_owned(),
+        file: None,
+        lax: false,
     };
     let mut i = 1;
     while i < argv.len() {
         let next = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--nodes" => opts.nodes = Some(next(&mut i)?),
@@ -63,6 +76,12 @@ fn parse_opts() -> Result<Opts, String> {
                 ));
             }
             "--out" => opts.out = next(&mut i)?,
+            "--lax" => opts.lax = true,
+            other if !other.starts_with('-') || other == "-" => {
+                if opts.file.replace(other.to_owned()).is_some() {
+                    return Err(format!("unexpected extra argument {other}"));
+                }
+            }
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
@@ -79,7 +98,48 @@ fn load_graph(opts: &Opts) -> Result<CompanyGraph, String> {
     Ok(CompanyGraph::new(g))
 }
 
-fn run() -> Result<(), String> {
+/// Implements `vadalink check`: parse, analyze, print, and translate the
+/// outcome into an exit code (0 clean, 1 errors found).
+fn run_check(opts: &Opts) -> Result<ExitCode, String> {
+    use std::io::Read;
+
+    let path = opts
+        .file
+        .as_deref()
+        .ok_or("usage: vadalink check PROGRAM [--lax]")?;
+    let src = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    let program = datalog::Program::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    let cfg = if opts.lax {
+        datalog::AnalysisConfig::default()
+    } else {
+        datalog::AnalysisConfig::strict()
+    };
+    let analysis = datalog::analyze_with(&program, &cfg);
+    for d in &analysis.diagnostics {
+        println!("{path}:{}", d.render(&src));
+    }
+    let errors = analysis.errors().count();
+    let warnings = analysis.warnings().count();
+    if errors > 0 {
+        eprintln!("vadalink: {errors} error(s), {warnings} warning(s) in {path}");
+        return Ok(ExitCode::from(1));
+    }
+    eprintln!(
+        "vadalink: {path} is clean ({} rule(s), {warnings} warning(s))",
+        program.rules.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run() -> Result<ExitCode, String> {
     let opts = parse_opts()?;
     match opts.cmd.as_str() {
         "stats" => {
@@ -117,16 +177,23 @@ fn run() -> Result<(), String> {
             nf.flush().map_err(|e| e.to_string())?;
             ef.flush().map_err(|e| e.to_string())?;
             eprintln!("wrote {nodes_path} and {edges_path} (the paper's Figure 1)");
-            eprintln!("try: vadalink control --nodes {nodes_path} --edges {edges_path} --explain 0,4");
+            eprintln!(
+                "try: vadalink control --nodes {nodes_path} --edges {edges_path} --explain 0,4"
+            );
         }
-        other => return Err(format!("unknown subcommand {other} (stats|control|closelink|demo)")),
+        "check" => return run_check(&opts),
+        other => {
+            return Err(format!(
+                "unknown subcommand {other} (stats|control|closelink|demo|check)"
+            ))
+        }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("vadalink: {e}");
             ExitCode::from(2)

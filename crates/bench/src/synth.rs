@@ -36,7 +36,8 @@ impl CandidatePredicate for SyntheticCandidate {
     }
 
     fn decide(&self, g: &CompanyGraph, a: NodeId, b: NodeId) -> Option<String> {
-        let same = |key: &str| g.str_prop(a, key).is_some() && g.str_prop(a, key) == g.str_prop(b, key);
+        let same =
+            |key: &str| g.str_prop(a, key).is_some() && g.str_prop(a, key) == g.str_prop(b, key);
         if !same("f1") || !same("f2") {
             return None;
         }

@@ -159,10 +159,7 @@ pub fn augment(
                 keys.sort_unstable();
                 keys.dedup();
                 for key in keys {
-                    blocks
-                        .entry((assign[n.index()], key))
-                        .or_default()
-                        .push(n);
+                    blocks.entry((assign[n.index()], key)).or_default().push(n);
                 }
             }
             for members in blocks.values() {
@@ -184,9 +181,7 @@ pub fn augment(
         // Insert in a canonical order: block iteration is hash-ordered,
         // and edge insertion order feeds the next round's random walks —
         // sorting keeps the whole loop seed-deterministic.
-        new_links.sort_unstable_by(|(c1, a1, b1), (c2, a2, b2)| {
-            (c1, a1, b1).cmp(&(c2, a2, b2))
-        });
+        new_links.sort_unstable_by(|(c1, a1, b1), (c2, a2, b2)| (c1, a1, b1).cmp(&(c2, a2, b2)));
         for (class, a, b) in new_links {
             if g.find_link(&class, a, b).is_none() && g.find_link(&class, b, a).is_none() {
                 g.add_link(&class, a, b);
@@ -300,11 +295,12 @@ mod tests {
         let partner_links = g.links_of("PartnerOf");
         assert!(!partner_links.is_empty());
         // Recall against ground truth with natural (address) blocking.
-        let predicted: std::collections::HashSet<(u32, u32)> = ["PartnerOf", "SiblingOf", "ParentOf"]
-            .iter()
-            .flat_map(|c| g.links_of(c))
-            .map(|(a, b)| (a.0.min(b.0), a.0.max(b.0)))
-            .collect();
+        let predicted: std::collections::HashSet<(u32, u32)> =
+            ["PartnerOf", "SiblingOf", "ParentOf"]
+                .iter()
+                .flat_map(|c| g.links_of(c))
+                .map(|(a, b)| (a.0.min(b.0), a.0.max(b.0)))
+                .collect();
         let mut hit = 0;
         let mut total = 0;
         for (a, b, _) in &truth.links {

@@ -25,7 +25,7 @@ use pgraph::algo::{weakly_connected_components, PathLimits};
 use pgraph::NodeId;
 
 use crate::augment::CandidatePredicate;
-use crate::closelink::{accumulated_into, accumulated_from};
+use crate::closelink::{accumulated_from, accumulated_into};
 use crate::control::controls;
 use crate::model::CompanyGraph;
 

@@ -49,21 +49,29 @@ pub struct CloseLink {
 
 /// Exact accumulated ownership `Φ(x, y)` (simple-path semantics).
 pub fn accumulated_ownership(g: &CompanyGraph, x: NodeId, y: NodeId, limits: PathLimits) -> f64 {
-    accumulated_from(g, x, limits).get(&y).copied().unwrap_or(0.0)
+    accumulated_from(g, x, limits)
+        .get(&y)
+        .copied()
+        .unwrap_or(0.0)
 }
 
 /// Exact accumulated ownership from `x` to every reachable node: one DFS
 /// enumerating all simple paths, accumulating `Σ Π w` per destination.
-pub fn accumulated_from(
-    g: &CompanyGraph,
-    x: NodeId,
-    limits: PathLimits,
-) -> HashMap<NodeId, f64> {
+pub fn accumulated_from(g: &CompanyGraph, x: NodeId, limits: PathLimits) -> HashMap<NodeId, f64> {
     let mut acc: HashMap<NodeId, f64> = HashMap::new();
     let mut on_path = vec![false; g.node_count()];
     on_path[x.index()] = true;
     let mut paths_seen = 0usize;
-    dfs(g, x, 1.0, 1, &mut on_path, &mut acc, &mut paths_seen, &limits);
+    dfs(
+        g,
+        x,
+        1.0,
+        1,
+        &mut on_path,
+        &mut acc,
+        &mut paths_seen,
+        &limits,
+    );
     acc
 }
 
@@ -97,16 +105,21 @@ fn dfs(
 /// node `z`, via one reverse DFS over simple paths (the mirror image of
 /// [`accumulated_from`]). Used by pairwise close-link decisions, which
 /// need the common-owner set of a company.
-pub fn accumulated_into(
-    g: &CompanyGraph,
-    y: NodeId,
-    limits: PathLimits,
-) -> HashMap<NodeId, f64> {
+pub fn accumulated_into(g: &CompanyGraph, y: NodeId, limits: PathLimits) -> HashMap<NodeId, f64> {
     let mut acc: HashMap<NodeId, f64> = HashMap::new();
     let mut on_path = vec![false; g.node_count()];
     on_path[y.index()] = true;
     let mut paths_seen = 0usize;
-    rdfs(g, y, 1.0, 1, &mut on_path, &mut acc, &mut paths_seen, &limits);
+    rdfs(
+        g,
+        y,
+        1.0,
+        1,
+        &mut on_path,
+        &mut acc,
+        &mut paths_seen,
+        &limits,
+    );
     acc
 }
 

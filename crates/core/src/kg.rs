@@ -11,8 +11,8 @@
 use datalog::{explain::Derivation, Database, Engine, EngineOptions, FunctionRegistry, Program};
 use pgraph::NodeId;
 
-use crate::augment::{augment, AugmentOptions, AugmentStats, CandidatePredicate};
 use self::error_free::sym_pair;
+use crate::augment::{augment, AugmentOptions, AugmentStats, CandidatePredicate};
 use crate::mapping::{load_facts, materialize_links};
 use crate::model::CompanyGraph;
 use crate::programs::{CLOSELINK_PROGRAM, CONTROL_PROGRAM};
@@ -24,10 +24,7 @@ pub(crate) mod error_free {
 
     /// Symbols of a node pair.
     pub fn sym_pair(db: &mut Database, a: NodeId, b: NodeId) -> (Const, Const) {
-        (
-            crate::mapping::sym_of(db, a),
-            crate::mapping::sym_of(db, b),
-        )
+        (crate::mapping::sym_of(db, a), crate::mapping::sym_of(db, b))
     }
 }
 
@@ -143,12 +140,7 @@ impl KnowledgeGraph {
     /// Explains why `x` and `y` are closely linked (requires provenance +
     /// a prior [`KnowledgeGraph::derive_close_links`] run). Both
     /// directions are tried — the close-link relation is symmetric.
-    pub fn explain_close_link(
-        &mut self,
-        x: NodeId,
-        y: NodeId,
-        depth: usize,
-    ) -> Option<Derivation> {
+    pub fn explain_close_link(&mut self, x: NodeId, y: NodeId, depth: usize) -> Option<Derivation> {
         let db = self.closelink_db.as_mut()?;
         let (xs, ys) = sym_pair(db, x, y);
         datalog::explain::explain(db, "close_link", &[xs, ys], depth)

@@ -93,7 +93,11 @@ impl CompanyGraph {
 
     /// Shareholders of a company: `(owner, weight)` pairs.
     pub fn shareholders(&self, c: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.g.in_edges(c).iter().filter(|&&e| self.g.edge_label(e) == self.shareholding).map(|&e| {
+        self.g
+            .in_edges(c)
+            .iter()
+            .filter(|&&e| self.g.edge_label(e) == self.shareholding)
+            .map(|&e| {
                 let (src, _) = self.g.endpoints(e);
                 (src, self.share(e))
             })
@@ -101,7 +105,11 @@ impl CompanyGraph {
 
     /// Holdings of a node: `(company, weight)` pairs it owns shares of.
     pub fn holdings(&self, x: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.g.out_edges(x).iter().filter(|&&e| self.g.edge_label(e) == self.shareholding).map(|&e| {
+        self.g
+            .out_edges(x)
+            .iter()
+            .filter(|&&e| self.g.edge_label(e) == self.shareholding)
+            .map(|&e| {
                 let (_, dst) = self.g.endpoints(e);
                 (dst, self.share(e))
             })

@@ -14,10 +14,7 @@ use crate::augment::{AugmentStats, CandidatePredicate};
 use crate::model::CompanyGraph;
 
 /// Exhaustively compares all pairs; adds predicted links in place.
-pub fn naive_augment(
-    g: &mut CompanyGraph,
-    candidates: &[&dyn CandidatePredicate],
-) -> AugmentStats {
+pub fn naive_augment(g: &mut CompanyGraph, candidates: &[&dyn CandidatePredicate]) -> AugmentStats {
     let start = Instant::now();
     let mut stats = AugmentStats {
         rounds: 1,

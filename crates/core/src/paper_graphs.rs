@@ -99,15 +99,15 @@ pub fn figure2() -> NamedGraph {
         ("P1", "C1", 0.6),
         ("P1", "C2", 0.3),
         ("C2", "C3", 0.5),
-        ("P1", "C4", 0.8),  // Example 2.4: P1 controls C4 directly
-        ("P3", "C4", 0.2),  // paper: P3 owns 40% of C4 — scaled to fit Σ≤1
-        ("P2", "C5", 0.7),  // P2 controls C5
-        ("C5", "C6", 0.3),  // jointly with the direct 0.3 below: C6
+        ("P1", "C4", 0.8), // Example 2.4: P1 controls C4 directly
+        ("P3", "C4", 0.2), // paper: P3 owns 40% of C4 — scaled to fit Σ≤1
+        ("P2", "C5", 0.7), // P2 controls C5
+        ("C5", "C6", 0.3), // jointly with the direct 0.3 below: C6
         ("P2", "C6", 0.3),
-        ("P3", "C6", 0.4),  // paper: P3 owns 50% of C6 — scaled to fit Σ≤1
-        ("C6", "C7", 0.4),  // Φ(C4,C7) path lives through C6 in our layout
+        ("P3", "C6", 0.4), // paper: P3 owns 50% of C6 — scaled to fit Σ≤1
+        ("C6", "C7", 0.4), // Φ(C4,C7) path lives through C6 in our layout
         ("C5", "C7", 0.2),
-        ("C4", "C7", 0.2),  // Example 2.7: Φ(C4, C7) = 0.2 (direct here)
+        ("C4", "C7", 0.2), // Example 2.7: Φ(C4, C7) = 0.2 (direct here)
     ];
     for (x, y, w) in edges {
         let (a, c) = (names[*x], names[*y]);
@@ -139,7 +139,11 @@ mod tests {
         assert_eq!(f.graph.companies().count(), 7);
         for c in f.graph.companies().collect::<Vec<_>>() {
             let total: f64 = f.graph.shareholders(c).map(|(_, w)| w).sum();
-            assert!(total <= 1.0 + 1e-9, "{} oversubscribed: {total}", f.name_of(c));
+            assert!(
+                total <= 1.0 + 1e-9,
+                "{} oversubscribed: {total}",
+                f.name_of(c)
+            );
         }
     }
 

@@ -170,8 +170,10 @@ pub fn run_family_close_links(
     families: &[(String, Vec<NodeId>)],
     t: f64,
 ) -> Vec<(NodeId, NodeId)> {
-    let src = format!("{CLOSELINK_PROGRAM}
-{FAMILY_CLOSELINK_PROGRAM}");
+    let src = format!(
+        "{CLOSELINK_PROGRAM}
+{FAMILY_CLOSELINK_PROGRAM}"
+    );
     let program = Program::parse(&src).expect("valid program");
     let engine = Engine::new(&program).expect("compiles");
     let mut db = Database::new();
@@ -267,24 +269,109 @@ mod tests {
     use crate::paper_graphs::{figure1, figure2};
     use pgraph::algo::PathLimits;
 
+    const BUNDLED: [(&str, &str); 6] = [
+        ("control", CONTROL_PROGRAM),
+        ("closelink", CLOSELINK_PROGRAM),
+        ("family_control", FAMILY_CONTROL_PROGRAM),
+        ("family_closelink", FAMILY_CLOSELINK_PROGRAM),
+        ("partner", PARTNER_PROGRAM),
+        ("generic", GENERIC_PIPELINE_PROGRAM),
+    ];
+
     #[test]
-    fn bundled_programs_are_warded() {
-        // The paper's PTIME guarantee (Section 4.4) applies to programs in
-        // the warded fragment; every bundled program must stay inside it.
-        for (name, src) in [
-            ("control", CONTROL_PROGRAM),
-            ("closelink", CLOSELINK_PROGRAM),
-            ("family_control", FAMILY_CONTROL_PROGRAM),
-            ("family_closelink", FAMILY_CLOSELINK_PROGRAM),
-            ("partner", PARTNER_PROGRAM),
-            ("generic", GENERIC_PIPELINE_PROGRAM),
-        ] {
+    fn bundled_programs_are_clean() {
+        // Every bundled program must survive the strict analyzer profile
+        // (the one `vadalink check` uses) with zero error-level
+        // diagnostics, and stay in the warded fragment — the paper's PTIME
+        // guarantee (Section 4.4) applies only inside it, so a V012
+        // warning is as much a regression here as an error.
+        for (name, src) in BUNDLED {
             let program = datalog::Program::parse(src).unwrap();
-            let report = datalog::check_warded(&program);
+            let analysis = datalog::analyze_with(&program, &datalog::AnalysisConfig::strict());
             assert!(
-                report.is_warded(),
-                "{name} program left the warded fragment: {:?}",
-                report.violations
+                analysis.is_clean(),
+                "{name} program has analyzer errors:\n{}",
+                analysis.render(src)
+            );
+            assert!(
+                !analysis
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code == datalog::DiagCode::V012),
+                "{name} program left the warded fragment:\n{}",
+                analysis.render(src)
+            );
+            let report = datalog::check_warded(&program);
+            assert!(report.is_warded(), "{name}: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn broken_program_variants_are_rejected() {
+        use datalog::DiagCode;
+
+        // One deliberately broken variant per bundled program, each
+        // tripping a different analyzer code. The engine must also refuse
+        // to compile them under the strict profile.
+        let broken: [(&str, &str, DiagCode); 6] = [
+            (
+                "control: head var never bound (misspelled join var)",
+                "@output(\"control\").\n\
+                 control(X, Y) :- company(X).",
+                DiagCode::V002,
+            ),
+            (
+                "closelink: acc_own used with two different arities",
+                "@output(\"close_link\").\n\
+                 acc_own(X, Y, V) :- own(X, Y, W), X != Y, V = msum(W, <X, Y>).\n\
+                 close_link(X, Y) :- acc_own(X, Y), th(T).",
+                DiagCode::V006,
+            ),
+            (
+                "family_control: negation through its own recursion",
+                "@output(\"fcontrol\").\n\
+                 fcontrol(F, Y) :- member(F, X), control(X, Y).\n\
+                 fcontrol(F, Y) :- fcontrol(F, X), own(X, Y, W), not fcontrol(F, Y).",
+                DiagCode::V005,
+            ),
+            (
+                "family_closelink: unbound variable under negation",
+                "@output(\"f_close_link\").\n\
+                 f_close_link(X, Y) :- company(X), company(Y), not acc_own(X, Y, V).",
+                DiagCode::V001,
+            ),
+            (
+                "partner: aggregate not the last body literal",
+                "@output(\"person_link\").\n\
+                 person_link(X, V) :- person_attr(X, N, S, B, BC, SX, A),\n\
+                 V = msum(B, <X>), person_attr(X, N, S, B, BC, SX, A).",
+                DiagCode::V014,
+            ),
+            (
+                "generic: @post column beyond the predicate arity",
+                "@output(\"g_control\").\n\
+                 @post(\"g_control\", \"max(7)\").\n\
+                 g_control(X, Y) :- g_ctl(X, Y).",
+                DiagCode::V008,
+            ),
+        ];
+        for (name, src, code) in broken {
+            let program = datalog::Program::parse(src).unwrap();
+            let analysis = datalog::analyze_with(&program, &datalog::AnalysisConfig::strict());
+            assert!(
+                analysis.errors().any(|d| d.code == code),
+                "{name}: expected {code}, got:\n{}",
+                analysis.render(src)
+            );
+            let opts = datalog::EngineOptions {
+                analysis: datalog::AnalysisConfig::strict(),
+                ..Default::default()
+            };
+            let err = Engine::with(&program, datalog::FunctionRegistry::default(), opts)
+                .expect_err("broken variant must not compile");
+            assert!(
+                matches!(err, datalog::DatalogError::Analysis(_)),
+                "{name}: expected an Analysis error, got {err:?}"
             );
         }
     }
@@ -335,18 +422,11 @@ mod tests {
     fn family_close_link_program_matches_native() {
         let f = figure1();
         let members = vec![f.node("P1"), f.node("P2")];
-        let datalog = run_family_close_links(
-            &f.graph,
-            &[("fam".to_owned(), members.clone())],
-            0.2,
-        );
+        let datalog = run_family_close_links(&f.graph, &[("fam".to_owned(), members.clone())], 0.2);
         let native =
             crate::closelink::family_close_links(&f.graph, &members, 0.2, PathLimits::default());
         assert_eq!(datalog, native);
-        let dg = (
-            f.node("D").min(f.node("G")),
-            f.node("D").max(f.node("G")),
-        );
+        let dg = (f.node("D").min(f.node("G")), f.node("D").max(f.node("G")));
         assert!(datalog.contains(&dg), "the Introduction's D-G example");
     }
 
@@ -364,6 +444,9 @@ mod tests {
         // Datalog's rule 1 also includes companies controlled by single
         // members; the native group fixpoint contains those too.
         assert_eq!(datalog_companies, native);
-        assert!(datalog_companies.contains(&f.node("L")), "family controls L");
+        assert!(
+            datalog_companies.contains(&f.node("L")),
+            "family controls L"
+        );
     }
 }

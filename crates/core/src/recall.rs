@@ -309,7 +309,15 @@ mod hijack_tests {
             let h = HijackedCandidate::new(&cand, 450);
             recall_protocol(&g, &h, &ground, 450, 0.2, &opts, 7)
         };
-        assert!(low.recall > 0.9, "low cluster count keeps recall: {}", low.recall);
-        assert!(high.recall < 0.5, "hijacked keys collapse recall: {}", high.recall);
+        assert!(
+            low.recall > 0.9,
+            "low cluster count keeps recall: {}",
+            low.recall
+        );
+        assert!(
+            high.recall < 0.5,
+            "hijacked keys collapse recall: {}",
+            high.recall
+        );
     }
 }

@@ -1,0 +1,210 @@
+//! The unified diagnostic model of the static analyzer.
+//!
+//! Every pass reports findings as [`Diagnostic`] values with a stable
+//! [`DiagCode`] (`V001`, `V002`, ...), a [`Severity`], the index of the
+//! offending rule and — when the program was produced by the parser — a
+//! byte-offset [`Span`] that renders to `line:column`. Codes are part of
+//! the public interface: tooling (CI gates, editor integrations, the
+//! `vadalink check` subcommand) matches on them, so a code's meaning never
+//! changes once released; retired codes are not reused.
+
+use std::fmt;
+
+use crate::ast::Span;
+
+/// Stable diagnostic codes.
+///
+/// | code | severity | meaning |
+/// |------|----------|---------|
+/// | V001 | error    | variable in a negated atom not bound by a positive literal |
+/// | V002 | warning¹ | head variable not bound by the body (implicit existential) |
+/// | V003 | error    | variable in a comparison/condition not bound |
+/// | V004 | error    | variable in a binding, aggregate or Skolem argument not bound |
+/// | V005 | error    | program is not stratifiable (recursive negation) |
+/// | V006 | error    | predicate used with inconsistent arities |
+/// | V007 | warning  | directive references a predicate the program never mentions |
+/// | V008 | error    | `@post` column index out of range for the predicate arity |
+/// | V009 | warning  | rule or derived predicate unreachable from any `@output` |
+/// | V010 | warning  | named variable occurs exactly once (use `_`) |
+/// | V011 | warning  | `V = expr` binding whose target is never used |
+/// | V012 | warning  | rule leaves the warded fragment (PTIME guarantee lost) |
+/// | V013 | error    | fact (empty-body rule) contains variables |
+/// | V014 | error    | aggregate misuse (placement, head shape, rebinding) |
+/// | V015 | error    | Skolem term in a body atom |
+/// | V016 | info     | monotonic aggregate participates in recursion (allowed) |
+///
+/// ¹ V002 escalates to an error under [`super::AnalysisConfig::strict`]
+/// — the mode `vadalink check` runs in — because implicit existentials
+/// in hand-written programs are almost always typos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum DiagCode {
+    V001,
+    V002,
+    V003,
+    V004,
+    V005,
+    V006,
+    V007,
+    V008,
+    V009,
+    V010,
+    V011,
+    V012,
+    V013,
+    V014,
+    V015,
+    V016,
+}
+
+impl DiagCode {
+    /// The stable textual form, e.g. `"V001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::V001 => "V001",
+            DiagCode::V002 => "V002",
+            DiagCode::V003 => "V003",
+            DiagCode::V004 => "V004",
+            DiagCode::V005 => "V005",
+            DiagCode::V006 => "V006",
+            DiagCode::V007 => "V007",
+            DiagCode::V008 => "V008",
+            DiagCode::V009 => "V009",
+            DiagCode::V010 => "V010",
+            DiagCode::V011 => "V011",
+            DiagCode::V012 => "V012",
+            DiagCode::V013 => "V013",
+            DiagCode::V014 => "V014",
+            DiagCode::V015 => "V015",
+            DiagCode::V016 => "V016",
+        }
+    }
+
+    /// One-line description of what the code means.
+    pub fn description(self) -> &'static str {
+        match self {
+            DiagCode::V001 => "unbound variable in negated atom",
+            DiagCode::V002 => "head variable not bound by the body (implicit existential)",
+            DiagCode::V003 => "unbound variable in condition",
+            DiagCode::V004 => "unbound variable in binding, aggregate or Skolem argument",
+            DiagCode::V005 => "program is not stratifiable",
+            DiagCode::V006 => "inconsistent predicate arity",
+            DiagCode::V007 => "directive references an unknown predicate",
+            DiagCode::V008 => "@post column out of range",
+            DiagCode::V009 => "unreachable from declared outputs",
+            DiagCode::V010 => "singleton variable",
+            DiagCode::V011 => "unused binding",
+            DiagCode::V012 => "outside the warded fragment",
+            DiagCode::V013 => "non-ground fact",
+            DiagCode::V014 => "aggregate misuse",
+            DiagCode::V015 => "Skolem term in body atom",
+            DiagCode::V016 => "recursive monotonic aggregation",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program is ill-formed; the engine rejects it (unless analysis
+    /// enforcement is disabled).
+    Error,
+    /// The program is accepted but likely wrong or outside a guarantee.
+    Warning,
+    /// Informational note (e.g. recursion through a monotone aggregate).
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`V001`...).
+    pub code: DiagCode,
+    /// Severity of this occurrence (a code's severity can depend on the
+    /// [`super::AnalysisConfig`], e.g. V002 under strict mode).
+    pub severity: Severity,
+    /// Index of the offending rule in [`crate::Program::rules`], when the
+    /// finding is attributable to a single rule.
+    pub rule: Option<usize>,
+    /// Source span of the offending rule or directive, when known.
+    pub span: Option<Span>,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic with `line:col` resolved against `src`.
+    ///
+    /// Produces the conventional compiler shape
+    /// `line:col: severity[CODE]: message`, or without the location prefix
+    /// when the diagnostic carries no span.
+    pub fn render(&self, src: &str) -> String {
+        match self.span {
+            Some(span) => {
+                let (line, col) = span.line_col(src);
+                format!("{line}:{col}: {self}")
+            }
+            None => self.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(r) = self.rule {
+            write!(f, " (rule {r})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_are_stable() {
+        assert_eq!(DiagCode::V001.as_str(), "V001");
+        assert_eq!(DiagCode::V016.as_str(), "V016");
+        assert!(DiagCode::V001 < DiagCode::V002);
+    }
+
+    #[test]
+    fn render_resolves_line_and_column() {
+        let src = "a(x).\n  b(Y) :- c(Y).\n";
+        let d = Diagnostic {
+            code: DiagCode::V010,
+            severity: Severity::Warning,
+            rule: Some(1),
+            span: Some(Span::new(8, 21)),
+            message: "demo".into(),
+        };
+        let rendered = d.render(src);
+        assert!(rendered.starts_with("2:3: "), "{rendered}");
+        assert!(rendered.contains("warning[V010]"), "{rendered}");
+        assert!(rendered.contains("(rule 1)"), "{rendered}");
+    }
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+    }
+}

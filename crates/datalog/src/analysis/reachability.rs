@@ -1,0 +1,130 @@
+//! Reachability pass: dead rules relative to the declared outputs (V009).
+//!
+//! When a program declares `@output` predicates, every rule should
+//! contribute — directly or through other rules — to at least one of
+//! them. A rule whose head feeds no output is dead weight: the engine
+//! still evaluates it (semi-naive evaluation is bottom-up), so dead rules
+//! cost real time and memory while changing nothing observable. The pass
+//! walks the rule graph *backwards* from the outputs and flags every rule
+//! left unvisited.
+//!
+//! Programs without `@output` directives are exempt: with no declared
+//! interface, every relation is presumed interesting.
+
+use crate::ast::Literal;
+
+use super::diagnostics::{DiagCode, Diagnostic, Severity};
+use super::{AnalysisConfig, ProgramIndex};
+
+/// Runs the pass.
+pub fn run(ix: &ProgramIndex<'_>, _cfg: &AnalysisConfig, out: &mut Vec<Diagnostic>) {
+    let outputs: Vec<u32> = ix.program.outputs().filter_map(|p| ix.id(p)).collect();
+    if ix.program.outputs().next().is_none() {
+        return;
+    }
+
+    // needed[p] = facts of p can influence an output. Seed with the
+    // outputs, then pull in the body predicates of every rule deriving a
+    // needed predicate (negated atoms too: removing them changes results).
+    let mut needed = vec![false; ix.len()];
+    for &o in &outputs {
+        needed[o as usize] = true;
+    }
+    loop {
+        let mut changed = false;
+        for rule in &ix.program.rules {
+            let derives_needed = rule
+                .head
+                .iter()
+                .any(|h| ix.id(&h.pred).is_some_and(|id| needed[id as usize]));
+            if !derives_needed {
+                continue;
+            }
+            for lit in &rule.body {
+                if let Literal::Atom(a) | Literal::Negated(a) = lit {
+                    if let Some(id) = ix.id(&a.pred) {
+                        if !needed[id as usize] {
+                            needed[id as usize] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (ri, rule) in ix.program.rules.iter().enumerate() {
+        let live = rule
+            .head
+            .iter()
+            .any(|h| ix.id(&h.pred).is_some_and(|id| needed[id as usize]));
+        if !live {
+            let heads: Vec<&str> = rule.head.iter().map(|h| h.pred.as_str()).collect();
+            out.push(Diagnostic {
+                code: DiagCode::V009,
+                severity: Severity::Warning,
+                rule: Some(ri),
+                span: Some(rule.span),
+                message: format!(
+                    "rule derives {}, which no @output depends on (dead rule)",
+                    heads.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{analyze_with, AnalysisConfig};
+    use super::*;
+    use crate::ast::Program;
+
+    fn v009_rules(src: &str) -> Vec<Option<usize>> {
+        analyze_with(&Program::parse(src).unwrap(), &AnalysisConfig::default())
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == DiagCode::V009)
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn no_outputs_means_no_dead_rules() {
+        assert!(v009_rules("a(X) :- e(X). b(X) :- f(X).").is_empty());
+    }
+
+    #[test]
+    fn rule_feeding_no_output_is_flagged() {
+        let dead = v009_rules(
+            "@output(\"t\").\n\
+             t(X) :- e(X).\n\
+             orphan(X) :- e(X).",
+        );
+        assert_eq!(dead, vec![Some(1)]);
+    }
+
+    #[test]
+    fn transitive_contributions_are_live() {
+        let dead = v009_rules(
+            "@output(\"t\").\n\
+             t(X) :- mid(X).\n\
+             mid(X) :- e(X).\n\
+             t(X) :- u(X), not mid2(X).\n\
+             mid2(X) :- f(X).",
+        );
+        assert!(dead.is_empty(), "{dead:?}");
+    }
+
+    #[test]
+    fn conjunctive_head_is_live_if_any_head_is_needed() {
+        let dead = v009_rules(
+            "@output(\"n\").\n\
+             n(X), extra(X) :- e(X).",
+        );
+        assert!(dead.is_empty(), "{dead:?}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Schema pass: arity consistency and directive sanity (V006–V008).
+//!
+//! Datalog programs have no declared schema, so the analyzer infers one:
+//! the first occurrence of each predicate fixes its arity, and every later
+//! occurrence must agree (V006). Directives are checked against the same
+//! inferred schema: a directive naming a predicate no rule ever mentions
+//! is almost certainly a typo (V007), and an `@post("p", "max(i)")` whose
+//! column index falls outside `p`'s arity would silently post-process
+//! nothing (V008).
+
+use crate::ast::{Directive, Literal, PostOp};
+
+use super::diagnostics::{DiagCode, Diagnostic, Severity};
+use super::{AnalysisConfig, ProgramIndex};
+
+/// Runs the pass.
+pub fn run(ix: &ProgramIndex<'_>, _cfg: &AnalysisConfig, out: &mut Vec<Diagnostic>) {
+    // First occurrence fixes the arity: (arity, rule index of that use).
+    let mut arity: Vec<Option<(usize, usize)>> = vec![None; ix.len()];
+    let mut check = |pred: &str, n: usize, ri: usize, out: &mut Vec<Diagnostic>| {
+        let id = match ix.id(pred) {
+            Some(id) => id as usize,
+            None => return,
+        };
+        match arity[id] {
+            None => arity[id] = Some((n, ri)),
+            Some((m, first)) if m != n => {
+                let rule = &ix.program.rules[ri];
+                out.push(Diagnostic {
+                    code: DiagCode::V006,
+                    severity: Severity::Error,
+                    rule: Some(ri),
+                    span: Some(rule.span),
+                    message: format!(
+                        "predicate {pred} used with arity {n} but rule {first} uses arity {m}"
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    };
+    for (ri, rule) in ix.program.rules.iter().enumerate() {
+        for h in &rule.head {
+            check(&h.pred, h.terms.len(), ri, out);
+        }
+        for lit in &rule.body {
+            if let Literal::Atom(a) | Literal::Negated(a) = lit {
+                check(&a.pred, a.terms.len(), ri, out);
+            }
+        }
+    }
+
+    for (di, d) in ix.program.directives.iter().enumerate() {
+        let span = ix.program.directive_spans.get(di).copied();
+        let (pred, post_col) = match d {
+            Directive::Input(p) | Directive::Output(p) => (p.as_str(), None),
+            Directive::Post(p, PostOp::MaxBy(i)) | Directive::Post(p, PostOp::MinBy(i)) => {
+                (p.as_str(), Some(*i))
+            }
+        };
+        let id = match ix.id(pred) {
+            Some(id) => id,
+            None => continue,
+        };
+        if ix.directive_only(id) {
+            out.push(Diagnostic {
+                code: DiagCode::V007,
+                severity: Severity::Warning,
+                rule: None,
+                span,
+                message: format!("directive references predicate {pred}, which no rule mentions"),
+            });
+            continue;
+        }
+        if let (Some(col), Some((n, _))) = (post_col, arity[id as usize]) {
+            if col >= n {
+                out.push(Diagnostic {
+                    code: DiagCode::V008,
+                    severity: Severity::Error,
+                    rule: None,
+                    span,
+                    message: format!(
+                        "@post column {col} is out of range for {pred}, which has arity {n}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{analyze_with, AnalysisConfig};
+    use super::*;
+    use crate::ast::Program;
+
+    fn codes(src: &str) -> Vec<DiagCode> {
+        analyze_with(&Program::parse(src).unwrap(), &AnalysisConfig::default())
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn arity_mismatch_within_rule_set() {
+        let c = codes("p(X, Y) :- e(X, Y). q(X) :- p(X).");
+        assert!(c.contains(&DiagCode::V006), "{c:?}");
+    }
+
+    #[test]
+    fn arity_mismatch_names_the_first_use() {
+        let a = analyze_with(
+            &Program::parse("p(X, Y) :- e(X, Y). q(X) :- p(X).").unwrap(),
+            &AnalysisConfig::default(),
+        );
+        let d = a.errors().find(|d| d.code == DiagCode::V006).unwrap();
+        assert_eq!(d.rule, Some(1));
+        assert!(d.message.contains("rule 0"), "{}", d.message);
+    }
+
+    #[test]
+    fn unknown_directive_target_is_a_warning() {
+        let a = analyze_with(
+            &Program::parse("@output(\"tee\").\nt(X) :- e(X).").unwrap(),
+            &AnalysisConfig::default(),
+        );
+        assert!(a.is_clean());
+        assert!(a.warnings().any(|d| d.code == DiagCode::V007));
+    }
+
+    #[test]
+    fn post_column_out_of_range() {
+        let c = codes("@post(\"p\", \"max(2)\").\np(X, Y) :- e(X, Y).");
+        assert!(c.contains(&DiagCode::V008), "{c:?}");
+        let ok = codes("@post(\"p\", \"max(1)\").\np(X, Y) :- e(X, Y).");
+        assert!(!ok.contains(&DiagCode::V008), "{ok:?}");
+    }
+}

@@ -7,8 +7,56 @@
 //! atoms, boolean conditions, `V = expr` bindings and monotonic-aggregate
 //! conditions or bindings (`msum(W, <Z>) > 0.5`, `V = msum(W1*W2, <E,Z>)`).
 
-use crate::parser;
 use crate::error::Result;
+use crate::parser;
+
+/// A byte-offset range into the program source text.
+///
+/// Spans are attached to rules and directives by the parser and carried
+/// into [`crate::analysis`] diagnostics so tooling can report precise
+/// `line:column` locations. Spans are *ignored* by `PartialEq` on the
+/// nodes that carry them: two programs that print identically compare
+/// equal even when parsed from differently formatted sources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Builds a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span {
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// 1-based `(line, column)` of the span start within `src`.
+    ///
+    /// Column counts characters, not bytes, so multi-byte identifiers in
+    /// comments do not shift reported positions. Offsets past the end of
+    /// `src` clamp to the last position.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let at = (self.start as usize).min(src.len());
+        let mut line = 1;
+        let mut col = 1;
+        for (i, c) in src.char_indices() {
+            if i >= at {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
 
 /// Literal constant as written in the source (pre-interning).
 #[derive(Debug, Clone, PartialEq)]
@@ -172,7 +220,7 @@ pub enum Literal {
 }
 
 /// A rule with a (possibly conjunctive) head.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Rule {
     /// Head atoms (all derived for each body match).
     pub head: Vec<Atom>,
@@ -180,6 +228,16 @@ pub struct Rule {
     pub body: Vec<Literal>,
     /// Variable names, indexed by [`VarId`].
     pub vars: Vec<String>,
+    /// Source location of the whole rule (zero for synthetic rules).
+    pub span: Span,
+}
+
+impl PartialEq for Rule {
+    /// Structural equality; the source [`Span`] is intentionally ignored
+    /// so print→parse roundtrips compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.body == other.body && self.vars == other.vars
+    }
 }
 
 /// Post-processing operation for `@post`.
@@ -204,12 +262,23 @@ pub enum Directive {
 }
 
 /// A parsed program.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Program {
     /// Rules in source order.
     pub rules: Vec<Rule>,
     /// Directives in source order.
     pub directives: Vec<Directive>,
+    /// Source location of each directive, parallel to `directives`
+    /// (empty for synthetic programs).
+    pub directive_spans: Vec<Span>,
+}
+
+impl PartialEq for Program {
+    /// Structural equality; directive spans are intentionally ignored so
+    /// print→parse roundtrips compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.rules == other.rules && self.directives == other.directives
+    }
 }
 
 impl Program {
@@ -275,12 +344,12 @@ mod tests {
     #[test]
     fn outputs_iterator() {
         let p = Program {
-            rules: vec![],
             directives: vec![
                 Directive::Input("a".into()),
                 Directive::Output("b".into()),
                 Directive::Output("c".into()),
             ],
+            ..Default::default()
         };
         let outs: Vec<&str> = p.outputs().collect();
         assert_eq!(outs, vec!["b", "c"]);
@@ -457,12 +526,8 @@ impl fmt::Display for Program {
             match d {
                 Directive::Input(p) => writeln!(f, "@input({p:?}).")?,
                 Directive::Output(p) => writeln!(f, "@output({p:?}).")?,
-                Directive::Post(p, PostOp::MaxBy(i)) => {
-                    writeln!(f, "@post({p:?}, \"max({i})\").")?
-                }
-                Directive::Post(p, PostOp::MinBy(i)) => {
-                    writeln!(f, "@post({p:?}, \"min({i})\").")?
-                }
+                Directive::Post(p, PostOp::MaxBy(i)) => writeln!(f, "@post({p:?}, \"max({i})\").")?,
+                Directive::Post(p, PostOp::MinBy(i)) => writeln!(f, "@post({p:?}, \"min({i})\").")?,
             }
         }
         for r in &self.rules {

@@ -37,8 +37,7 @@ impl FnCtx<'_> {
 }
 
 /// An external function: takes evaluated arguments, returns a constant.
-pub type ExternalFn =
-    Box<dyn Fn(&mut FnCtx<'_>, &[Const]) -> Result<Const, String> + Send + Sync>;
+pub type ExternalFn = Box<dyn Fn(&mut FnCtx<'_>, &[Const]) -> Result<Const, String> + Send + Sync>;
 
 /// Registry of external functions callable as `#name(...)` in rule bodies.
 pub struct FunctionRegistry {
@@ -55,14 +54,18 @@ impl std::fmt::Debug for FunctionRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut names: Vec<&str> = self.fns.keys().map(|s| s.as_str()).collect();
         names.sort_unstable();
-        f.debug_struct("FunctionRegistry").field("fns", &names).finish()
+        f.debug_struct("FunctionRegistry")
+            .field("fns", &names)
+            .finish()
     }
 }
 
 impl FunctionRegistry {
     /// An empty registry (every `#name` becomes a Skolem function).
     pub fn empty() -> Self {
-        FunctionRegistry { fns: HashMap::new() }
+        FunctionRegistry {
+            fns: HashMap::new(),
+        }
     }
 
     /// Registry pre-loaded with the standard library: `abs`, `min2`,

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::analysis::Diagnostic;
+
 /// Any error raised by the datalog crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DatalogError {
@@ -15,6 +17,11 @@ pub enum DatalogError {
     /// A structurally invalid program (e.g. unbound variable in a negated
     /// atom, inconsistent arity, non-stratifiable negation).
     Validation(String),
+    /// The static analyzer rejected the program at [`crate::Engine`]
+    /// construction: at least one error-level [`Diagnostic`] (the vector
+    /// holds only those). Disable with
+    /// [`crate::AnalysisConfig::permissive`].
+    Analysis(Vec<Diagnostic>),
     /// Arity or type mismatch when asserting facts.
     BadFact(String),
     /// A resource budget was exceeded during evaluation (the engine's
@@ -31,6 +38,13 @@ impl fmt::Display for DatalogError {
                 write!(f, "parse error at line {line}: {message}")
             }
             DatalogError::Validation(m) => write!(f, "invalid program: {m}"),
+            DatalogError::Analysis(ds) => {
+                write!(f, "program rejected by static analysis:")?;
+                for d in ds {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             DatalogError::BadFact(m) => write!(f, "bad fact: {m}"),
             DatalogError::BudgetExceeded(m) => write!(f, "budget exceeded: {m}"),
             DatalogError::Function(m) => write!(f, "function error: {m}"),

@@ -78,15 +78,13 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                     Ok(())
                 }
             }
-            RLiteral::Cond(e) => {
-                match eval_expr(e, &self.binding, self.ctx)? {
-                    Const::Bool(true) => self.step(li + 1),
-                    Const::Bool(false) => Ok(()),
-                    other => Err(DatalogError::Function(format!(
-                        "condition evaluated to non-boolean {other}"
-                    ))),
-                }
-            }
+            RLiteral::Cond(e) => match eval_expr(e, &self.binding, self.ctx)? {
+                Const::Bool(true) => self.step(li + 1),
+                Const::Bool(false) => Ok(()),
+                other => Err(DatalogError::Function(format!(
+                    "condition evaluated to non-boolean {other}"
+                ))),
+            },
             RLiteral::Let(v, e) => {
                 let val = eval_expr(e, &self.binding, self.ctx)?;
                 match self.binding[*v as usize] {
@@ -128,8 +126,9 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 if mask & (1 << i) != 0 {
                     let v = match t {
                         RTerm::Const(c) => *c,
-                        RTerm::Var(v) => self.binding[*v as usize]
-                            .expect("masked position must be bound"),
+                        RTerm::Var(v) => {
+                            self.binding[*v as usize].expect("masked position must be bound")
+                        }
                         RTerm::Skolem { .. } => unreachable!("no skolems in body atoms"),
                     };
                     key.push(v);
@@ -289,9 +288,8 @@ impl<'a, 'c> Evaluator<'a, 'c> {
         // Contributor key.
         let mut contrib = Vec::with_capacity(agg.contributors.len());
         for v in &agg.contributors {
-            contrib.push(
-                self.binding[*v as usize].expect("contributor vars are bound (validated)"),
-            );
+            contrib
+                .push(self.binding[*v as usize].expect("contributor vars are bound (validated)"));
         }
         match kind {
             AggKind::Let {
@@ -413,9 +411,7 @@ pub(crate) fn eval_expr(
                     symbols: ctx.symbols,
                     skolems: ctx.skolems,
                 };
-                f(&mut fctx, &vals).map_err(|e| {
-                    DatalogError::Function(format!("#{name}: {e}"))
-                })
+                f(&mut fctx, &vals).map_err(|e| DatalogError::Function(format!("#{name}: {e}")))
             } else {
                 // Unregistered functors are Skolem functions (Algorithm 2
                 // of the paper: `z = #sk_c(name)`).

@@ -18,6 +18,7 @@ mod resolve;
 
 use std::time::{Duration, Instant};
 
+use crate::analysis::{analyze_with, AnalysisConfig};
 use crate::ast::{Directive, PostOp, Program};
 use crate::builtins::FunctionRegistry;
 use crate::db::Database;
@@ -44,6 +45,12 @@ pub struct EngineOptions {
     /// Apply `@post` directives and auto-compaction of aggregate predicates
     /// after the fixpoint.
     pub apply_post: bool,
+    /// Static-analysis configuration applied at engine construction.
+    /// With the default config, programs carrying error-level diagnostics
+    /// are rejected as [`DatalogError::Analysis`];
+    /// [`AnalysisConfig::permissive`] restores the pre-analyzer behavior
+    /// (problems surface at evaluation time, if at all).
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for EngineOptions {
@@ -54,6 +61,7 @@ impl Default for EngineOptions {
             epsilon: 1e-9,
             provenance: false,
             apply_post: true,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -84,7 +92,11 @@ impl Engine {
     /// Compiles a program with the standard function library and default
     /// options.
     pub fn new(program: &Program) -> Result<Self> {
-        Self::with(program, FunctionRegistry::default(), EngineOptions::default())
+        Self::with(
+            program,
+            FunctionRegistry::default(),
+            EngineOptions::default(),
+        )
     }
 
     /// Compiles a program with a custom registry and options.
@@ -93,6 +105,12 @@ impl Engine {
         registry: FunctionRegistry,
         options: EngineOptions,
     ) -> Result<Self> {
+        if options.analysis.enforce {
+            let analysis = analyze_with(program, &options.analysis);
+            if analysis.has_errors() {
+                return Err(DatalogError::Analysis(analysis.into_errors()));
+            }
+        }
         let compiled = resolve::compile(program)?;
         Ok(Engine {
             program: program.clone(),
@@ -122,7 +140,10 @@ impl Engine {
     pub fn register_function(
         &mut self,
         name: &str,
-        f: impl Fn(&mut crate::builtins::FnCtx<'_>, &[crate::value::Const]) -> std::result::Result<crate::value::Const, String>
+        f: impl Fn(
+                &mut crate::builtins::FnCtx<'_>,
+                &[crate::value::Const],
+            ) -> std::result::Result<crate::value::Const, String>
             + Send
             + Sync
             + 'static,
@@ -297,12 +318,9 @@ mod tests {
 
     #[test]
     fn transitive_closure() {
-        let db = run_src(
-            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
-            |db| {
-                db.assert_str_facts("e", &[&["a", "b"], &["b", "c"], &["c", "d"]]);
-            },
-        );
+        let db = run_src("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).", |db| {
+            db.assert_str_facts("e", &[&["a", "b"], &["b", "c"], &["c", "d"]]);
+        });
         assert_eq!(db.fact_count("t"), 6);
         assert!(db.contains_str_fact("t", &["a", "d"]));
         assert!(!db.contains_str_fact("t", &["b", "a"]));
@@ -310,12 +328,9 @@ mod tests {
 
     #[test]
     fn cyclic_transitive_closure_terminates() {
-        let db = run_src(
-            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
-            |db| {
-                db.assert_str_facts("e", &[&["a", "b"], &["b", "a"]]);
-            },
-        );
+        let db = run_src("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).", |db| {
+            db.assert_str_facts("e", &[&["a", "b"], &["b", "a"]]);
+        });
         assert_eq!(db.fact_count("t"), 4); // aa ab ba bb
     }
 
@@ -341,13 +356,10 @@ mod tests {
 
     #[test]
     fn comparisons_and_arithmetic() {
-        let db = run_src(
-            "big(X, V) :- n(X, W), V = W * 2 + 1, V > 5.",
-            |db| {
-                db.fact("n").sym("a").int(1).assert();
-                db.fact("n").sym("b").int(3).assert();
-            },
-        );
+        let db = run_src("big(X, V) :- n(X, W), V = W * 2 + 1, V > 5.", |db| {
+            db.fact("n").sym("a").int(1).assert();
+            db.fact("n").sym("b").int(3).assert();
+        });
         assert_eq!(db.fact_count("big"), 1);
         let rel = db.relation("big").unwrap();
         assert_eq!(rel.row(0)[1], Const::Int(7));
@@ -526,12 +538,9 @@ mod tests {
 
     #[test]
     fn conjunctive_heads() {
-        let db = run_src(
-            "node(X), nodetype(X, company) :- company(X).",
-            |db| {
-                db.assert_str_facts("company", &[&["acme"]]);
-            },
-        );
+        let db = run_src("node(X), nodetype(X, company) :- company(X).", |db| {
+            db.assert_str_facts("company", &[&["acme"]]);
+        });
         assert!(db.contains_str_fact("node", &["acme"]));
         assert!(db.contains_str_fact("nodetype", &["acme", "company"]));
     }
@@ -562,12 +571,9 @@ mod tests {
 
     #[test]
     fn mcount_aggregate() {
-        let db = run_src(
-            "deg(X, C) :- e(X, Y), C = mcount(1, <Y>).",
-            |db| {
-                db.assert_str_facts("e", &[&["a", "b"], &["a", "c"], &["a", "b"], &["b", "c"]]);
-            },
-        );
+        let db = run_src("deg(X, C) :- e(X, Y), C = mcount(1, <Y>).", |db| {
+            db.assert_str_facts("e", &[&["a", "b"], &["a", "c"], &["a", "b"], &["b", "c"]]);
+        });
         let rel = db.relation("deg").unwrap();
         let a = db.sym_of("a");
         for row in rel.rows() {
@@ -658,10 +664,7 @@ mod tests {
 
     #[test]
     fn stratum_of_reports_layers() {
-        let program = Program::parse(
-            "r(X) :- n(X), not t(X). t(X) :- e(X, _).",
-        )
-        .unwrap();
+        let program = Program::parse("r(X) :- n(X), not t(X). t(X) :- e(X, _).").unwrap();
         let engine = Engine::new(&program).unwrap();
         assert_eq!(engine.stratum_of("t"), Some(0));
         assert_eq!(engine.stratum_of("r"), Some(1));
@@ -694,5 +697,47 @@ mod tests {
         fn sym_of(&self, s: &str) -> Const {
             Const::Sym(self.symbols.get(s).expect("symbol exists"))
         }
+    }
+
+    #[test]
+    fn engine_rejects_ill_formed_programs_with_diagnostics() {
+        // Cross-rule arity mismatch: caught at construction (V006), not
+        // at run time.
+        let program = Program::parse("p(X, Y) :- e(X, Y). q(X) :- p(X).").unwrap();
+        match Engine::new(&program) {
+            Err(DatalogError::Analysis(ds)) => {
+                assert!(ds.iter().any(|d| d.code == crate::analysis::DiagCode::V006));
+            }
+            other => panic!("expected Analysis error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permissive_analysis_opts_out_of_gating() {
+        let program = Program::parse("p(X, Y) :- e(X, Y). q(X) :- p(X).").unwrap();
+        let options = EngineOptions {
+            analysis: AnalysisConfig::permissive(),
+            ..EngineOptions::default()
+        };
+        // Pre-analyzer behavior: construction succeeds; the arity clash
+        // would surface (or not) during evaluation instead.
+        Engine::with(&program, FunctionRegistry::default(), options)
+            .expect("permissive engine must accept the program");
+    }
+
+    #[test]
+    fn implicit_existentials_stay_accepted_by_default() {
+        // V002 is a warning under the default config: Skolemizing unbound
+        // head variables is the Datalog± chase, not an error.
+        let program = Program::parse("edge(Z, X) :- own(X, _).").unwrap();
+        Engine::new(&program).expect("existential program is legal");
+        let options = EngineOptions {
+            analysis: AnalysisConfig::strict(),
+            ..EngineOptions::default()
+        };
+        assert!(matches!(
+            Engine::with(&program, FunctionRegistry::default(), options),
+            Err(DatalogError::Analysis(_))
+        ));
     }
 }

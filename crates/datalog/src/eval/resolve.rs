@@ -66,7 +66,9 @@ fn validate_rule(rule: &Rule, ri: usize) -> Result<HashSet<VarId>> {
     let mut agg_seen = false;
     for (li, lit) in rule.body.iter().enumerate() {
         if agg_seen {
-            return Err(verr(label("the aggregate literal must be last in the body")));
+            return Err(verr(label(
+                "the aggregate literal must be last in the body",
+            )));
         }
         match lit {
             Literal::Atom(a) => {
@@ -121,7 +123,9 @@ fn validate_rule(rule: &Rule, ri: usize) -> Result<HashSet<VarId>> {
             Literal::LetAgg(v, agg) => {
                 agg_seen = true;
                 if li + 1 != rule.body.len() {
-                    return Err(verr(label("the aggregate literal must be last in the body")));
+                    return Err(verr(label(
+                        "the aggregate literal must be last in the body",
+                    )));
                 }
                 check_agg(rule, agg, &bound, &label)?;
                 if bound.contains(v) {
@@ -154,7 +158,9 @@ fn validate_rule(rule: &Rule, ri: usize) -> Result<HashSet<VarId>> {
             Literal::AggCond { agg, rhs, .. } => {
                 agg_seen = true;
                 if li + 1 != rule.body.len() {
-                    return Err(verr(label("the aggregate literal must be last in the body")));
+                    return Err(verr(label(
+                        "the aggregate literal must be last in the body",
+                    )));
                 }
                 check_agg(rule, agg, &bound, &label)?;
                 let mut vs = Vec::new();
@@ -211,7 +217,9 @@ fn validate_rule(rule: &Rule, ri: usize) -> Result<HashSet<VarId>> {
                 term_vars(t, &mut vs);
             }
             if !vs.is_empty() {
-                return Err(verr(label("facts (rules with empty bodies) must be ground")));
+                return Err(verr(label(
+                    "facts (rules with empty bodies) must be ground",
+                )));
             }
         }
     }
@@ -537,11 +545,17 @@ pub(crate) enum AggKind {
 #[derive(Debug, Clone)]
 pub(crate) enum RLiteral {
     /// Positive atom with the statically computed bound-position mask.
-    Atom { atom: RAtom, mask: u64 },
+    Atom {
+        atom: RAtom,
+        mask: u64,
+    },
     Negated(RAtom),
     Cond(RExpr),
     Let(u32, RExpr),
-    Agg { agg: RAgg, kind: AggKind },
+    Agg {
+        agg: RAgg,
+        kind: AggKind,
+    },
 }
 
 /// A fully resolved rule.
@@ -767,10 +781,7 @@ mod tests {
 
     #[test]
     fn negation_introduces_stratum() {
-        let c = compile_src(
-            "r(X) :- n(X), not t(X). t(X) :- e(X, _). ",
-        )
-        .unwrap();
+        let c = compile_src("r(X) :- n(X), not t(X). t(X) :- e(X, _). ").unwrap();
         assert_eq!(c.strata.len(), 2);
         assert!(c.pred_stratum["r"] > c.pred_stratum["t"]);
     }
@@ -835,10 +846,9 @@ mod tests {
     fn conjunctive_heads_share_stratum() {
         // node and nodetype are derived together, so they share a stratum;
         // q negates node and so sits strictly above both.
-        let c = compile_src(
-            "node(X), nodetype(X) :- company(X). q(X) :- nodetype(X), not node(X).",
-        )
-        .unwrap();
+        let c =
+            compile_src("node(X), nodetype(X) :- company(X). q(X) :- nodetype(X), not node(X).")
+                .unwrap();
         assert_eq!(c.pred_stratum["node"], c.pred_stratum["nodetype"]);
         assert!(c.pred_stratum["q"] > c.pred_stratum["node"]);
     }

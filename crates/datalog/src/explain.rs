@@ -102,8 +102,7 @@ mod tests {
     use crate::{Engine, EngineOptions, FunctionRegistry, Program};
 
     fn provenance_db() -> Database {
-        let program =
-            Program::parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+        let program = Program::parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
         let opts = EngineOptions {
             provenance: true,
             ..Default::default()

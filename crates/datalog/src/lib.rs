@@ -21,7 +21,11 @@
 //! * `@output` / `@post` directives (post-processing, e.g. keep the maximum
 //!   aggregate value per group);
 //! * optional **provenance** recording and derivation-tree explanations
-//!   (the paper's "explainable and unambiguous" property).
+//!   (the paper's "explainable and unambiguous" property);
+//! * a **static analyzer** ([`analysis`]) with stable diagnostic codes
+//!   covering safety, stratifiability, arity consistency, dead rules,
+//!   style lints and wardedness; [`Engine::new`] rejects programs with
+//!   error-level diagnostics unless configured otherwise.
 //!
 //! ## Quick start
 //!
@@ -45,6 +49,7 @@
 //! assert!(db.contains_str_fact("control", &["a", "c"]));
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod builtins;
 pub mod db;
@@ -55,11 +60,14 @@ pub mod parser;
 pub mod value;
 pub mod warded;
 
+pub use analysis::{
+    analyze, analyze_with, Analysis, AnalysisConfig, DiagCode, Diagnostic, Severity,
+};
 pub use ast::{Program, Rule};
 pub use builtins::FunctionRegistry;
 pub use db::{Database, FactBuilder};
 pub use error::DatalogError;
 pub use eval::{Engine, EngineOptions, RunStats};
 pub use explain::Derivation;
-pub use warded::{check as check_warded, WardedReport};
 pub use value::Const;
+pub use warded::{check as check_warded, WardedReport};

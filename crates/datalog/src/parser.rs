@@ -36,6 +36,10 @@ enum Tok {
 struct SpannedTok {
     tok: Tok,
     line: usize,
+    /// Byte offset of the token's first character.
+    start: usize,
+    /// Byte offset one past the token's last character.
+    end: usize,
 }
 
 fn err(line: usize, message: impl Into<String>) -> DatalogError {
@@ -84,6 +88,8 @@ fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
                 toks.push(SpannedTok {
                     tok: Tok::Str(src[start..j].to_owned()),
                     line,
+                    start: i,
+                    end: j + 1,
                 });
                 i = j + 1;
             }
@@ -98,8 +104,14 @@ fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
                 }
                 let name = src[start..j].to_owned();
                 toks.push(SpannedTok {
-                    tok: if c == '#' { Tok::Hash(name) } else { Tok::At(name) },
+                    tok: if c == '#' {
+                        Tok::Hash(name)
+                    } else {
+                        Tok::At(name)
+                    },
                     line,
+                    start: i,
+                    end: j,
                 });
                 i = j;
             }
@@ -115,7 +127,12 @@ fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
                 } else {
                     Tok::Ident(word.to_owned())
                 };
-                toks.push(SpannedTok { tok, line });
+                toks.push(SpannedTok {
+                    tok,
+                    line,
+                    start,
+                    end: j,
+                });
                 i = j;
             }
             c if c.is_ascii_digit() => {
@@ -157,7 +174,12 @@ fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
                             .map_err(|_| err(line, format!("bad int literal {text:?}")))?,
                     )
                 };
-                toks.push(SpannedTok { tok, line });
+                toks.push(SpannedTok {
+                    tok,
+                    line,
+                    start,
+                    end: j,
+                });
                 i = j;
             }
             _ => {
@@ -190,7 +212,12 @@ fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
                         }
                     },
                 };
-                toks.push(SpannedTok { tok: Tok::Punct(p), line });
+                toks.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line,
+                    start: i,
+                    end: i + p.len(),
+                });
                 i += p.len();
             }
         }
@@ -221,6 +248,18 @@ impl<'a> Parser<'a> {
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
             .map(|t| t.line)
             .unwrap_or(0)
+    }
+
+    /// Span covering the tokens from `start_pos` to the last one consumed.
+    fn span_from(&self, start_pos: usize) -> Span {
+        let start = self.toks.get(start_pos).map(|t| t.start).unwrap_or(0);
+        let end = self
+            .pos
+            .checked_sub(1)
+            .and_then(|p| self.toks.get(p))
+            .map(|t| t.end)
+            .unwrap_or(start);
+        Span::new(start, end.max(start))
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -280,7 +319,12 @@ impl<'a> Parser<'a> {
         loop {
             match self.next() {
                 Some(Tok::Str(s)) => args.push(s),
-                other => return Err(err(self.line(), format!("expected string in @{name}, found {other:?}"))),
+                other => {
+                    return Err(err(
+                        self.line(),
+                        format!("expected string in @{name}, found {other:?}"),
+                    ))
+                }
             }
             if !self.eat_punct(",") {
                 break;
@@ -296,7 +340,10 @@ impl<'a> Parser<'a> {
                     .ok_or_else(|| err(self.line(), format!("bad @post op {:?}", args[1])))?;
                 Ok(Directive::Post(args.remove_first(), op))
             }
-            _ => Err(err(self.line(), format!("unknown directive @{name}/{}", args.len()))),
+            _ => Err(err(
+                self.line(),
+                format!("unknown directive @{name}/{}", args.len()),
+            )),
         }
     }
 
@@ -315,7 +362,10 @@ impl<'a> Parser<'a> {
             Some(Tok::Punct("-")) => match self.next() {
                 Some(Tok::Int(i)) => Ok(Term::Lit(Lit::Int(-i))),
                 Some(Tok::Float(f)) => Ok(Term::Lit(Lit::Float(-f))),
-                other => Err(err(self.line(), format!("expected number after '-', found {other:?}"))),
+                other => Err(err(
+                    self.line(),
+                    format!("expected number after '-', found {other:?}"),
+                )),
             },
             Some(Tok::Hash(functor)) => {
                 self.expect_punct("(")?;
@@ -419,7 +469,10 @@ impl<'a> Parser<'a> {
                     Box::new(e),
                 ))
             }
-            other => Err(err(self.line(), format!("expected expression, found {other:?}"))),
+            other => Err(err(
+                self.line(),
+                format!("expected expression, found {other:?}"),
+            )),
         }
     }
 
@@ -477,7 +530,10 @@ impl<'a> Parser<'a> {
             match self.next() {
                 Some(Tok::Ident(pred)) => return Ok(Literal::Negated(self.parse_atom(pred)?)),
                 other => {
-                    return Err(err(self.line(), format!("expected atom after 'not', found {other:?}")))
+                    return Err(err(
+                        self.line(),
+                        format!("expected atom after 'not', found {other:?}"),
+                    ))
                 }
             }
         }
@@ -488,7 +544,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 let agg = self.parse_aggregate(&id)?;
                 let op = self.try_cmp_op().ok_or_else(|| {
-                    err(self.line(), "aggregate in body must be compared or bound (use V = msum(...))")
+                    err(
+                        self.line(),
+                        "aggregate in body must be compared or bound (use V = msum(...))",
+                    )
                 })?;
                 let rhs = self.parse_expr()?;
                 return Ok(Literal::AggCond { agg, op, rhs });
@@ -529,7 +588,10 @@ impl<'a> Parser<'a> {
     fn parse_head_atom(&mut self) -> Result<Atom> {
         match self.next() {
             Some(Tok::Ident(pred)) => self.parse_atom(pred),
-            other => Err(err(self.line(), format!("expected head atom, found {other:?}"))),
+            other => Err(err(
+                self.line(),
+                format!("expected head atom, found {other:?}"),
+            )),
         }
     }
 
@@ -537,6 +599,7 @@ impl<'a> Parser<'a> {
     fn parse_rule(&mut self) -> Result<Rule> {
         self.vars.clear();
         self.anon_counter = 0;
+        let start_pos = self.pos;
         // Parse a comma-separated literal list, then dispatch on :- / -> / .
         let mut first: Vec<Literal> = Vec::new();
         loop {
@@ -549,7 +612,10 @@ impl<'a> Parser<'a> {
             lits.into_iter()
                 .map(|l| match l {
                     Literal::Atom(a) => Ok(a),
-                    other => Err(err(line, format!("head must consist of atoms, found {other:?}"))),
+                    other => Err(err(
+                        line,
+                        format!("head must consist of atoms, found {other:?}"),
+                    )),
                 })
                 .collect()
         };
@@ -567,6 +633,7 @@ impl<'a> Parser<'a> {
                 head,
                 body,
                 vars: std::mem::take(&mut self.vars),
+                span: self.span_from(start_pos),
             })
         } else if self.eat_punct("->") {
             let body = first;
@@ -582,6 +649,7 @@ impl<'a> Parser<'a> {
                 head,
                 body,
                 vars: std::mem::take(&mut self.vars),
+                span: self.span_from(start_pos),
             })
         } else {
             // Ground fact(s): `p(a, 1). `
@@ -591,6 +659,7 @@ impl<'a> Parser<'a> {
                 head,
                 body: Vec::new(),
                 vars: std::mem::take(&mut self.vars),
+                span: self.span_from(start_pos),
             })
         }
     }
@@ -624,8 +693,10 @@ pub fn parse_program(src: &str) -> Result<Program> {
     while p.peek().is_some() {
         if let Some(Tok::At(name)) = p.peek() {
             let name = name.clone();
+            let start_pos = p.pos;
             p.pos += 1;
             program.directives.push(p.parse_directive(name)?);
+            program.directive_spans.push(p.span_from(start_pos));
         } else {
             program.rules.push(p.parse_rule()?);
         }
@@ -717,8 +788,14 @@ mod tests {
         let p = parse_program(r#"a(X) :- b(X, W), not c(X), W >= 0.2, X != y."#).unwrap();
         let r = &p.rules[0];
         assert!(matches!(r.body[1], Literal::Negated(_)));
-        assert!(matches!(r.body[2], Literal::Cond(Expr::Cmp(CmpOp::Ge, _, _))));
-        assert!(matches!(r.body[3], Literal::Cond(Expr::Cmp(CmpOp::Ne, _, _))));
+        assert!(matches!(
+            r.body[2],
+            Literal::Cond(Expr::Cmp(CmpOp::Ge, _, _))
+        ));
+        assert!(matches!(
+            r.body[3],
+            Literal::Cond(Expr::Cmp(CmpOp::Ne, _, _))
+        ));
     }
 
     #[test]

@@ -182,11 +182,13 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [Const::Null(1),
+        let mut v = [
+            Const::Null(1),
             Const::Sym(0),
             Const::Float(1.5),
             Const::Bool(false),
-            Const::Int(3)];
+            Const::Int(3),
+        ];
         v.sort();
         assert_eq!(v[0], Const::Bool(false));
         assert!(v.last().unwrap().is_null());

@@ -1,4 +1,4 @@
-//! Wardedness analysis for Datalog± programs.
+//! Wardedness analysis for Datalog± programs — public interface.
 //!
 //! The paper's tractability claim rests on **Warded Datalog±** \[Gottlob &
 //! Pieris; Bellomarini et al.\]: reasoning is PTIME in data complexity when
@@ -7,29 +7,18 @@
 //! *ward*), which shares only *harmless* variables with the rest of the
 //! body.
 //!
-//! The analysis follows the standard construction:
-//!
-//! 1. **Affected positions** — the predicate positions that may hold
-//!    labelled nulls: positions receiving an existential variable, closed
-//!    under propagation (a body variable occurring *only* at affected
-//!    positions propagates affectedness to its head positions).
-//! 2. **Harmful variables** of a rule — body variables all of whose body
-//!    occurrences are at affected positions.
-//! 3. **Dangerous variables** — harmful variables that also occur in the
-//!    head.
-//! 4. **Warded** — for each rule, all dangerous variables occur in one
-//!    body atom (the ward), and that atom shares only harmless variables
-//!    with the other body atoms.
-//!
-//! Programs without existentials are trivially warded (plain Datalog).
-//! The check is advisory: the [`crate::Engine`] evaluates any stratifiable
-//! program, relying on its fact budget for termination, but a
-//! [`WardedReport`] tells the user whether the PTIME guarantee applies —
-//! the paper's Section 4.4 makes exactly this distinction.
+//! The algorithm lives in [`crate::analysis::warded`], where it doubles as
+//! the analyzer's V012 pass; this module keeps the original standalone
+//! entry point: [`check`] returns a [`WardedReport`] with the affected
+//! positions by name and the list of violations. Programs without
+//! existentials are trivially warded (plain Datalog). The check is
+//! advisory: the [`crate::Engine`] evaluates any stratifiable program,
+//! relying on its fact budget for termination, but the report tells the
+//! user whether the PTIME guarantee applies — the paper's Section 4.4
+//! makes exactly this distinction.
 
-use std::collections::{HashMap, HashSet};
-
-use crate::ast::{Literal, Program, Term, VarId};
+use crate::analysis::{warded, ProgramIndex};
+use crate::ast::Program;
 
 /// One wardedness violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,188 +45,23 @@ impl WardedReport {
     }
 }
 
-/// Variables of a term (flattening Skolem arguments, whose values are
-/// invented and therefore treated like existentials by the analysis).
-fn term_vars(t: &Term, out: &mut Vec<VarId>) {
-    match t {
-        Term::Var(v) => out.push(*v),
-        Term::Lit(_) => {}
-        Term::Skolem { args, .. } => {
-            for a in args {
-                term_vars(a, out);
-            }
-        }
-    }
-}
-
-/// Computes the affected positions of a program.
-fn affected_positions(program: &Program) -> HashSet<(String, usize)> {
-    let mut affected: HashSet<(String, usize)> = HashSet::new();
-    // Base: positions receiving existential variables or Skolem terms.
-    for rule in &program.rules {
-        let mut body_vars: HashSet<VarId> = HashSet::new();
-        for lit in &rule.body {
-            match lit {
-                Literal::Atom(a) | Literal::Negated(a) => {
-                    for t in &a.terms {
-                        let mut vs = Vec::new();
-                        term_vars(t, &mut vs);
-                        body_vars.extend(vs);
-                    }
-                }
-                Literal::Let(v, _) | Literal::LetAgg(v, _) => {
-                    body_vars.insert(*v);
-                }
-                _ => {}
-            }
-        }
-        for h in &rule.head {
-            for (i, t) in h.terms.iter().enumerate() {
-                let invented = match t {
-                    Term::Var(v) => !body_vars.contains(v),
-                    Term::Skolem { .. } => true,
-                    Term::Lit(_) => false,
-                };
-                if invented {
-                    affected.insert((h.pred.clone(), i));
-                }
-            }
-        }
-    }
-    // Propagation to fixpoint.
-    loop {
-        let mut changed = false;
-        for rule in &program.rules {
-            // Occurrences of each body variable: (pred, pos, affected?).
-            let mut occurrences: HashMap<VarId, Vec<bool>> = HashMap::new();
-            for lit in &rule.body {
-                if let Literal::Atom(a) = lit {
-                    for (i, t) in a.terms.iter().enumerate() {
-                        let mut vs = Vec::new();
-                        term_vars(t, &mut vs);
-                        for v in vs {
-                            occurrences
-                                .entry(v)
-                                .or_default()
-                                .push(affected.contains(&(a.pred.clone(), i)));
-                        }
-                    }
-                }
-            }
-            // A variable that only ever appears at affected body positions
-            // may carry a null: propagate to its head positions.
-            for h in &rule.head {
-                for (i, t) in h.terms.iter().enumerate() {
-                    let mut vs = Vec::new();
-                    term_vars(t, &mut vs);
-                    for v in vs {
-                        if let Some(occ) = occurrences.get(&v) {
-                            if !occ.is_empty() && occ.iter().all(|&x| x) {
-                                changed |= affected.insert((h.pred.clone(), i));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    affected
-}
-
 /// Runs the wardedness analysis on a program.
 pub fn check(program: &Program) -> WardedReport {
-    let affected = affected_positions(program);
-    let mut violations = Vec::new();
-
-    for (ri, rule) in program.rules.iter().enumerate() {
-        // Classify body variables.
-        let mut occurrences: HashMap<VarId, Vec<(usize, bool)>> = HashMap::new();
-        for (li, lit) in rule.body.iter().enumerate() {
-            if let Literal::Atom(a) = lit {
-                for (i, t) in a.terms.iter().enumerate() {
-                    let mut vs = Vec::new();
-                    term_vars(t, &mut vs);
-                    for v in vs {
-                        occurrences
-                            .entry(v)
-                            .or_default()
-                            .push((li, affected.contains(&(a.pred.clone(), i))));
-                    }
-                }
-            }
-        }
-        let harmful: HashSet<VarId> = occurrences
-            .iter()
-            .filter(|(_, occ)| !occ.is_empty() && occ.iter().all(|(_, aff)| *aff))
-            .map(|(v, _)| *v)
-            .collect();
-        if harmful.is_empty() {
-            continue;
-        }
-        // Dangerous: harmful and used in the head.
-        let mut head_vars: HashSet<VarId> = HashSet::new();
-        for h in &rule.head {
-            for t in &h.terms {
-                let mut vs = Vec::new();
-                term_vars(t, &mut vs);
-                head_vars.extend(vs);
-            }
-        }
-        let dangerous: Vec<VarId> = harmful
-            .iter()
-            .copied()
-            .filter(|v| head_vars.contains(v))
-            .collect();
-        if dangerous.is_empty() {
-            continue;
-        }
-        // All dangerous vars must share one body atom (the ward).
-        let mut candidate_wards: Option<HashSet<usize>> = None;
-        for &v in &dangerous {
-            let lits: HashSet<usize> = occurrences[&v].iter().map(|(li, _)| *li).collect();
-            candidate_wards = Some(match candidate_wards {
-                None => lits,
-                Some(prev) => prev.intersection(&lits).copied().collect(),
-            });
-        }
-        let wards = candidate_wards.unwrap_or_default();
-        if wards.is_empty() {
-            violations.push(WardedViolation {
-                rule: ri,
-                message: format!(
-                    "dangerous variables {:?} do not share a single body atom",
-                    dangerous
-                        .iter()
-                        .map(|&v| rule.vars[v as usize].clone())
-                        .collect::<Vec<_>>()
-                ),
-            });
-            continue;
-        }
-        // The ward may share only harmless variables with other atoms.
-        let ward_ok = wards.iter().any(|&ward| {
-            occurrences.iter().all(|(v, occ)| {
-                let in_ward = occ.iter().any(|(li, _)| *li == ward);
-                let outside = occ.iter().any(|(li, _)| *li != ward);
-                !(in_ward && outside && harmful.contains(v))
-            })
-        });
-        if !ward_ok {
-            violations.push(WardedViolation {
-                rule: ri,
-                message: "the ward shares harmful variables with other body atoms".to_owned(),
-            });
-        }
-    }
-
-    let mut affected: Vec<(String, usize)> = affected.into_iter().collect();
+    let ix = ProgramIndex::new(program);
+    let outcome = warded::compute(&ix);
+    let mut affected: Vec<(String, usize)> = outcome
+        .affected
+        .into_iter()
+        .map(|(id, i)| (ix.name(id).to_owned(), i))
+        .collect();
     affected.sort();
     WardedReport {
         affected,
-        violations,
+        violations: outcome
+            .violations
+            .into_iter()
+            .map(|(rule, message)| WardedViolation { rule, message })
+            .collect(),
     }
 }
 
@@ -271,6 +95,24 @@ mod tests {
         assert!(r.is_warded());
         assert!(r.affected.contains(&("link".to_owned(), 0)));
         assert!(!r.affected.contains(&("link".to_owned(), 1)));
+    }
+
+    #[test]
+    fn negated_only_variables_are_existential() {
+        // Regression: Y occurs only under negation, which binds nothing,
+        // so the head position receiving Y is affected. An earlier version
+        // let negated atoms bind and missed this.
+        let r = report("p(X, Y) :- e(X), not q(Y).");
+        assert!(
+            r.affected.contains(&("p".to_owned(), 1)),
+            "{:?}",
+            r.affected
+        );
+        assert!(
+            !r.affected.contains(&("p".to_owned(), 0)),
+            "{:?}",
+            r.affected
+        );
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Property tests for the static analyzer.
+//!
+//! Two families of guarantees:
+//!
+//! 1. **Total**: `analyze` never panics, whatever the parser hands it —
+//!    checked on arbitrary strings and on token soup drawn from the
+//!    grammar's own alphabet (the inputs most likely to parse and reach
+//!    the deeper passes).
+//! 2. **Sound as a gate**: any program the analyzer accepts under the
+//!    default config constructs an `Engine` and evaluates on a small
+//!    database without *structural* runtime errors. Unbound variables,
+//!    arity mismatches, and non-stratifiable negation must be caught
+//!    statically; the only runtime outcomes left are success, a budget
+//!    stop (existential recursion is legal and may not terminate within
+//!    the cap), or a dynamic type error from arithmetic on symbols —
+//!    value-level typing is explicitly outside the analyzer's scope.
+
+use datalog::{
+    analyze_with, AnalysisConfig, Database, DatalogError, Engine, EngineOptions, FunctionRegistry,
+    Program,
+};
+use proptest::prelude::*;
+
+/// Head templates for generated rules. Predicate names encode their arity
+/// so the extensional facts below always line up.
+const HEADS: [&str; 6] = [
+    "p(X)",
+    "p(X, V)",
+    "p(Z, X)",
+    "p(#g(X))",
+    "p(X), r(X)",
+    "out(X, Y)",
+];
+
+/// Body literal templates: positive/negated atoms, comparisons, bindings,
+/// aggregates, and recursion through the generated head predicates.
+const BODIES: [&str; 12] = [
+    "e2(X, Y)",
+    "e2(X, X)",
+    "e2(W, X)",
+    "q1(X)",
+    "not q1(X)",
+    "not q1(Z)",
+    "own3(X, Y, W)",
+    "p(X)",
+    "X != Y",
+    "V = W + 1",
+    "V = msum(W, <X>)",
+    "msum(W, <Y>) > 0.5",
+];
+
+fn head() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(HEADS.to_vec())
+}
+
+fn body() -> impl Strategy<Value = Vec<&'static str>> {
+    prop::collection::vec(prop::sample::select(BODIES.to_vec()), 1..3)
+}
+
+fn program_source() -> impl Strategy<Value = String> {
+    prop::collection::vec((head(), body()), 1..4).prop_map(|rules| {
+        rules
+            .iter()
+            .map(|(h, b)| format!("{h} :- {}.\n", b.join(", ")))
+            .collect()
+    })
+}
+
+fn small_db() -> Database {
+    let mut db = Database::new();
+    db.assert_str_facts("q1", &[&["a"], &["b"]]);
+    db.assert_str_facts("e2", &[&["a", "b"], &["b", "c"], &["c", "a"]]);
+    db.fact("own3").sym("a").sym("b").float(0.6).assert();
+    db.fact("own3").sym("b").sym("c").float(0.7).assert();
+    db.fact("own3").sym("c").sym("a").float(0.5).assert();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The analyzer is total: no parsed program makes it panic, under
+    /// either the default or the strict configuration.
+    #[test]
+    fn analyzer_never_panics(src in ".{0,200}") {
+        if let Ok(program) = Program::parse(&src) {
+            let _ = analyze_with(&program, &AnalysisConfig::default());
+            let _ = analyze_with(&program, &AnalysisConfig::strict());
+        }
+    }
+
+    /// Token soup parses far more often than arbitrary unicode, driving
+    /// the passes over genuinely weird (but syntactic) programs.
+    #[test]
+    fn analyzer_never_panics_on_tokenish_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "a", "X", "_", "(", ")", ",", ".", ":-", "not", "msum",
+                "<", ">", "=", "!=", "0.5", "3", "#f", "\"s\"",
+                "@output(\"a\").", "@post(\"a\", \"unique(0)\").",
+            ]),
+            0..40,
+        )
+    ) {
+        let src: String = parts.join(" ");
+        if let Ok(program) = Program::parse(&src) {
+            let _ = analyze_with(&program, &AnalysisConfig::default());
+            let _ = analyze_with(&program, &AnalysisConfig::strict());
+        }
+    }
+
+    /// Analyzer-clean programs construct an engine and evaluate without
+    /// structural errors: everything V001–V016 promises to catch
+    /// statically must not resurface at runtime.
+    #[test]
+    fn clean_programs_evaluate_without_structural_errors(src in program_source()) {
+        let program = Program::parse(&src).expect("generated source is syntactic");
+        if analyze_with(&program, &AnalysisConfig::default()).has_errors() {
+            return Ok(());
+        }
+        let opts = EngineOptions {
+            max_facts: 20_000,
+            max_rounds: 2_000,
+            ..EngineOptions::default()
+        };
+        let engine = Engine::with(&program, FunctionRegistry::default(), opts)
+            .unwrap_or_else(|e| panic!("analyzer-clean program rejected by engine: {src}\n{e}"));
+        let mut db = small_db();
+        match engine.run(&mut db) {
+            Ok(_) => {}
+            // Existential recursion may legitimately hit the cap.
+            Err(DatalogError::BudgetExceeded(_)) => {}
+            // `V = W + 1` with W bound to a symbol: dynamic typing is out
+            // of the analyzer's scope.
+            Err(DatalogError::Function(_)) => {}
+            Err(e) => panic!("structural runtime error on clean program: {src}\n{e}"),
+        }
+    }
+}

@@ -32,7 +32,11 @@ fn paper_example_3_2_influence() {
     assert!(db.contains_str_fact("influence", &["p1", "c"]));
     // p2's influence flows through the symmetric spouse edge.
     assert!(db.contains_str_fact("influence", &["p2", "c"]));
-    assert_eq!(db.fact_count("spouse"), 2, "symmetry materialized once each way");
+    assert_eq!(
+        db.fact_count("spouse"),
+        2,
+        "symmetry materialized once each way"
+    );
 }
 
 #[test]
@@ -137,10 +141,9 @@ fn same_generation_classic() {
 
 #[test]
 fn outputs_and_program_display() {
-    let program = Program::parse(
-        r#"@output("t"). t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z)."#,
-    )
-    .unwrap();
+    let program =
+        Program::parse(r#"@output("t"). t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z)."#)
+            .unwrap();
     assert_eq!(program.outputs().collect::<Vec<_>>(), vec!["t"]);
     let printed = program.to_string();
     assert!(printed.contains("@output(\"t\")"));
@@ -257,7 +260,10 @@ fn control_boundary_exactly_half_is_not_control() {
             db.fact("own").sym("a").sym("c").float(0.500001).assert();
         },
     );
-    assert!(!db.contains_str_fact("control", &["a", "b"]), "0.5 is not > 0.5");
+    assert!(
+        !db.contains_str_fact("control", &["a", "b"]),
+        "0.5 is not > 0.5"
+    );
     assert!(db.contains_str_fact("control", &["a", "c"]));
 }
 
@@ -281,12 +287,9 @@ fn mixed_plain_and_aggregate_rules_for_one_head() {
 
 #[test]
 fn anonymous_variables_do_not_join() {
-    let db = run(
-        "seen(X) :- e(X, _), e(_, X).",
-        |db| {
-            db.assert_str_facts("e", &[&["a", "b"], &["c", "a"]]);
-        },
-    );
+    let db = run("seen(X) :- e(X, _), e(_, X).", |db| {
+        db.assert_str_facts("e", &[&["a", "b"], &["c", "a"]]);
+    });
     // a has an outgoing AND an incoming edge (through different partners).
     assert_eq!(db.dump("seen"), vec!["a"]);
 }

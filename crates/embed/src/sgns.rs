@@ -163,12 +163,10 @@ mod tests {
         };
         let emb = train_sgns(6, &two_community_corpus(), &cfg);
         // Intra-community similarity must exceed inter-community similarity.
-        let intra = (cosine(emb.vector(0), emb.vector(1))
-            + cosine(emb.vector(3), emb.vector(4)))
-            / 2.0;
-        let inter = (cosine(emb.vector(0), emb.vector(3))
-            + cosine(emb.vector(2), emb.vector(5)))
-            / 2.0;
+        let intra =
+            (cosine(emb.vector(0), emb.vector(1)) + cosine(emb.vector(3), emb.vector(4))) / 2.0;
+        let inter =
+            (cosine(emb.vector(0), emb.vector(3)) + cosine(emb.vector(2), emb.vector(5))) / 2.0;
         assert!(
             intra > inter + 0.2,
             "intra {intra} should clearly exceed inter {inter}"

@@ -40,13 +40,14 @@ fn node2vec_kmeans_separates_cliques() {
     );
     let assign = kmeans(&emb, 2, 50, 11);
     // Majority label per clique must differ, with few strays.
-    let count = |lo: usize, hi: usize, label: u32| {
-        (lo..hi).filter(|&i| assign[i] == label).count()
-    };
+    let count = |lo: usize, hi: usize, label: u32| (lo..hi).filter(|&i| assign[i] == label).count();
     let a_label = assign[1]; // avoid the bridge endpoints 0 and `size`
     let b_label = assign[size + 1];
     assert_ne!(a_label, b_label, "cliques must land in different clusters");
-    assert!(count(0, size, a_label) >= size - 2, "clique A impure: {assign:?}");
+    assert!(
+        count(0, size, a_label) >= size - 2,
+        "clique A impure: {assign:?}"
+    );
     assert!(
         count(size, 2 * size, b_label) >= size - 2,
         "clique B impure: {assign:?}"

@@ -195,7 +195,11 @@ mod tests {
         assert_eq!(g.node_count(), 500);
         // Roughly m edges per node after the first (dedup of repeated
         // targets loses a few).
-        assert!(g.edge_count() > 700 && g.edge_count() < 1000, "{}", g.edge_count());
+        assert!(
+            g.edge_count() > 700 && g.edge_count() < 1000,
+            "{}",
+            g.edge_count()
+        );
     }
 
     #[test]

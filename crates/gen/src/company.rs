@@ -161,10 +161,8 @@ struct PersonSpec {
 /// Generates a company graph per the configuration.
 pub fn generate(cfg: &CompanyGraphConfig) -> GeneratedCompanyGraph {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut g = PropertyGraph::with_capacity(
-        cfg.persons + cfg.companies,
-        cfg.persons + cfg.companies * 2,
-    );
+    let mut g =
+        PropertyGraph::with_capacity(cfg.persons + cfg.companies, cfg.persons + cfg.companies * 2);
     let person_label = g.label_id("Person");
     let company_label = g.label_id("Company");
     let share_label = g.label_id("Shareholding");
@@ -328,9 +326,17 @@ pub fn generate(cfg: &CompanyGraphConfig) -> GeneratedCompanyGraph {
         let suffix = COMPANY_SUFFIXES[rng.random_range(0..COMPANY_SUFFIXES.len())];
         let form = LEGAL_FORMS[zipf(&mut rng, LEGAL_FORMS.len())];
         let city = CITIES[zipf(&mut rng, CITIES.len())];
-        g.set_node_prop(node, "name", Value::Str(format!("{stem} {suffix} {form} {ci}")));
+        g.set_node_prop(
+            node,
+            "name",
+            Value::Str(format!("{stem} {suffix} {form} {ci}")),
+        );
         g.set_node_prop(node, "address", Value::Str(random_address(&mut rng, city)));
-        g.set_node_prop(node, "inc_date", Value::Int(rng.random_range(25_000..43_000)));
+        g.set_node_prop(
+            node,
+            "inc_date",
+            Value::Int(rng.random_range(25_000..43_000)),
+        );
         g.set_node_prop(node, "legal_form", Value::from(form));
         g.set_node_prop(
             node,
@@ -371,8 +377,7 @@ pub fn generate(cfg: &CompanyGraphConfig) -> GeneratedCompanyGraph {
             }
         } else {
             for _ in 0..k {
-                let owner = if !companies.is_empty()
-                    && rng.random::<f64>() < cfg.company_owner_rate
+                let owner = if !companies.is_empty() && rng.random::<f64>() < cfg.company_owner_rate
                 {
                     // Company owner, preferential attachment.
                     let o = if owner_urn.is_empty() || rng.random::<f64>() < 0.3 {
@@ -719,10 +724,7 @@ pub fn evolve(prev: &GeneratedCompanyGraph, cfg: &EvolutionConfig) -> GeneratedC
         .filter_map(|e| {
             let (s, d) = g.endpoints(e);
             (s != d && rng.random::<f64>() < cfg.churn_rate).then(|| {
-                let w = g
-                    .edge_prop(e, "w")
-                    .and_then(|v| v.as_f64())
-                    .unwrap_or(0.0);
+                let w = g.edge_prop(e, "w").and_then(|v| v.as_f64()).unwrap_or(0.0);
                 (s, d, w)
             })
         })
@@ -769,7 +771,11 @@ pub fn evolve(prev: &GeneratedCompanyGraph, cfg: &EvolutionConfig) -> GeneratedC
         let node = g.add_node_with(company_label, Vec::new());
         let stem = COMPANY_STEMS[rng.random_range(0..COMPANY_STEMS.len())];
         let suffix = COMPANY_SUFFIXES[rng.random_range(0..COMPANY_SUFFIXES.len())];
-        g.set_node_prop(node, "name", Value::Str(format!("{stem} {suffix} NEW {bi}")));
+        g.set_node_prop(
+            node,
+            "name",
+            Value::Str(format!("{stem} {suffix} NEW {bi}")),
+        );
         g.set_node_prop(node, "inc_date", Value::Int(43_000 + bi as i64));
         if !persons.is_empty() {
             let owner = persons[zipf(&mut rng, persons.len())];

@@ -22,4 +22,6 @@ pub mod company;
 pub mod names;
 
 pub use ba::{generate_ba, BaConfig, DensityPreset};
-pub use company::{evolve, CompanyGraphConfig, EvolutionConfig, FamilyLink, GeneratedCompanyGraph, GroundTruth};
+pub use company::{
+    evolve, CompanyGraphConfig, EvolutionConfig, FamilyLink, GeneratedCompanyGraph, GroundTruth,
+};

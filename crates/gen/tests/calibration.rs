@@ -31,7 +31,11 @@ fn section2_profile_at_30k_nodes() {
         stats.wcc_max_size
     );
     // Hub shareholders far above the mean degree.
-    assert!(stats.max_out_degree > 100, "max out {}", stats.max_out_degree);
+    assert!(
+        stats.max_out_degree > 100,
+        "max out {}",
+        stats.max_out_degree
+    );
     assert!(stats.max_in_degree > 30, "max in {}", stats.max_in_degree);
     // Clustering coefficient near the paper's 0.0084 (triangle closure).
     assert!(
@@ -66,5 +70,8 @@ fn family_structure_scales_with_population() {
     // Link density per person stays in a narrow band.
     let rate_small = small.truth.links.len() as f64 / 500.0;
     let rate_large = large.truth.links.len() as f64 / 5_000.0;
-    assert!((rate_small - rate_large).abs() < 0.5, "{rate_small} vs {rate_large}");
+    assert!(
+        (rate_small - rate_large).abs() < 0.5,
+        "{rate_small} vs {rate_large}"
+    );
 }

@@ -112,10 +112,9 @@ impl BayesModel {
             let pc_l = smooth(close_link[i], seen_link[i]);
             let pc_n = smooth(close_nolink[i], seen_nolink[i]);
             // Bayes: P(L | close) = P(close|L)P(L) / (P(close|L)P(L) + P(close|¬L)P(¬L)).
-            let close_post =
-                pc_l * prior / (pc_l * prior + pc_n * (1.0 - prior));
-            let far_post = (1.0 - pc_l) * prior
-                / ((1.0 - pc_l) * prior + (1.0 - pc_n) * (1.0 - prior));
+            let close_post = pc_l * prior / (pc_l * prior + pc_n * (1.0 - prior));
+            let far_post =
+                (1.0 - pc_l) * prior / ((1.0 - pc_l) * prior + (1.0 - pc_n) * (1.0 - prior));
             p_link_given_close.push(clamp(close_post));
             p_link_given_far.push(clamp(far_post));
         }
@@ -218,7 +217,10 @@ mod tests {
     fn synthetic_training(n: usize) -> (Vec<FeatureSpec>, Vec<TrainingPair>) {
         // Two features: "surname distance" (very informative) and
         // "address distance" (mildly informative).
-        let features = vec![FeatureSpec::new("surname", 0.3), FeatureSpec::new("addr", 0.5)];
+        let features = vec![
+            FeatureSpec::new("surname", 0.3),
+            FeatureSpec::new("addr", 0.5),
+        ];
         let mut pairs = Vec::new();
         let mut rng_state = 42u64;
         let mut next = || {
@@ -260,7 +262,11 @@ mod tests {
         let model = BayesModel::train(features, &pairs);
         assert!((model.prior() - 0.25).abs() < 0.02);
         // A close surname is strong evidence for a link.
-        assert!(model.posterior_close(0) > 0.6, "{}", model.posterior_close(0));
+        assert!(
+            model.posterior_close(0) > 0.6,
+            "{}",
+            model.posterior_close(0)
+        );
         // A close address alone is weak.
         assert!(model.posterior_close(1) < model.posterior_close(0));
     }

@@ -13,10 +13,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// Groups item indexes by an arbitrary blocking key.
-pub fn block_by_key<T, K: Eq + Hash>(
-    items: &[T],
-    key: impl Fn(&T) -> K,
-) -> HashMap<K, Vec<usize>> {
+pub fn block_by_key<T, K: Eq + Hash>(items: &[T], key: impl Fn(&T) -> K) -> HashMap<K, Vec<usize>> {
     let mut blocks: HashMap<K, Vec<usize>> = HashMap::new();
     for (i, item) in items.iter().enumerate() {
         blocks.entry(key(item)).or_default().push(i);

@@ -23,6 +23,6 @@ pub mod distance;
 pub use bayes::{BayesModel, FeatureSpec, TrainingPair};
 pub use blocking::{block_by_key, FeatureBlocker};
 pub use distance::{
-    damerau_levenshtein, jaro, jaro_winkler, levenshtein, normalized_levenshtein,
-    numeric_distance, soundex,
+    damerau_levenshtein, jaro, jaro_winkler, levenshtein, normalized_levenshtein, numeric_distance,
+    soundex,
 };

@@ -82,7 +82,9 @@ mod tests {
         let mut hist = vec![0usize; d_max + 1];
         let mut state = 0x9E3779B97F4A7C15u64;
         for _ in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (state >> 11) as f64 / (1u64 << 53) as f64 * total;
             let mut acc = 0.0;
             for (d, &w) in weights.iter().enumerate() {

@@ -468,7 +468,10 @@ mod subgraph_tests {
         // b was listed first → new id 0; labels and properties survive.
         assert_eq!(remap[&b], NodeId(0));
         assert_eq!(sub.label_name(sub.node_label(NodeId(0))), "Company");
-        assert_eq!(sub.node_prop(NodeId(0), "name").unwrap().as_str(), Some("ACME"));
+        assert_eq!(
+            sub.node_prop(NodeId(0), "name").unwrap().as_str(),
+            Some("ACME")
+        );
         let e0 = sub.edge_ids().next().unwrap();
         assert_eq!(sub.endpoints(e0), (remap[&a], remap[&b]));
         assert_eq!(sub.edge_prop(e0, "w").unwrap().as_f64(), Some(0.5));

@@ -66,7 +66,9 @@ pub fn read_csv<N: BufRead, E: BufRead>(nodes: N, edges: E) -> io::Result<Proper
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad(format!("bad node id in {line:?}")))?;
         if id != expected {
-            return Err(bad(format!("node ids must be dense, got {id}, expected {expected}")));
+            return Err(bad(format!(
+                "node ids must be dense, got {id}, expected {expected}"
+            )));
         }
         expected += 1;
         let label = parts
@@ -108,7 +110,11 @@ pub fn read_csv<N: BufRead, E: BufRead>(nodes: N, edges: E) -> io::Result<Proper
 
 /// Writes the graph to node and edge CSV writers in the format accepted by
 /// [`read_csv`].
-pub fn write_csv<N: Write, E: Write>(g: &PropertyGraph, mut nodes: N, mut edges: E) -> io::Result<()> {
+pub fn write_csv<N: Write, E: Write>(
+    g: &PropertyGraph,
+    mut nodes: N,
+    mut edges: E,
+) -> io::Result<()> {
     for n in g.node_ids() {
         let mut props = String::new();
         for (i, (k, v)) in g.node_props(n).iter().enumerate() {
@@ -128,7 +134,14 @@ pub fn write_csv<N: Write, E: Write>(g: &PropertyGraph, mut nodes: N, mut edges:
             }
             let _ = write!(props, "{}={}", g.key_name(*k), v);
         }
-        writeln!(edges, "{},{},{},{}", s.0, d.0, g.label_name(g.edge_label(e)), props)?;
+        writeln!(
+            edges,
+            "{},{},{},{}",
+            s.0,
+            d.0,
+            g.label_name(g.edge_label(e)),
+            props
+        )?;
     }
     Ok(())
 }
@@ -163,8 +176,14 @@ mod tests {
         let g2 = read_csv(&nbuf[..], &ebuf[..]).unwrap();
         assert_eq!(g2.node_count(), 2);
         assert_eq!(g2.edge_count(), 1);
-        assert_eq!(g2.node_prop(NodeId(0), "name").unwrap().as_str(), Some("ACME"));
-        assert_eq!(g2.node_prop(NodeId(1), "birth").unwrap().as_i64(), Some(10957));
+        assert_eq!(
+            g2.node_prop(NodeId(0), "name").unwrap().as_str(),
+            Some("ACME")
+        );
+        assert_eq!(
+            g2.node_prop(NodeId(1), "birth").unwrap().as_i64(),
+            Some(10957)
+        );
         let e0 = g2.edge_ids().next().unwrap();
         assert_eq!(g2.edge_prop(e0, "w").unwrap().as_f64(), Some(0.6));
         assert_eq!(g2.endpoints(e0), (NodeId(1), NodeId(0)));

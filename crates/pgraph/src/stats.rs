@@ -7,8 +7,8 @@
 //! power-law exponent of the degree distribution.
 
 use crate::algo::{
-    average_clustering_coefficient, degree_histogram, fit_power_law,
-    strongly_connected_components, weakly_connected_components, DegreeStats, PowerLawFit,
+    average_clustering_coefficient, degree_histogram, fit_power_law, strongly_connected_components,
+    weakly_connected_components, DegreeStats, PowerLawFit,
 };
 use crate::csr::Csr;
 use crate::graph::PropertyGraph;

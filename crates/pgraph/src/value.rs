@@ -200,12 +200,14 @@ mod tests {
 
     #[test]
     fn heterogeneous_ordering_is_total() {
-        let mut vals = [Value::Str("b".into()),
+        let mut vals = [
+            Value::Str("b".into()),
             Value::Null,
             Value::Int(1),
             Value::Bool(true),
             Value::Float(0.5),
-            Value::Str("a".into())];
+            Value::Str("a".into()),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 
 use pgraph::algo::{
-    enumerate_simple_paths, strongly_connected_components, weakly_connected_components,
-    PathLimits,
+    enumerate_simple_paths, strongly_connected_components, weakly_connected_components, PathLimits,
 };
 use pgraph::{Csr, NodeId, PropertyGraph, Value};
 
@@ -16,7 +15,11 @@ fn graph_of(edges: &[(u8, u8)]) -> PropertyGraph {
         g.add_node("C");
     }
     for &(a, b) in edges {
-        let e = g.add_edge("S", NodeId(a as u32 % N as u32), NodeId(b as u32 % N as u32));
+        let e = g.add_edge(
+            "S",
+            NodeId(a as u32 % N as u32),
+            NodeId(b as u32 % N as u32),
+        );
         g.set_edge_prop(e, "w", Value::from(0.5));
     }
     g

@@ -43,11 +43,9 @@ fn main() {
     for link in links.iter().take(8) {
         let name = |n| g.str_prop(n, "name").unwrap_or("?").to_owned();
         match link.reason {
-            CloseLinkReason::Accumulated(v) => println!(
-                "  {:<40} ~ {:<40} Φ = {v:.3}",
-                name(link.x),
-                name(link.y)
-            ),
+            CloseLinkReason::Accumulated(v) => {
+                println!("  {:<40} ~ {:<40} Φ = {v:.3}", name(link.x), name(link.y))
+            }
             CloseLinkReason::CommonOwner(z) => println!(
                 "  {:<40} ~ {:<40} common owner: {}",
                 name(link.x),
@@ -59,7 +57,10 @@ fn main() {
 
     // Declarative path: Algorithm 6 on the Datalog engine.
     let datalog_pairs = run_close_links(&g, 0.2);
-    println!("\ndatalog (Alg. 6) reports {} close-link pairs", datalog_pairs.len());
+    println!(
+        "\ndatalog (Alg. 6) reports {} close-link pairs",
+        datalog_pairs.len()
+    );
 
     // Exact vs walk-sum accumulated ownership: identical on acyclic
     // ownership (the typical case), walk-sum over-approximates on cycles.

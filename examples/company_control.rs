@@ -13,14 +13,14 @@
 
 use std::time::Instant;
 
-use vada_link_suite::datalog::{explain, Database, Engine, EngineOptions, FunctionRegistry, Program};
+use vada_link_suite::datalog::{
+    explain, Database, Engine, EngineOptions, FunctionRegistry, Program,
+};
 use vada_link_suite::gen::company::{generate, CompanyGraphConfig};
 use vada_link_suite::vada_link::control::all_control;
 use vada_link_suite::vada_link::mapping::{load_facts, read_pairs, sym_of};
 use vada_link_suite::vada_link::model::CompanyGraph;
-use vada_link_suite::vada_link::programs::{
-    run_control, run_generic_control, CONTROL_PROGRAM,
-};
+use vada_link_suite::vada_link::programs::{run_control, run_generic_control, CONTROL_PROGRAM};
 
 fn main() {
     let out = generate(&CompanyGraphConfig {
@@ -39,12 +39,20 @@ fn main() {
     // 1. Native fixpoint.
     let t = Instant::now();
     let native = all_control(&g);
-    println!("\nnative worklist:    {} control pairs in {:?}", native.len(), t.elapsed());
+    println!(
+        "\nnative worklist:    {} control pairs in {:?}",
+        native.len(),
+        t.elapsed()
+    );
 
     // 2. Datalog program (Algorithm 5).
     let t = Instant::now();
     let datalog = run_control(&g);
-    println!("datalog (Alg. 5):   {} control pairs in {:?}", datalog.len(), t.elapsed());
+    println!(
+        "datalog (Alg. 5):   {} control pairs in {:?}",
+        datalog.len(),
+        t.elapsed()
+    );
     let mut native_sorted = native.clone();
     native_sorted.sort_unstable();
     assert_eq!(native_sorted, datalog, "the two implementations agree");
@@ -52,7 +60,11 @@ fn main() {
     // 3. Generic schema-independent pipeline.
     let t = Instant::now();
     let generic = run_generic_control(&g);
-    println!("generic pipeline:   {} control pairs in {:?}", generic.len(), t.elapsed());
+    println!(
+        "generic pipeline:   {} control pairs in {:?}",
+        generic.len(),
+        t.elapsed()
+    );
     assert_eq!(generic, datalog);
 
     // Explainability: re-run with provenance and print one derivation.
@@ -66,9 +78,9 @@ fn main() {
     load_facts(&g, &mut db);
     engine.run(&mut db).expect("fixpoint");
     // Find an indirect control fact (a pair not linked by a direct edge).
-    let indirect = read_pairs(&db, "control").into_iter().find(|&(x, y)| {
-        !g.holdings(x).any(|(c, w)| c == y && w > 0.5)
-    });
+    let indirect = read_pairs(&db, "control")
+        .into_iter()
+        .find(|&(x, y)| !g.holdings(x).any(|(c, w)| c == y && w > 0.5));
     if let Some((x, y)) = indirect {
         let (xs, ys) = (sym_of(&mut db, x), sym_of(&mut db, y));
         if let Some(tree) = explain::explain(&db, "control", &[xs, ys], 4) {

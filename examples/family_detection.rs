@@ -26,7 +26,10 @@ fn main() {
     );
 
     let detector = FamilyDetector::train(&g, truth, &FamilyDetectorConfig::default());
-    println!("\ntrained Bayesian model (prior {:.3}):", detector.model().prior());
+    println!(
+        "\ntrained Bayesian model (prior {:.3}):",
+        detector.model().prior()
+    );
     for (i, spec) in detector.model().features().iter().enumerate() {
         println!(
             "  P(link | d_{} < {:.2}) = {:.3}",
@@ -38,7 +41,11 @@ fn main() {
 
     // Per-kind recall, and typing quality on the detected pairs.
     println!("\nper-kind detection (recall / typed correctly):");
-    for kind in [FamilyLink::PartnerOf, FamilyLink::SiblingOf, FamilyLink::ParentOf] {
+    for kind in [
+        FamilyLink::PartnerOf,
+        FamilyLink::SiblingOf,
+        FamilyLink::ParentOf,
+    ] {
         let mut found = 0usize;
         let mut typed = 0usize;
         let mut total = 0usize;

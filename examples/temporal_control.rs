@@ -24,7 +24,10 @@ fn main() {
         ..Default::default()
     });
     let mut prev_pairs: Option<HashSet<(u32, u32)>> = None;
-    println!("{:>6} {:>9} {:>8} {:>9} {:>8} {:>8}", "year", "companies", "edges", "control", "gained", "lost");
+    println!(
+        "{:>6} {:>9} {:>8} {:>9} {:>8} {:>8}",
+        "year", "companies", "edges", "control", "gained", "lost"
+    );
     for year in 2014..=2018 {
         let g = CompanyGraph::new(snapshot.graph.clone());
         let pairs: HashSet<(u32, u32)> = all_control(&g)

@@ -4,9 +4,7 @@
 use vada_link_suite::gen::company::{generate, CompanyGraphConfig};
 use vada_link_suite::pgraph::algo::PathLimits;
 use vada_link_suite::pgraph::NodeId;
-use vada_link_suite::vada_link::closelink::{
-    accumulated_from, close_links, walk_ownership_from,
-};
+use vada_link_suite::vada_link::closelink::{accumulated_from, close_links, walk_ownership_from};
 use vada_link_suite::vada_link::control::all_control;
 use vada_link_suite::vada_link::model::CompanyGraph;
 use vada_link_suite::vada_link::programs::{run_close_links, run_control, run_generic_control};

@@ -2,6 +2,7 @@
 //! augment it with all three link families, persist it through the CSV
 //! boundary and reason over the reloaded graph.
 
+use vada_link_suite::datalog::{Database, Engine, Program};
 use vada_link_suite::gen::company::{generate, CompanyGraphConfig};
 use vada_link_suite::pgraph::{io, GraphStats};
 use vada_link_suite::vada_link::augment::{augment, AugmentOptions, PersonLinkCandidate};
@@ -9,7 +10,6 @@ use vada_link_suite::vada_link::family::{FamilyDetector, FamilyDetectorConfig};
 use vada_link_suite::vada_link::mapping::{load_facts, materialize_links};
 use vada_link_suite::vada_link::model::CompanyGraph;
 use vada_link_suite::vada_link::programs::CONTROL_PROGRAM;
-use vada_link_suite::datalog::{Database, Engine, Program};
 
 #[test]
 fn full_pipeline_generate_augment_persist_reason() {

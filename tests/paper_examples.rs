@@ -4,7 +4,9 @@
 //! the declarative Datalog path.
 
 use vada_link_suite::pgraph::algo::PathLimits;
-use vada_link_suite::vada_link::closelink::{accumulated_ownership, close_links, family_close_links};
+use vada_link_suite::vada_link::closelink::{
+    accumulated_ownership, close_links, family_close_links,
+};
 use vada_link_suite::vada_link::control::{all_control, controls, family_control};
 use vada_link_suite::vada_link::paper_graphs::{figure1, figure2};
 use vada_link_suite::vada_link::programs::{run_close_links, run_control, run_family_control};
@@ -24,7 +26,10 @@ fn figure1_control_claims() {
     let names = |nodes: Vec<vada_link_suite::pgraph::NodeId>| -> Vec<String> {
         nodes.into_iter().map(|n| f.name_of(n).to_owned()).collect()
     };
-    assert_eq!(names(controls(&f.graph, f.node("P1"))), ["C", "D", "E", "F"]);
+    assert_eq!(
+        names(controls(&f.graph, f.node("P1"))),
+        ["C", "D", "E", "F"]
+    );
     assert_eq!(names(controls(&f.graph, f.node("P2"))), ["G", "H", "I"]);
 }
 
