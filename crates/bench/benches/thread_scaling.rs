@@ -1,0 +1,114 @@
+//! Thread scaling of the parallel kernels (the acceptance measurement:
+//! fixpoint and SGNS must reach >= 2x at 4 threads on the Figure 4(b)
+//! superdense workload — see EXPERIMENTS.md for recorded numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use datalog::{Database, Engine, EngineOptions, Program};
+use embed::{generate_walks, train_sgns, SgnsConfig, WalkConfig};
+use gen::ba::{generate_ba, BaConfig, DensityPreset};
+use pgraph::Csr;
+use vada_link::mapping::{load_facts, sym_of};
+use vada_link::model::CompanyGraph;
+
+const NODES: usize = 2_000;
+const SEED: u64 = 0xEDB7;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn workload() -> (CompanyGraph, Csr) {
+    let g = generate_ba(&BaConfig::with_density(
+        NODES,
+        DensityPreset::Superdense,
+        SEED,
+    ));
+    let cg = CompanyGraph::new(g);
+    let csr = Csr::from_graph(cg.graph(), "w");
+    (cg, csr)
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let (_, csr) = workload();
+    let mut group = c.benchmark_group("thread_scaling/walks");
+    group.sample_size(10);
+    for &t in &THREADS {
+        let cfg = WalkConfig {
+            walk_length: 40,
+            walks_per_node: 20,
+            p: 1.0,
+            q: 0.5,
+            seed: SEED,
+            threads: t,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| black_box(generate_walks(&csr, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgns(c: &mut Criterion) {
+    let (_, csr) = workload();
+    let walks = generate_walks(
+        &csr,
+        &WalkConfig {
+            walk_length: 40,
+            walks_per_node: 20,
+            p: 1.0,
+            q: 0.5,
+            seed: SEED,
+            threads: 0,
+        },
+    );
+    let mut group = c.benchmark_group("thread_scaling/sgns");
+    group.sample_size(10);
+    for &t in &THREADS {
+        let cfg = SgnsConfig {
+            dims: 32,
+            window: 2,
+            negatives: 2,
+            epochs: 2,
+            learning_rate: 0.025,
+            seed: SEED ^ 0x5EED,
+            threads: t,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| black_box(train_sgns(csr.node_count(), &walks, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let (cg, _) = workload();
+    let program = Program::parse(
+        "reach(X, Y) :- node(X), own(X, Y, _).\n\
+         reach(X, Z) :- reach(X, Y), own(Y, Z, _).",
+    )
+    .expect("valid program");
+    let mut group = c.benchmark_group("thread_scaling/fixpoint");
+    group.sample_size(10);
+    for &t in &THREADS {
+        let options = EngineOptions {
+            threads: t,
+            ..EngineOptions::default()
+        };
+        let engine = Engine::with(&program, Default::default(), options).expect("compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                let mut db = Database::new();
+                load_facts(&cg, &mut db);
+                for n in cg.graph().node_ids() {
+                    let s = sym_of(&mut db, n);
+                    db.assert_fact("node", &[s]).expect("arity");
+                }
+                engine.run(&mut db).expect("fixpoint");
+                black_box(db)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks, bench_sgns, bench_fixpoint);
+criterion_main!(benches);

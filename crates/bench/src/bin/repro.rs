@@ -1,7 +1,8 @@
 //! Reproduction driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|ablations] [--scale small|full]
+//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations]
+//!       [--scale small|full] [--threads N]
 //! ```
 //!
 //! `small` (default) finishes in a few minutes; `full` pushes the sweeps
@@ -28,6 +29,15 @@ fn parse_args() -> Args {
             "--scale" => {
                 i += 1;
                 full = argv.get(i).map(|s| s == "full").unwrap_or(false);
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+                if n == 0 {
+                    eprintln!("--threads expects a positive integer");
+                    std::process::exit(2);
+                }
+                par::set_threads(n);
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -136,6 +146,23 @@ fn main() {
             );
         }
         println!("paper: 100% at 1 cluster, 99.4% at 20, 98.6% at 50, steadily <50% past 400.\n");
+    }
+
+    if run("threads") {
+        let nodes = if args.full { 6_000 } else { 2_000 };
+        let counts: &[usize] = &[1, 2, 4];
+        println!("Thread scaling: parallel kernels on a superdense BA graph ({nodes} nodes)");
+        println!(
+            "{:>10} {:>9} {:>12} {:>9}",
+            "kernel", "threads", "secs", "speedup"
+        );
+        for r in exp_thread_scaling(nodes, counts, SEED) {
+            println!(
+                "{:>10} {:>9} {:>12.3} {:>8.2}x",
+                r.kernel, r.threads, r.secs, r.speedup
+            );
+        }
+        println!("acceptance: fixpoint and sgns reach >= 2x at 4 threads (EXPERIMENTS.md).\n");
     }
 
     if run("ablations") {

@@ -12,6 +12,11 @@
 //! `src,dst,label[,k=v;...]` (see `pgraph::io`). Control and close-link
 //! results are printed as `x,y` pairs of node ids, one per line.
 //!
+//! Every subcommand accepts `--threads N` to pin the worker count of the
+//! parallel kernels (walks, training, linkage, fixpoint evaluation); the
+//! default consults `VADALINK_THREADS`, then the machine's parallelism.
+//! Results are identical for every value.
+//!
 //! `check` parses a program (`-` reads stdin) and prints every analyzer
 //! diagnostic as `file:line:col: severity[CODE]: message`. It runs in
 //! strict mode (implicit existentials are errors) unless `--lax` is given,
@@ -77,6 +82,15 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--out" => opts.out = next(&mut i)?,
             "--lax" => opts.lax = true,
+            "--threads" => {
+                let n: usize = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                par::set_threads(n);
+            }
             other if !other.starts_with('-') || other == "-" => {
                 if opts.file.replace(other.to_owned()).is_some() {
                     return Err(format!("unexpected extra argument {other}"));

@@ -36,6 +36,7 @@ fn dense_stress_options() -> AugmentOptions {
             p: 1.0,
             q: 0.5,
             seed: 0xE5B,
+            threads: 1,
         },
         ..Default::default()
     }
@@ -401,6 +402,155 @@ pub fn exp_ablations(persons: usize, seed: u64) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Thread scaling — the parallel execution layer
+// ---------------------------------------------------------------------------
+
+/// One measurement of the thread-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ThreadScalingRow {
+    /// Kernel under test.
+    pub kernel: &'static str,
+    /// Worker threads.
+    pub threads: usize,
+    /// Elapsed seconds.
+    pub secs: f64,
+    /// Wall-clock speedup relative to the kernel's first (baseline) row.
+    pub speedup: f64,
+}
+
+/// Measures every parallel kernel at the given thread counts on the same
+/// Figure 4(b)-style workload: a superdense Barabási–Albert graph of
+/// `nodes` nodes. The first entry of `thread_counts` (conventionally 1)
+/// is the speedup baseline. Kernels:
+///
+/// * `walks` — node2vec random-walk generation;
+/// * `sgns` — skip-gram training over a fixed walk corpus (sharded mode
+///   for `threads > 1`);
+/// * `fixpoint` — semi-naive datalog reachability over the ownership
+///   facts, every node a source;
+/// * `linkage` — all-pairs-within-block similarity scoring.
+pub fn exp_thread_scaling(
+    nodes: usize,
+    thread_counts: &[usize],
+    seed: u64,
+) -> Vec<ThreadScalingRow> {
+    use datalog::{Database, Engine, EngineOptions, Program};
+    use embed::{generate_walks, train_sgns, SgnsConfig, WalkConfig};
+    use linkage::{jaro_winkler, score_blocks, FeatureBlocker};
+    use vada_link::mapping::load_facts;
+
+    let g = generate_ba(&BaConfig::with_density(
+        nodes,
+        DensityPreset::Superdense,
+        seed,
+    ));
+    let cg = CompanyGraph::new(g);
+    let csr = pgraph::Csr::from_graph(cg.graph(), "w");
+    let mut rows = Vec::new();
+    let mut push = |kernel: &'static str, threads: usize, secs: f64, base: f64| {
+        rows.push(ThreadScalingRow {
+            kernel,
+            threads,
+            secs,
+            speedup: base / secs,
+        });
+    };
+
+    // Walk generation (thread-count-invariant output).
+    let walk_cfg = |threads: usize| WalkConfig {
+        walk_length: 40,
+        walks_per_node: 20,
+        p: 1.0,
+        q: 0.5,
+        seed,
+        threads,
+    };
+    let mut base = 0.0;
+    for (i, &t) in thread_counts.iter().enumerate() {
+        let now = Instant::now();
+        let w = generate_walks(&csr, &walk_cfg(t));
+        let secs = now.elapsed().as_secs_f64();
+        std::hint::black_box(&w);
+        if i == 0 {
+            base = secs;
+        }
+        push("walks", t, secs, base);
+    }
+
+    // SGNS over one fixed corpus (sharded deterministic mode when t > 1).
+    let walks = generate_walks(&csr, &walk_cfg(0));
+    for (i, &t) in thread_counts.iter().enumerate() {
+        let cfg = SgnsConfig {
+            dims: 32,
+            window: 2,
+            negatives: 2,
+            epochs: 2,
+            learning_rate: 0.025,
+            seed: seed ^ 0x5EED,
+            threads: t,
+        };
+        let now = Instant::now();
+        let emb = train_sgns(csr.node_count(), &walks, &cfg);
+        let secs = now.elapsed().as_secs_f64();
+        std::hint::black_box(&emb);
+        if i == 0 {
+            base = secs;
+        }
+        push("sgns", t, secs, base);
+    }
+
+    // Datalog fixpoint: reachability over the ownership facts with every
+    // node a source — wide per-round deltas, the parallel scheduler's case.
+    let src = "reach(X, Y) :- node(X), own(X, Y, _).\n\
+               reach(X, Z) :- reach(X, Y), own(Y, Z, _).";
+    let program = Program::parse(src).expect("valid program");
+    for (i, &t) in thread_counts.iter().enumerate() {
+        let options = EngineOptions {
+            threads: t,
+            ..EngineOptions::default()
+        };
+        let engine = Engine::with(&program, Default::default(), options).expect("compiles");
+        let mut db = Database::new();
+        load_facts(&cg, &mut db);
+        for n in cg.graph().node_ids() {
+            let s = vada_link::mapping::sym_of(&mut db, n);
+            db.assert_fact("node", &[s]).expect("arity");
+        }
+        let now = Instant::now();
+        engine.run(&mut db).expect("fixpoint");
+        let secs = now.elapsed().as_secs_f64();
+        std::hint::black_box(&db);
+        if i == 0 {
+            base = secs;
+        }
+        push("fixpoint", t, secs, base);
+    }
+
+    // Linkage: all-pairs-within-block scoring of synthetic name records.
+    let items: Vec<String> = (0..nodes * 4)
+        .map(|i| format!("record-{}-{}", i % 97, i.wrapping_mul(0x9E37) % 1013))
+        .collect();
+    let blocker = FeatureBlocker::with_block_count(48);
+    for (i, &t) in thread_counts.iter().enumerate() {
+        let now = Instant::now();
+        let scored = score_blocks(
+            &blocker,
+            &items,
+            t,
+            |it| it.rsplit('-').nth(1).unwrap_or("").to_owned(),
+            |a, b| jaro_winkler(a, b),
+        );
+        let secs = now.elapsed().as_secs_f64();
+        std::hint::black_box(&scored);
+        if i == 0 {
+            base = secs;
+        }
+        push("linkage", t, secs, base);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +596,19 @@ mod tests {
         let sparse = rows.iter().find(|r| r.density == "sparse").unwrap();
         let superdense = rows.iter().find(|r| r.density == "superdense").unwrap();
         assert!(superdense.secs > 0.0 && sparse.secs > 0.0);
+    }
+
+    #[test]
+    fn thread_scaling_measures_every_kernel() {
+        let rows = exp_thread_scaling(300, &[1, 2], 5);
+        for kernel in ["walks", "sgns", "fixpoint", "linkage"] {
+            let ts: Vec<&ThreadScalingRow> = rows.iter().filter(|r| r.kernel == kernel).collect();
+            assert_eq!(ts.len(), 2, "{kernel}: one row per thread count");
+            assert!(ts.iter().all(|r| r.secs > 0.0), "{kernel}: timed");
+            // Speedups are wall-clock and thus not asserted; the baseline
+            // row must have speedup exactly 1 by construction.
+            assert!((ts[0].speedup - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -29,7 +29,12 @@ use crate::family::FamilyDetector;
 use crate::model::CompanyGraph;
 
 /// A polymorphic link-prediction predicate (the paper's `Candidate`).
-pub trait CandidatePredicate {
+///
+/// `Sync` is a supertrait: [`augment`] evaluates the pairs of a block on
+/// [`par`] scoped threads, which share the predicate by reference. Decisions
+/// must be pure functions of `(g, a, b)` — interior mutability is allowed
+/// only behind a lock (see `ControlCandidate`'s memo).
+pub trait CandidatePredicate: Sync {
     /// The link classes this predicate can produce (for reporting).
     fn classes(&self) -> Vec<String>;
 
@@ -62,6 +67,10 @@ pub struct AugmentOptions {
     pub max_rounds: usize,
     /// Seed for k-means and block hashing.
     pub seed: u64,
+    /// Worker threads for pair evaluation (`0` = the [`par::threads`]
+    /// default). The result is identical for every value: pairs are
+    /// enumerated deterministically before any thread runs.
+    pub threads: usize,
 }
 
 impl Default for AugmentOptions {
@@ -72,6 +81,7 @@ impl Default for AugmentOptions {
             node2vec: fast_node2vec(),
             max_rounds: 3,
             seed: 0xA06,
+            threads: 0,
         }
     }
 }
@@ -90,6 +100,7 @@ pub fn fast_node2vec() -> Node2VecConfig {
         p: 1.0,
         q: 0.5,
         seed: 0xE5B,
+        threads: 1,
     }
 }
 
@@ -162,19 +173,33 @@ pub fn augment(
                     blocks.entry((assign[n.index()], key)).or_default().push(n);
                 }
             }
-            for members in blocks.values() {
+            // Enumerate the candidate pairs deterministically *before* any
+            // thread runs: blocks in sorted key order, members in list
+            // order, deduplicated against every earlier round. The parallel
+            // fan-out below then cannot affect which pairs are compared.
+            let mut keys: Vec<&(u32, u64)> = blocks.keys().collect();
+            keys.sort_unstable();
+            let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+            for key in keys {
+                let members = &blocks[key];
                 for i in 0..members.len() {
                     for j in i + 1..members.len() {
                         let (a, b) = (members[i], members[j]);
-                        let pair = (ci, a.0.min(b.0), a.0.max(b.0));
-                        if !seen.insert(pair) {
-                            continue;
-                        }
-                        stats.comparisons += 1;
-                        if let Some(class) = cand.decide(g, a, b) {
-                            new_links.push((class, a, b));
+                        if seen.insert((ci, a.0.min(b.0), a.0.max(b.0))) {
+                            pairs.push((a, b));
                         }
                     }
+                }
+            }
+            stats.comparisons += pairs.len();
+            // Parallel `Candidate` evaluation; decisions are pure, and the
+            // in-order zip keeps `new_links` independent of thread count.
+            let gref = &*g;
+            let decisions =
+                par::par_map_with(&pairs, opts.threads, 0, |&(a, b)| cand.decide(gref, a, b));
+            for ((a, b), class) in pairs.into_iter().zip(decisions) {
+                if let Some(class) = class {
+                    new_links.push((class, a, b));
                 }
             }
         }

@@ -18,8 +18,8 @@
 //! Both are differentially tested against the global algorithms of
 //! [`crate::closelink`] and [`crate::control`].
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use pgraph::algo::{weakly_connected_components, PathLimits};
 use pgraph::NodeId;
@@ -85,10 +85,12 @@ impl CandidatePredicate for CloseLinkCandidate {
 }
 
 /// Pairwise company-control predicate (Definition 2.3) with a per-source
-/// memo of the worklist fixpoint.
+/// memo of the worklist fixpoint. The memo sits behind a `Mutex` — decide
+/// runs on [`par`] scoped threads — and only caches a pure function of the
+/// graph, so the cache state never affects results.
 pub struct ControlCandidate {
     component: Vec<u32>,
-    memo: RefCell<HashMap<NodeId, Vec<NodeId>>>,
+    memo: Mutex<HashMap<NodeId, Vec<NodeId>>>,
 }
 
 impl ControlCandidate {
@@ -97,16 +99,18 @@ impl ControlCandidate {
         let wcc = weakly_connected_components(&g.csr());
         ControlCandidate {
             component: wcc.component,
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
     fn controlled_by(&self, g: &CompanyGraph, x: NodeId) -> Vec<NodeId> {
-        if let Some(c) = self.memo.borrow().get(&x) {
+        if let Some(c) = self.memo.lock().unwrap().get(&x) {
             return c.clone();
         }
+        // Compute outside the lock: two threads may race to fill the same
+        // entry, but `controls` is pure, so both write the same value.
         let c = controls(g, x);
-        self.memo.borrow_mut().insert(x, c.clone());
+        self.memo.lock().unwrap().insert(x, c.clone());
         c
     }
 }

@@ -19,6 +19,11 @@ pub struct NamedGraph {
 }
 
 impl NamedGraph {
+    /// Builds a named graph from explicit name bindings (custom fixtures).
+    pub fn from_names(graph: CompanyGraph, names: HashMap<String, NodeId>) -> Self {
+        NamedGraph { graph, names }
+    }
+
     /// Node id of a named node.
     ///
     /// # Panics

@@ -1,0 +1,206 @@
+//! Golden-snapshot tests for the bundled paper programs.
+//!
+//! Every Vadalog program in [`vada_link::programs`] is executed on the
+//! paper's fixed example graphs and its full `@output` relation is compared
+//! line for line against a checked-in snapshot under `tests/golden/`. The
+//! snapshots freeze the *observable semantics* of the programs — any engine
+//! change (including the parallel evaluation path, which runs here under
+//! whatever `VADALINK_THREADS` the CI leg sets) that alters a derived fact
+//! set shows up as a readable diff.
+//!
+//! Regenerate after an intentional semantic change with:
+//! `UPDATE_GOLDEN=1 cargo test -p vada-link --test golden`
+
+use std::path::PathBuf;
+
+use datalog::{Const, Database, Engine, Program};
+use pgraph::NodeId;
+use vada_link::mapping::{load_facts, sym_of};
+use vada_link::model::CompanyGraphBuilder;
+use vada_link::paper_graphs::{figure1, figure2, NamedGraph};
+use vada_link::programs::{
+    CLOSELINK_PROGRAM, CONTROL_PROGRAM, FAMILY_CLOSELINK_PROGRAM, FAMILY_CONTROL_PROGRAM,
+    GENERIC_PIPELINE_PROGRAM, PARTNER_PROGRAM,
+};
+
+/// Renders a relation with node symbols (`n<idx>`) replaced by the graph's
+/// stable node names, sorted for order-independent comparison.
+fn rendered(db: &Database, f: &NamedGraph, pred: &str) -> Vec<String> {
+    let Some(rel) = db.relation(pred) else {
+        return Vec::new();
+    };
+    let mut lines: Vec<String> = rel
+        .rows()
+        .map(|row| {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    let s = db.display(*c);
+                    let node = matches!(*c, Const::Sym(_))
+                        .then(|| s.strip_prefix('n').and_then(|r| r.parse::<u32>().ok()))
+                        .flatten();
+                    match node {
+                        Some(idx) => f.name_of(NodeId(idx)).to_owned(),
+                        None => s,
+                    }
+                })
+                .collect();
+            format!("{pred}({})", cells.join(","))
+        })
+        .collect();
+    lines.sort();
+    lines.dedup();
+    lines
+}
+
+fn check_golden(name: &str, lines: &[String]) {
+    assert!(!lines.is_empty(), "{name}: snapshot must not be empty");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    let actual = lines.join("\n") + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); create it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        actual, expected,
+        "{name}: output diverged from tests/golden/{name}.txt \
+         (regenerate with UPDATE_GOLDEN=1 if the change is intentional)"
+    );
+}
+
+/// Runs `src` over `f` with extra setup; returns the populated database.
+fn run(src: &str, f: &NamedGraph, setup: impl FnOnce(&NamedGraph, &mut Database)) -> Database {
+    let program = Program::parse(src).expect("valid program");
+    let engine = Engine::new(&program).expect("compiles");
+    let mut db = Database::new();
+    load_facts(&f.graph, &mut db);
+    setup(f, &mut db);
+    engine.run(&mut db).expect("fixpoint");
+    db
+}
+
+fn add_threshold(db: &mut Database, t: f64) {
+    db.assert_fact("th", &[Const::float(t)]).expect("arity");
+}
+
+fn add_family(f: &NamedGraph, db: &mut Database, members: &[&str]) {
+    for m in members {
+        let fam = db.sym("fam");
+        let ms = sym_of(db, f.node(m));
+        db.assert_fact("member", &[fam, ms]).expect("arity");
+    }
+}
+
+#[test]
+fn control_program_snapshots() {
+    for (tag, f) in [("figure1", figure1()), ("figure2", figure2())] {
+        let db = run(CONTROL_PROGRAM, &f, |_, _| {});
+        check_golden(&format!("control_{tag}"), &rendered(&db, &f, "control"));
+    }
+}
+
+#[test]
+fn closelink_program_snapshots() {
+    for (tag, f) in [("figure1", figure1()), ("figure2", figure2())] {
+        let db = run(CLOSELINK_PROGRAM, &f, |_, db| add_threshold(db, 0.2));
+        check_golden(
+            &format!("closelink_{tag}"),
+            &rendered(&db, &f, "close_link"),
+        );
+    }
+}
+
+#[test]
+fn family_control_program_snapshots() {
+    let src = format!("{CONTROL_PROGRAM}\n{FAMILY_CONTROL_PROGRAM}");
+    let families: [(&str, &[&str]); 2] = [("figure1", &["P1", "P2"]), ("figure2", &["P1", "P2"])];
+    for ((tag, members), f) in families.into_iter().zip([figure1(), figure2()]) {
+        let db = run(&src, &f, |f, db| add_family(f, db, members));
+        check_golden(
+            &format!("family_control_{tag}"),
+            &rendered(&db, &f, "fcontrol"),
+        );
+    }
+}
+
+#[test]
+fn family_closelink_program_snapshots() {
+    let src = format!("{CLOSELINK_PROGRAM}\n{FAMILY_CLOSELINK_PROGRAM}");
+    for (tag, f) in [("figure1", figure1()), ("figure2", figure2())] {
+        let db = run(&src, &f, |f, db| {
+            add_threshold(db, 0.2);
+            add_family(f, db, &["P1", "P2"]);
+        });
+        check_golden(
+            &format!("family_closelink_{tag}"),
+            &rendered(&db, &f, "f_close_link"),
+        );
+    }
+}
+
+#[test]
+fn generic_pipeline_program_snapshots() {
+    for (tag, f) in [("figure1", figure1()), ("figure2", figure2())] {
+        let db = run(GENERIC_PIPELINE_PROGRAM, &f, |_, _| {});
+        check_golden(&format!("generic_{tag}"), &rendered(&db, &f, "g_control"));
+    }
+}
+
+/// A small hand-written household for the partner program: the paper's
+/// figure graphs carry no person attributes, so this fixture supplies
+/// deterministic ones (two same-surname couples plus an unrelated person).
+fn partner_fixture() -> NamedGraph {
+    use pgraph::Value;
+    let mut b = CompanyGraphBuilder::new();
+    let mut names = std::collections::HashMap::new();
+    let persons = [
+        ("Ada", "Rossi", 1960, "Rome", "Via A 1"),
+        ("Bruno", "Rossi", 1958, "Rome", "Via A 1"),
+        ("Carla", "Bianchi", 1970, "Milan", "Via B 2"),
+        ("Dario", "Bianchi", 1971, "Milan", "Via B 2"),
+        ("Elena", "Verdi", 1985, "Turin", "Via C 3"),
+    ];
+    for (name, surname, birth, city, addr) in persons {
+        let p = b.person(name);
+        b.prop(p, "surname", Value::Str(surname.to_owned()))
+            .prop(p, "birth", Value::Int(birth))
+            .prop(p, "birth_city", Value::Str(city.to_owned()))
+            .prop(p, "address", Value::Str(addr.to_owned()));
+        names.insert(name.to_owned(), p);
+    }
+    let c = b.company("Acme");
+    names.insert("Acme".to_owned(), c);
+    for p in ["Ada", "Bruno", "Carla", "Dario", "Elena"] {
+        b.share(names[p], c, 0.2);
+    }
+    NamedGraph::from_names(b.build(), names)
+}
+
+#[test]
+fn partner_program_snapshot() {
+    let f = partner_fixture();
+    let program = Program::parse(PARTNER_PROGRAM).expect("valid program");
+    let mut engine = Engine::new(&program).expect("compiles");
+    // Deterministic stand-in for the trained Bayes model: partners iff the
+    // surnames match and the birth years are within a generation.
+    engine.register_function("linkprob", |ctx, args| {
+        let s = |i: usize| ctx.str_of(args[i]).unwrap_or("").to_owned();
+        let same_surname = !s(1).is_empty() && s(1) == s(6);
+        let gap = (args[2].as_i64().unwrap_or(0) - args[7].as_i64().unwrap_or(0)).abs();
+        Ok(Const::float(if same_surname && gap < 25 {
+            0.9
+        } else {
+            0.1
+        }))
+    });
+    let mut db = Database::new();
+    load_facts(&f.graph, &mut db);
+    engine.run(&mut db).expect("fixpoint");
+    check_golden("partner_household", &rendered(&db, &f, "person_link"));
+}

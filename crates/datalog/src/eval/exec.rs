@@ -41,10 +41,28 @@ pub(crate) fn eval_rule(
     delta: Option<(usize, u32)>,
     ctx: &mut RunCtx<'_>,
 ) -> Result<()> {
+    eval_rule_chunk(rule, relations, delta, None, ctx)
+}
+
+/// [`eval_rule`] restricted to an explicit candidate-row list for the first
+/// body literal (which must be a positive atom). The rows must be an
+/// in-order subsequence of what the unrestricted evaluation would
+/// enumerate — see [`driver_rows`] — so concatenating the outputs of a
+/// partition of chunks reproduces the sequential output exactly. This is
+/// the hook the parallel round scheduler uses to split one rule evaluation
+/// across workers.
+pub(crate) fn eval_rule_chunk(
+    rule: &RRule,
+    relations: &[Relation],
+    delta: Option<(usize, u32)>,
+    driver: Option<&[u32]>,
+    ctx: &mut RunCtx<'_>,
+) -> Result<()> {
     let mut ev = Evaluator {
         rule,
         relations,
         delta,
+        driver,
         binding: vec![None; rule.nvars],
         support: Vec::new(),
         ctx,
@@ -52,10 +70,51 @@ pub(crate) fn eval_rule(
     ev.step(0)
 }
 
+/// Materializes the candidate rows the *first* body literal of `rule` would
+/// enumerate under `delta`, in enumeration order. Returns `None` when the
+/// rule has no leading positive atom to drive chunking from (empty bodies).
+/// Mirrors the probe/scan dispatch of `match_atom` at literal 0, where the
+/// only statically bound positions are constants.
+pub(crate) fn driver_rows(
+    rule: &RRule,
+    relations: &[Relation],
+    delta: Option<(usize, u32)>,
+) -> Option<Vec<u32>> {
+    let RLiteral::Atom { atom, mask } = rule.body.first()? else {
+        return None;
+    };
+    let rel = &relations[atom.pred as usize];
+    let delta_start = match delta {
+        Some((0, start)) => Some(start),
+        _ => None,
+    };
+    if *mask != 0 {
+        let mut key = Vec::with_capacity(mask.count_ones() as usize);
+        for (i, t) in atom.terms.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                match t {
+                    RTerm::Const(c) => key.push(*c),
+                    _ => unreachable!("masked position at literal 0 must be a constant"),
+                }
+            }
+        }
+        let rows = rel.probe(*mask, &key);
+        Some(match delta_start {
+            Some(start) => rows.iter().copied().filter(|&r| r >= start).collect(),
+            None => rows.to_vec(),
+        })
+    } else {
+        let start = delta_start.unwrap_or(0);
+        Some((start..rel.len() as u32).collect())
+    }
+}
+
 struct Evaluator<'a, 'c> {
     rule: &'a RRule,
     relations: &'a [Relation],
     delta: Option<(usize, u32)>,
+    /// Pre-enumerated candidate rows for literal 0 (chunked evaluation).
+    driver: Option<&'a [u32]>,
     binding: Vec<Option<Const>>,
     support: Vec<(u32, u32)>,
     ctx: &'a mut RunCtx<'c>,
@@ -117,10 +176,15 @@ impl<'a, 'c> Evaluator<'a, 'c> {
         };
         // Collect candidate rows.
         enum Rows<'r> {
+            /// Pre-enumerated (and pre-filtered) by the parallel scheduler.
+            Driver(&'r [u32]),
             Probe(&'r [u32]),
             Scan(std::ops::Range<u32>),
         }
-        let rows = if mask != 0 {
+        let driver = if li == 0 { self.driver } else { None };
+        let rows = if let Some(rows) = driver {
+            Rows::Driver(rows)
+        } else if mask != 0 {
             let mut key = Vec::with_capacity(mask.count_ones() as usize);
             for (i, t) in atom.terms.iter().enumerate() {
                 if mask & (1 << i) != 0 {
@@ -185,6 +249,11 @@ impl<'a, 'c> Evaluator<'a, 'c> {
             result
         };
         match rows {
+            Rows::Driver(rows) => {
+                for &row in rows {
+                    visit(self, row)?;
+                }
+            }
             Rows::Probe(rows) => {
                 for &row in rows {
                     if let Some(start) = delta_start {

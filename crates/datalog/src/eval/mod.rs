@@ -11,6 +11,13 @@
 //! isomorphism check; the fact and round budgets in [`EngineOptions`] are
 //! the defense-in-depth termination guards discussed in Section 4.4 of the
 //! paper.
+//!
+//! Rounds can evaluate on [`par`] worker threads ([`EngineOptions::threads`]):
+//! rules whose bodies touch no shared evaluation state (no aggregates, no
+//! Skolem invention, no external calls) are split into chunks of their
+//! driving literal's candidate rows, and chunk outputs are merged back in
+//! sequential order, so the derived facts — values, insertion order, row
+//! ids, provenance — are identical for every thread count.
 
 mod agg;
 mod exec;
@@ -21,13 +28,13 @@ use std::time::{Duration, Instant};
 use crate::analysis::{analyze_with, AnalysisConfig};
 use crate::ast::{Directive, PostOp, Program};
 use crate::builtins::FunctionRegistry;
-use crate::db::Database;
+use crate::db::{Database, Relation, SkolemTable, SymbolTable};
 use crate::error::{DatalogError, Result};
 use crate::value::Tuple;
 
 use agg::AggStore;
-use exec::{eval_rule, Derived, RunCtx};
-use resolve::{resolve_rules, CompiledProgram};
+use exec::{driver_rows, eval_rule, eval_rule_chunk, Derived, RunCtx};
+use resolve::{resolve_rules, CompiledProgram, RRule};
 
 /// Tunable evaluation options.
 #[derive(Debug, Clone)]
@@ -51,6 +58,12 @@ pub struct EngineOptions {
     /// [`AnalysisConfig::permissive`] restores the pre-analyzer behavior
     /// (problems surface at evaluation time, if at all).
     pub analysis: AnalysisConfig,
+    /// Worker threads for rule evaluation within a fixpoint round. `0`
+    /// resolves via [`par::threads`] (the `VADALINK_THREADS` environment
+    /// variable, then available parallelism); `1` forces the sequential
+    /// path. The result is byte-identical for every value: parallel rounds
+    /// splice their per-chunk outputs back in sequential order.
+    pub threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -62,6 +75,7 @@ impl Default for EngineOptions {
             provenance: false,
             apply_post: true,
             analysis: AnalysisConfig::default(),
+            threads: 0,
         }
     }
 }
@@ -160,6 +174,7 @@ impl Engine {
                 rel.set_track_prov(true);
             }
         }
+        let threads = par::resolve(self.options.threads);
         let mut stats = RunStats::default();
         let mut agg = AggStore::default();
 
@@ -184,19 +199,14 @@ impl Engine {
                 {
                     let db_ref = &mut *db;
                     let relations = &db_ref.relations;
-                    let mut ctx = RunCtx {
-                        symbols: &mut db_ref.symbols,
-                        skolems: &mut db_ref.skolems,
-                        registry: &self.registry,
-                        agg: &mut agg,
-                        out: &mut out,
-                        epsilon: self.options.epsilon,
-                        provenance: self.options.provenance,
-                    };
+                    // The round's rule evaluations in sequential order:
+                    // round 0 is the naive pass; later rounds contribute
+                    // one item per (rule, in-stratum delta literal).
+                    let mut items: Vec<(usize, Option<(usize, u32)>)> = Vec::new();
                     for &ri in stratum {
                         let rule = &rules[ri];
                         if round == 0 {
-                            eval_rule(rule, relations, None, &mut ctx)?;
+                            items.push((ri, None));
                         } else {
                             for (k, &li) in rule.positive_literals.iter().enumerate() {
                                 let pred = rule.positive_preds[k];
@@ -207,10 +217,20 @@ impl Engine {
                                 if (dstart as usize) >= relations[pred as usize].len() {
                                     continue;
                                 }
-                                eval_rule(rule, relations, Some((li, dstart)), &mut ctx)?;
+                                items.push((ri, Some((li, dstart))));
                             }
                         }
                     }
+                    let mut ctx = RunCtx {
+                        symbols: &mut db_ref.symbols,
+                        skolems: &mut db_ref.skolems,
+                        registry: &self.registry,
+                        agg: &mut agg,
+                        out: &mut out,
+                        epsilon: self.options.epsilon,
+                        provenance: self.options.provenance,
+                    };
+                    eval_round(&rules, relations, &items, threads, &mut ctx)?;
                 }
                 // Snapshot lengths, then insert this round's derivations:
                 // they become the next round's deltas.
@@ -252,6 +272,111 @@ impl Engine {
         stats.duration = start.elapsed();
         Ok(stats)
     }
+}
+
+/// Driver rows below which a round runs sequentially: thread spawn and
+/// merge overhead dominate tiny rounds, and the result is identical either
+/// way.
+const PAR_MIN_DRIVER_ROWS: usize = 512;
+
+/// Evaluates one round's work items, parallelizing the chunkable ones.
+///
+/// An item is chunkable when its rule is `par_full` — the body touches no
+/// shared mutable state (symbol interning, Skolem invention, aggregate
+/// accumulators) — and it has a leading positive atom whose candidate rows
+/// drive the join. Those rows are split into contiguous chunks evaluated
+/// on [`par`] workers against throwaway context tables; chunk outputs are
+/// spliced back in (item, chunk) order, and non-chunkable items run
+/// sequentially at their original position with the real context. The
+/// resulting `out` buffer is byte-identical to a fully sequential round:
+/// same derivations, same order, hence the same row ids and provenance
+/// downstream.
+fn eval_round(
+    rules: &[RRule],
+    relations: &[Relation],
+    items: &[(usize, Option<(usize, u32)>)],
+    threads: usize,
+    ctx: &mut RunCtx<'_>,
+) -> Result<()> {
+    let run_seq = |ctx: &mut RunCtx<'_>| -> Result<()> {
+        for &(ri, delta) in items {
+            eval_rule(&rules[ri], relations, delta, ctx)?;
+        }
+        Ok(())
+    };
+    if threads <= 1 {
+        return run_seq(ctx);
+    }
+    // Candidate rows per chunkable item; `None` marks sequential items.
+    let mut drivers: Vec<Option<Vec<u32>>> = Vec::with_capacity(items.len());
+    let mut total = 0usize;
+    for &(ri, delta) in items {
+        let rule = &rules[ri];
+        let rows = if rule.par_full {
+            driver_rows(rule, relations, delta)
+        } else {
+            None
+        };
+        if let Some(r) = &rows {
+            total += r.len();
+        }
+        drivers.push(rows);
+    }
+    if total < PAR_MIN_DRIVER_ROWS {
+        return run_seq(ctx);
+    }
+    // Subtasks in (item, chunk) order; a few chunks per worker so a skewed
+    // chunk cannot serialize the round.
+    let chunk = (total / (threads * 4)).max(PAR_MIN_DRIVER_ROWS / 4);
+    let mut subtasks: Vec<(usize, &[u32])> = Vec::new();
+    for (idx, rows) in drivers.iter().enumerate() {
+        if let Some(rows) = rows {
+            let mut s = 0;
+            while s < rows.len() {
+                let e = (s + chunk).min(rows.len());
+                subtasks.push((idx, &rows[s..e]));
+                s = e;
+            }
+        }
+    }
+    let registry = ctx.registry;
+    let epsilon = ctx.epsilon;
+    let provenance = ctx.provenance;
+    let results = par::par_map_with(&subtasks, threads, 1, |&(idx, rows)| {
+        let (ri, delta) = items[idx];
+        // par_full rules never consult the symbol/Skolem/aggregate state;
+        // the worker gets throwaway instances so nothing is shared.
+        let mut symbols = SymbolTable::default();
+        let mut skolems = SkolemTable::default();
+        let mut agg = AggStore::default();
+        let mut local: Vec<Derived> = Vec::new();
+        let mut wctx = RunCtx {
+            symbols: &mut symbols,
+            skolems: &mut skolems,
+            registry,
+            agg: &mut agg,
+            out: &mut local,
+            epsilon,
+            provenance,
+        };
+        eval_rule_chunk(&rules[ri], relations, delta, Some(rows), &mut wctx).map(|()| local)
+    });
+    // Splice in sequential order: chunk outputs at their item's position,
+    // sequential items evaluated in place with the real context.
+    let mut results = results.into_iter();
+    let mut cursor = 0usize;
+    for (idx, &(ri, delta)) in items.iter().enumerate() {
+        if drivers[idx].is_some() {
+            while cursor < subtasks.len() && subtasks[cursor].0 == idx {
+                let local = results.next().expect("one result per subtask")?;
+                ctx.out.extend(local);
+                cursor += 1;
+            }
+        } else {
+            eval_rule(&rules[ri], relations, delta, ctx)?;
+        }
+    }
+    Ok(())
 }
 
 /// Applies a `@post` grouping filter: per grouping of all columns except the

@@ -571,6 +571,47 @@ pub(crate) struct RRule {
     pub positive_literals: Vec<usize>,
     /// Predicate of each positive literal (parallel to `positive_literals`).
     pub positive_preds: Vec<u32>,
+    /// True when evaluating the rule touches none of the shared mutable
+    /// evaluation state — no aggregate accumulators, no Skolem invention
+    /// (existentials, `#f(..)` terms or unregistered-call fallbacks), no
+    /// symbol interning (external `#f(..)` calls). Such a rule is a pure
+    /// function of the frozen relations, so one evaluation can be split
+    /// across worker threads and merged deterministically.
+    pub par_full: bool,
+}
+
+/// True when the term invents no Skolem OIDs at evaluation time.
+fn rterm_pure(t: &RTerm) -> bool {
+    match t {
+        RTerm::Var(_) | RTerm::Const(_) => true,
+        RTerm::Skolem { .. } => false,
+    }
+}
+
+/// True when evaluating the expression cannot touch the symbol or Skolem
+/// tables (no external calls; calls also double as Skolem fallbacks).
+fn rexpr_pure(e: &RExpr) -> bool {
+    match e {
+        RExpr::Var(_) | RExpr::Const(_) => true,
+        RExpr::Binary(_, a, b) | RExpr::Cmp(_, a, b) => rexpr_pure(a) && rexpr_pure(b),
+        RExpr::Call { .. } => false,
+    }
+}
+
+fn rule_is_par_full(
+    head: &[RAtom],
+    body: &[RLiteral],
+    existentials: &[(u32, u32, Vec<u32>)],
+) -> bool {
+    existentials.is_empty()
+        && head.iter().all(|h| h.terms.iter().all(rterm_pure))
+        && body.iter().all(|l| match l {
+            RLiteral::Atom { .. } => true,
+            RLiteral::Negated(a) => a.terms.iter().all(rterm_pure),
+            RLiteral::Cond(e) => rexpr_pure(e),
+            RLiteral::Let(_, e) => rexpr_pure(e),
+            RLiteral::Agg { .. } => false,
+        })
 }
 
 fn resolve_lit(lit: &Lit, db: &mut Database) -> Const {
@@ -745,6 +786,7 @@ pub(crate) fn resolve_rules(program: &Program, db: &mut Database) -> Result<Vec<
         }
         // Negated atoms probe by full-tuple find(); no index registration
         // needed (the dedup map serves as the full-key index).
+        let par_full = rule_is_par_full(&head, &body, &existentials);
         out.push(RRule {
             idx: ri as u32,
             head,
@@ -753,6 +795,7 @@ pub(crate) fn resolve_rules(program: &Program, db: &mut Database) -> Result<Vec<
             existentials,
             positive_literals,
             positive_preds,
+            par_full,
         });
     }
     Ok(out)
@@ -840,6 +883,33 @@ mod tests {
         )
         .unwrap();
         assert!(c.auto_post.is_empty());
+    }
+
+    #[test]
+    fn par_full_classification() {
+        use crate::db::Database;
+        let resolve = |src: &str| {
+            let program = Program::parse(src).unwrap();
+            compile(&program).unwrap();
+            let mut db = Database::new();
+            resolve_rules(&program, &mut db).unwrap()
+        };
+        // Pure joins, negation, conditions and call-free bindings are safe.
+        let safe = resolve(
+            "t(X, Z) :- t(X, Y), e(Y, Z).\n\
+             r(X) :- n(X), not t(X, X).\n\
+             b(X, V) :- n2(X, W), V = W * 2 + 1, V > 5.",
+        );
+        assert!(safe.iter().all(|r| r.par_full), "{safe:?}");
+        // Aggregates, existentials, Skolem terms and external calls all
+        // touch shared state and must stay on the sequential path.
+        let unsafe_rules = resolve(
+            "acc(X, V) :- own(X, W), V = msum(W, <X>).\n\
+             edge(Z, X) :- own2(X, _).\n\
+             link(Z, X) :- own3(X, _), Z = #mk(X).\n\
+             len(X, L) :- w(X), L = #strlen(X).",
+        );
+        assert!(unsafe_rules.iter().all(|r| !r.par_full), "{unsafe_rules:?}");
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub struct Node2VecConfig {
     pub q: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for SGNS training: `1` (default) is the exact
+    /// sequential reference, `> 1` the sharded parallel mode, `0` resolves
+    /// via [`par::threads`]. Walk generation always parallelizes (it is
+    /// thread-count-invariant); see [`walks`] and [`sgns`].
+    pub threads: usize,
 }
 
 impl Default for Node2VecConfig {
@@ -80,6 +85,7 @@ impl Default for Node2VecConfig {
             p: 1.0,
             q: 1.0,
             seed: 0xB0CCA,
+            threads: 1,
         }
     }
 }
@@ -94,6 +100,7 @@ pub fn node2vec(csr: &Csr, cfg: &Node2VecConfig) -> Embedding {
             p: cfg.p,
             q: cfg.q,
             seed: cfg.seed,
+            threads: 0,
         },
     );
     train_sgns(
@@ -106,6 +113,7 @@ pub fn node2vec(csr: &Csr, cfg: &Node2VecConfig) -> Embedding {
             epochs: cfg.epochs,
             learning_rate: cfg.learning_rate,
             seed: cfg.seed ^ 0x5EED,
+            threads: cfg.threads,
         },
     )
 }

@@ -3,14 +3,41 @@
 //! The word2vec training objective specialized to node sequences: for each
 //! (center, context) pair within a window, push the pair's vectors together
 //! and push `negatives` random nodes (sampled ∝ degree^0.75 from corpus
-//! frequency) away. Plain single-threaded SGD with a linearly decaying
-//! learning rate keeps training fully deterministic for a given seed.
+//! frequency) away.
+//!
+//! Two training modes share the same initialization, negative-sampling
+//! distribution and learning-rate schedule:
+//!
+//! * **Sequential reference** (`threads ≤ 1`, the default): plain
+//!   single-threaded SGD, fully deterministic for a given seed. This is
+//!   the seed implementation every parallel run is differentially tested
+//!   against.
+//! * **Sharded batch-synchronous** (`threads > 1`): deterministic local
+//!   SGD, a Hogwild variant with the races removed. Walks are processed in
+//!   fixed-size batches; each worker trains a contiguous chunk of the
+//!   batch *sequentially, with fresh updates* on a copy-on-first-touch
+//!   overlay of the frozen matrices, drawing negatives from per-walk RNG
+//!   streams split from the master seed with SplitMix64, exactly like
+//!   [`crate::walks`]. At the batch barrier the per-row deltas
+//!   (`local − frozen`) are applied in worker/first-touch order, so
+//!   training is *byte-reproducible for a given (seed, thread count)* and
+//!   statistically equivalent to — but not bit-identical with — the
+//!   sequential reference (workers don't see each other's updates until
+//!   the barrier).
+//!
+//! The statistical equivalence holds for the corpora the sharded mode is
+//! built for: graphs large enough that concurrent shards mostly touch
+//! *different* embedding rows. On very small graphs (≲ 100 nodes) every
+//! shard updates the same rows from the same frozen state, the summed
+//! deltas overshoot, and high shard counts can degrade the optimum — use
+//! the sequential mode there (it is also faster at that size).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::alias::AliasTable;
 use crate::embedding::Embedding;
+use crate::walks::splitmix64;
 
 /// SGNS hyperparameters.
 #[derive(Debug, Clone)]
@@ -27,6 +54,10 @@ pub struct SgnsConfig {
     pub learning_rate: f32,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads: `1` (default) runs the exact sequential reference
+    /// algorithm; `> 1` the sharded batch-synchronous mode; `0` resolves
+    /// via [`par::threads`].
+    pub threads: usize,
 }
 
 impl Default for SgnsConfig {
@@ -38,9 +69,15 @@ impl Default for SgnsConfig {
             epochs: 2,
             learning_rate: 0.025,
             seed: 0,
+            threads: 1,
         }
     }
 }
+
+/// Walks per synchronization batch in the sharded mode: small enough that
+/// gradients stay near-fresh (quality), large enough to amortize the
+/// per-batch thread spawn (throughput).
+const BATCH_WALKS: usize = 64;
 
 #[inline]
 fn sigmoid(x: f32) -> f32 {
@@ -49,10 +86,11 @@ fn sigmoid(x: f32) -> f32 {
 
 /// Trains node embeddings on a walk corpus; returns the input vectors.
 pub fn train_sgns(n_nodes: usize, walks: &[Vec<u32>], cfg: &SgnsConfig) -> Embedding {
+    let threads = par::resolve(cfg.threads);
     let d = cfg.dims;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Input and output (context) matrices. Inputs start small-random,
-    // outputs at zero (word2vec convention).
+    // outputs at zero (word2vec convention). Both modes share this init.
     let mut input = Embedding::zeros(n_nodes, d);
     for i in 0..n_nodes {
         for x in input.vector_mut(i) {
@@ -83,9 +121,46 @@ pub fn train_sgns(n_nodes: usize, walks: &[Vec<u32>], cfg: &SgnsConfig) -> Embed
     // Total update steps for the learning-rate schedule.
     let pairs_estimate: usize = walks.iter().map(|w| w.len() * 2 * cfg.window).sum();
     let total_steps = (pairs_estimate * cfg.epochs).max(1);
+
+    if threads <= 1 {
+        train_sequential(
+            &mut input,
+            &mut output,
+            walks,
+            cfg,
+            &neg_table,
+            total_steps,
+            &mut rng,
+        );
+    } else {
+        train_sharded(
+            &mut input,
+            &mut output,
+            walks,
+            cfg,
+            &neg_table,
+            total_steps,
+            threads,
+        );
+    }
+    input
+}
+
+/// The sequential reference: one global RNG stream, every update visible
+/// to the next pair. Byte-for-byte the historical `train_sgns` behavior.
+#[allow(clippy::too_many_arguments)]
+fn train_sequential(
+    input: &mut Embedding,
+    output: &mut [f32],
+    walks: &[Vec<u32>],
+    cfg: &SgnsConfig,
+    neg_table: &AliasTable,
+    total_steps: usize,
+    rng: &mut StdRng,
+) {
+    let d = cfg.dims;
     let mut step = 0usize;
     let mut grad = vec![0.0f32; d];
-
     for _epoch in 0..cfg.epochs {
         for walk in walks {
             for (ci, &center) in walk.iter().enumerate() {
@@ -105,7 +180,7 @@ pub fn train_sgns(n_nodes: usize, walks: &[Vec<u32>], cfg: &SgnsConfig) -> Embed
                         let (target, label) = if k == 0 {
                             (context as usize, 1.0f32)
                         } else {
-                            (neg_table.sample(&mut rng) as usize, 0.0f32)
+                            (neg_table.sample(rng) as usize, 0.0f32)
                         };
                         if k > 0 && target == context as usize {
                             continue;
@@ -113,12 +188,12 @@ pub fn train_sgns(n_nodes: usize, walks: &[Vec<u32>], cfg: &SgnsConfig) -> Embed
                         let ovec_idx = target * d;
                         let mut dot = 0.0f32;
                         for j in 0..d {
-                            dot += input_at(&input, cvec_idx + j) * output[ovec_idx + j];
+                            dot += input_at(input, cvec_idx + j) * output[ovec_idx + j];
                         }
                         let g = (label - sigmoid(dot)) * lr;
                         for j in 0..d {
                             grad[j] += g * output[ovec_idx + j];
-                            output[ovec_idx + j] += g * input_at(&input, cvec_idx + j);
+                            output[ovec_idx + j] += g * input_at(input, cvec_idx + j);
                         }
                     }
                     let cv = input.vector_mut(center as usize);
@@ -129,7 +204,217 @@ pub fn train_sgns(n_nodes: usize, walks: &[Vec<u32>], cfg: &SgnsConfig) -> Embed
             }
         }
     }
-    input
+}
+
+/// One worker's copy-on-first-touch overlay of the frozen matrices.
+///
+/// The worker trains its walk chunk with plain *fresh* SGD on overlay rows
+/// (local SGD); at the barrier each row contributes the delta
+/// `local − frozen`. Rows live in a `Vec` in first-touch order — never a
+/// `HashMap` — so the merge order, and with it every floating-point
+/// rounding, is deterministic.
+struct ShardBuf {
+    /// Row id of slot `i` (input row `r`, or `n + r` for output row `r`).
+    touched: Vec<u32>,
+    /// Working copy of each touched row, updated in place by the worker.
+    local: Vec<Vec<f32>>,
+    /// Frozen snapshot of each touched row, captured at first touch.
+    frozen: Vec<Vec<f32>>,
+    /// Row → slot index + a generation stamp to reset in O(1).
+    slot_of: Vec<(u32, u32)>,
+    generation: u32,
+}
+
+impl ShardBuf {
+    fn new(rows: usize) -> Self {
+        ShardBuf {
+            touched: Vec::new(),
+            local: Vec::new(),
+            frozen: Vec::new(),
+            slot_of: vec![(0, u32::MAX); rows],
+            generation: 1,
+        }
+    }
+
+    /// The worker's live copy of `row`, initialized from `src` on first
+    /// touch.
+    fn row_mut(&mut self, row: u32, src: &[f32]) -> &mut [f32] {
+        let (slot, stamp) = self.slot_of[row as usize];
+        let slot = if stamp == self.generation {
+            slot as usize
+        } else {
+            let s = self.touched.len();
+            self.touched.push(row);
+            self.local.push(src.to_vec());
+            self.frozen.push(src.to_vec());
+            self.slot_of[row as usize] = (s as u32, self.generation);
+            s
+        };
+        &mut self.local[slot]
+    }
+}
+
+/// The sharded batch-synchronous mode (deterministic local SGD). Walks are
+/// cut into fixed [`BATCH_WALKS`]-sized batches; each worker takes one
+/// contiguous chunk of the batch and trains it *sequentially, with fresh
+/// updates* on a sparse overlay of the frozen matrices, drawing negatives
+/// from per-walk RNG streams. At the barrier the per-row deltas
+/// (`local − frozen`) are applied in worker/first-touch order. The result
+/// is a pure function of `(corpus, cfg, thread count)`.
+fn train_sharded(
+    input: &mut Embedding,
+    output: &mut [f32],
+    walks: &[Vec<u32>],
+    cfg: &SgnsConfig,
+    neg_table: &AliasTable,
+    total_steps: usize,
+    threads: usize,
+) {
+    let d = cfg.dims;
+    let n = input.len();
+    // Pair-count prefix sums: walk `i`'s first update is global step
+    // `prefix[i]`, keeping the learning-rate schedule aligned with the
+    // sequential reference no matter how walks are sharded.
+    let mut prefix = Vec::with_capacity(walks.len() + 1);
+    let mut acc = 0usize;
+    prefix.push(0);
+    for w in walks {
+        acc += pair_count(w.len(), cfg.window);
+        prefix.push(acc);
+    }
+    let pairs_per_epoch = acc;
+
+    for epoch in 0..cfg.epochs {
+        let epoch_base = epoch * pairs_per_epoch;
+        let mut batch_start = 0usize;
+        while batch_start < walks.len() {
+            let batch_end = (batch_start + BATCH_WALKS).min(walks.len());
+            // Freeze the matrices for this batch.
+            let input_ref = &*input;
+            let output_ref = &*output;
+            let prefix_ref = &prefix;
+            let buffers: Vec<ShardBuf> = par::par_ranges(
+                batch_end - batch_start,
+                threads,
+                0, // one contiguous chunk per worker: assignment is static
+                |r| {
+                    let mut buf = ShardBuf::new(2 * n);
+                    let mut grad = vec![0.0f32; d];
+                    let mut cvec = vec![0.0f32; d];
+                    for off in r {
+                        let wi = batch_start + off;
+                        train_one_walk_sharded(
+                            &walks[wi],
+                            wi,
+                            epoch,
+                            epoch_base + prefix_ref[wi],
+                            input_ref,
+                            output_ref,
+                            cfg,
+                            neg_table,
+                            total_steps,
+                            &mut buf,
+                            &mut grad,
+                            &mut cvec,
+                        );
+                    }
+                    buf
+                },
+            );
+            // Deterministic merge: worker order, first-touch order within.
+            for buf in buffers {
+                for (slot, &row) in buf.touched.iter().enumerate() {
+                    let local = &buf.local[slot];
+                    let frozen = &buf.frozen[slot];
+                    let dest = if (row as usize) < n {
+                        input.vector_mut(row as usize)
+                    } else {
+                        let base = (row as usize - n) * d;
+                        &mut output[base..base + d]
+                    };
+                    for j in 0..d {
+                        dest[j] += local[j] - frozen[j];
+                    }
+                }
+            }
+            batch_start = batch_end;
+        }
+    }
+}
+
+/// Exact number of (center, context) updates the training loop performs on
+/// a walk of `len` nodes.
+fn pair_count(len: usize, window: usize) -> usize {
+    (0..len)
+        .map(|ci| (ci + window + 1).min(len) - ci.saturating_sub(window) - 1)
+        .sum()
+}
+
+/// Trains one walk with fresh SGD on the worker's overlay. Negatives come
+/// from an RNG stream split from the master seed by `(epoch, walk index)` —
+/// the same SplitMix64 scheme as walk generation — so the draws do not
+/// depend on which worker runs the walk.
+#[allow(clippy::too_many_arguments)]
+fn train_one_walk_sharded(
+    walk: &[u32],
+    wi: usize,
+    epoch: usize,
+    start_step: usize,
+    input: &Embedding,
+    output: &[f32],
+    cfg: &SgnsConfig,
+    neg_table: &AliasTable,
+    total_steps: usize,
+    buf: &mut ShardBuf,
+    grad: &mut [f32],
+    cvec: &mut [f32],
+) {
+    let d = cfg.dims;
+    let n = input.len();
+    let mut rng = StdRng::seed_from_u64(splitmix64(
+        cfg.seed ^ (wi as u64) ^ ((epoch as u64) << 40) ^ 0x5A4D5,
+    ));
+    let mut step = start_step;
+    for (ci, &center) in walk.iter().enumerate() {
+        let lo = ci.saturating_sub(cfg.window);
+        let hi = (ci + cfg.window + 1).min(walk.len());
+        for (xi, &context) in walk.iter().enumerate().take(hi).skip(lo) {
+            if xi == ci {
+                continue;
+            }
+            let progress = step as f32 / total_steps as f32;
+            let lr = cfg.learning_rate * (1.0 - progress).max(0.05);
+            step += 1;
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            // The center row cannot change during the k-loop (its gradient
+            // is applied after), so a copy is exact, not an approximation.
+            cvec.copy_from_slice(buf.row_mut(center, input.vector(center as usize)));
+            for k in 0..=cfg.negatives {
+                let (target, label) = if k == 0 {
+                    (context as usize, 1.0f32)
+                } else {
+                    (neg_table.sample(&mut rng) as usize, 0.0f32)
+                };
+                if k > 0 && target == context as usize {
+                    continue;
+                }
+                let ovec = buf.row_mut((n + target) as u32, &output[target * d..target * d + d]);
+                let mut dot = 0.0f32;
+                for j in 0..d {
+                    dot += cvec[j] * ovec[j];
+                }
+                let g = (label - sigmoid(dot)) * lr;
+                for j in 0..d {
+                    grad[j] += g * ovec[j];
+                    ovec[j] += g * cvec[j];
+                }
+            }
+            let cv = buf.row_mut(center, input.vector(center as usize));
+            for j in 0..d {
+                cv[j] += grad[j];
+            }
+        }
+    }
 }
 
 #[inline]
@@ -203,6 +488,64 @@ mod tests {
     fn zero_nodes_ok() {
         let emb = train_sgns(0, &[], &SgnsConfig::default());
         assert_eq!(emb.len(), 0);
+    }
+
+    #[test]
+    fn pair_count_is_exact() {
+        // Must match the number of (center, context) iterations the
+        // training loops actually perform, or the lr schedules diverge.
+        for (len, window) in [(0usize, 4usize), (1, 4), (5, 2), (8, 4), (20, 3)] {
+            let walk: Vec<u32> = (0..len as u32).collect();
+            let mut brute = 0usize;
+            for ci in 0..walk.len() {
+                let lo = ci.saturating_sub(window);
+                let hi = (ci + window + 1).min(walk.len());
+                brute += (lo..hi).filter(|&xi| xi != ci).count();
+            }
+            assert_eq!(pair_count(len, window), brute, "len {len} window {window}");
+        }
+    }
+
+    #[test]
+    fn sharded_mode_reproducible_per_seed_and_threads() {
+        // Same seed + same thread count => byte-identical embeddings.
+        let cfg = SgnsConfig {
+            dims: 8,
+            epochs: 2,
+            seed: 7,
+            threads: 2,
+            ..Default::default()
+        };
+        let corpus = two_community_corpus();
+        let a = train_sgns(6, &corpus, &cfg);
+        let b = train_sgns(6, &corpus, &cfg);
+        for i in 0..6 {
+            assert_eq!(a.vector(i), b.vector(i), "node {i} diverged across runs");
+        }
+    }
+
+    #[test]
+    fn sharded_mode_separates_communities() {
+        // The parallel mode must reach the same qualitative optimum as the
+        // sequential reference, even though the trajectories differ.
+        for threads in [2usize, 8] {
+            let cfg = SgnsConfig {
+                dims: 16,
+                epochs: 3,
+                seed: 11,
+                threads,
+                ..Default::default()
+            };
+            let emb = train_sgns(6, &two_community_corpus(), &cfg);
+            let intra =
+                (cosine(emb.vector(0), emb.vector(1)) + cosine(emb.vector(3), emb.vector(4))) / 2.0;
+            let inter =
+                (cosine(emb.vector(0), emb.vector(3)) + cosine(emb.vector(2), emb.vector(5))) / 2.0;
+            assert!(
+                intra > inter + 0.2,
+                "threads {threads}: intra {intra} should clearly exceed inter {inter}"
+            );
+        }
     }
 
     #[test]

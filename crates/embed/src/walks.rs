@@ -14,9 +14,23 @@
 //! Ownership edges are traversed in both directions: shareholding proximity
 //! is a symmetric signal for blocking purposes.
 //!
-//! Each walk draws from an RNG seeded by `(seed, walk index)`, so the
-//! corpus is identical whether walks are generated sequentially or across
-//! threads — large graphs fan out over `crossbeam` scoped threads.
+//! # Seed splitting
+//!
+//! The walk corpus must not depend on how many threads generate it, so the
+//! master seed is *split into one independent RNG stream per walk* rather
+//! than shared sequentially:
+//!
+//! 1. walk `idx` (row `r·n + v` starts round `r` at node `v`) derives the
+//!    64-bit value `cfg.seed ^ idx`;
+//! 2. that value is passed through SplitMix64 (the mixer recommended for
+//!    seeding by the xoshiro authors) so that consecutive indices — which
+//!    differ in a handful of low bits — map to decorrelated states;
+//! 3. the mixed value seeds a fresh `StdRng` used exclusively by that walk.
+//!
+//! A walk's randomness is therefore a pure function of `(seed, idx)`:
+//! threads only decide *who* computes a walk, never *what* it contains.
+//! Large corpora fan out over [`par`] scoped threads; any thread count
+//! (including 1) yields byte-identical output.
 
 use pgraph::{Csr, NodeId};
 use rand::rngs::StdRng;
@@ -35,6 +49,9 @@ pub struct WalkConfig {
     pub q: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads (`0` = the [`par::threads`] default). The corpus is
+    /// identical for every value.
+    pub threads: usize,
 }
 
 impl Default for WalkConfig {
@@ -45,6 +62,7 @@ impl Default for WalkConfig {
             p: 1.0,
             q: 1.0,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -53,7 +71,7 @@ impl Default for WalkConfig {
 const PARALLEL_THRESHOLD: usize = 20_000;
 
 /// SplitMix64: decorrelates per-walk seeds derived from (seed, index).
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -70,28 +88,14 @@ pub fn generate_walks(csr: &Csr, cfg: &WalkConfig) -> Vec<Vec<u32>> {
     if total == 0 {
         return walks;
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8);
-    if total < PARALLEL_THRESHOLD || threads <= 1 {
-        for (idx, walk) in walks.iter_mut().enumerate() {
-            *walk = one_walk(csr, cfg, idx, n);
-        }
-        return walks;
-    }
-    let chunk = total.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (ci, slot) in walks.chunks_mut(chunk).enumerate() {
-            scope.spawn(move |_| {
-                let base = ci * chunk;
-                for (off, walk) in slot.iter_mut().enumerate() {
-                    *walk = one_walk(csr, cfg, base + off, n);
-                }
-            });
-        }
-    })
-    .expect("walk threads do not panic");
+    let threads = if total < PARALLEL_THRESHOLD {
+        1
+    } else {
+        par::resolve(cfg.threads)
+    };
+    par::par_for_mut(&mut walks, threads, |idx, walk| {
+        *walk = one_walk(csr, cfg, idx, n);
+    });
     walks
 }
 
@@ -267,6 +271,7 @@ mod tests {
                 p,
                 q: 1.0,
                 seed: 5,
+                threads: 0,
             };
             let walks = generate_walks(&csr, &cfg);
             walks

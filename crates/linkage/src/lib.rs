@@ -14,11 +14,15 @@
 //!   `p = Πp_i / (Πp_i + Π(1−p_i))`;
 //! * [`blocking`] — deterministic feature-based blocking
 //!   (`#GenerateBlocks` in Algorithm 3), including the fixed-block-count
-//!   hasher used to sweep cluster counts in Figures 4(c)/4(e).
+//!   hasher used to sweep cluster counts in Figures 4(c)/4(e);
+//! * [`score`] — parallel all-pairs-within-block scoring with a
+//!   deterministic pair order, so results are bit-identical for any
+//!   thread count.
 
 pub mod bayes;
 pub mod blocking;
 pub mod distance;
+pub mod score;
 
 pub use bayes::{BayesModel, FeatureSpec, TrainingPair};
 pub use blocking::{block_by_key, FeatureBlocker};
@@ -26,3 +30,4 @@ pub use distance::{
     damerau_levenshtein, jaro, jaro_winkler, levenshtein, normalized_levenshtein, numeric_distance,
     soundex,
 };
+pub use score::{block_pairs, score_blocks, score_pairs};

@@ -1,0 +1,136 @@
+//! Parallel all-pairs-within-block scoring (`#CompareBlocks`).
+//!
+//! Blocking bounds the candidate set; this module evaluates it. The pair
+//! list is enumerated *deterministically* — blocks in ascending key order,
+//! members in list order, `i < j` — and then scored by a pure function
+//! fanned out over [`par`] scoped threads. Because the pair order is fixed
+//! before any thread runs and [`par::par_map_with`] preserves input order,
+//! the score vector is **bit-identical for every thread count**, which is
+//! what the sequential-vs-parallel differential tests lock down.
+
+use std::collections::HashMap;
+
+/// Enumerates the comparison pairs of a blocking in a deterministic order:
+/// blocks by ascending key, then all `(members[i], members[j])` with
+/// `i < j`. The result length equals [`crate::blocking::comparison_count`].
+pub fn block_pairs(blocks: &HashMap<u64, Vec<usize>>) -> Vec<(usize, usize)> {
+    let mut keys: Vec<&u64> = blocks.keys().collect();
+    keys.sort_unstable();
+    let mut pairs = Vec::new();
+    for key in keys {
+        let members = &blocks[key];
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                pairs.push((members[i], members[j]));
+            }
+        }
+    }
+    pairs
+}
+
+/// Scores each pair `(a, b)` as `score(&items[a], &items[b])`, fanned out
+/// over `threads` workers (`0` = the [`par::threads`] default). Output
+/// order matches `pairs`; the result does not depend on the thread count.
+pub fn score_pairs<T: Sync, S: Send>(
+    items: &[T],
+    pairs: &[(usize, usize)],
+    threads: usize,
+    score: impl Fn(&T, &T) -> S + Sync,
+) -> Vec<S> {
+    par::par_map_with(pairs, threads, 0, |&(a, b)| score(&items[a], &items[b]))
+}
+
+/// Blocks `items`, enumerates the within-block pairs deterministically and
+/// scores them in parallel. Returns `(a, b, score)` triples in pair order.
+pub fn score_blocks<T: Sync, K: std::hash::Hash, S: Send>(
+    blocker: &crate::blocking::FeatureBlocker,
+    items: &[T],
+    threads: usize,
+    key: impl Fn(&T) -> K,
+    score: impl Fn(&T, &T) -> S + Sync,
+) -> Vec<(usize, usize, S)> {
+    let blocks = blocker.blocks(items, key);
+    let pairs = block_pairs(&blocks);
+    let scores = score_pairs(items, &pairs, threads, score);
+    pairs
+        .into_iter()
+        .zip(scores)
+        .map(|((a, b), s)| (a, b, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::{comparison_count, FeatureBlocker};
+    use crate::distance::jaro_winkler;
+
+    fn names() -> Vec<&'static str> {
+        vec![
+            "rossi", "russo", "rossi", "bianchi", "bianco", "verdi", "verde", "rosi", "bianchi",
+            "neri",
+        ]
+    }
+
+    #[test]
+    fn pair_list_is_deterministic_and_complete() {
+        let items = names();
+        let blocker = FeatureBlocker::with_block_count(3);
+        let blocks = blocker.blocks(&items, |s| s.as_bytes()[0]);
+        let pairs = block_pairs(&blocks);
+        assert_eq!(pairs.len(), comparison_count(&blocks));
+        assert_eq!(pairs, block_pairs(&blocks));
+        for &(a, b) in &pairs {
+            // Within-block, list order: blocker lists indexes ascending.
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn scores_are_identical_across_thread_counts() {
+        let items = names();
+        let blocker = FeatureBlocker::with_block_count(2);
+        let blocks = blocker.blocks(&items, |s| s.len());
+        let pairs = block_pairs(&blocks);
+        let reference: Vec<f64> = pairs
+            .iter()
+            .map(|&(a, b)| jaro_winkler(items[a], items[b]))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let scored = score_pairs(&items, &pairs, threads, |a, b| jaro_winkler(a, b));
+            assert_eq!(scored, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn score_blocks_end_to_end() {
+        let items = names();
+        let blocker = FeatureBlocker::natural();
+        let triples = score_blocks(
+            &blocker,
+            &items,
+            2,
+            |s| s.as_bytes()[0],
+            |a, b| jaro_winkler(a, b),
+        );
+        // "rossi" appears at 0 and 2: an exact-match pair must be present.
+        assert!(triples
+            .iter()
+            .any(|&(a, b, s)| (a, b) == (0, 2) && s == 1.0));
+        // All pairs share a first letter (the blocking key).
+        for &(a, b, _) in &triples {
+            assert_eq!(items[a].as_bytes()[0], items[b].as_bytes()[0]);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_blocks_yield_no_pairs() {
+        let items: Vec<&str> = vec!["solo"];
+        let blocker = FeatureBlocker::natural();
+        let blocks = blocker.blocks(&items, |s| s.to_string());
+        assert!(block_pairs(&blocks).is_empty());
+        let none: Vec<(usize, usize)> = Vec::new();
+        let scored = score_pairs(&items, &none, 4, |_, _| 1.0f64);
+        assert!(scored.is_empty());
+    }
+}

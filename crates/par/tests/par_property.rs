@@ -1,0 +1,77 @@
+//! Property tests: the parallel combinators are *extensionally equal* to
+//! their sequential counterparts for every input, chunk size and thread
+//! count — same values, same order. The unit tests in `src/lib.rs` pin the
+//! edge cases (empty input, panic propagation); these sweep the space.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// `par_map_with` == `iter().map()` for arbitrary inputs, thread
+    /// counts and chunk sizes (including the 0 = auto chunk size).
+    #[test]
+    fn par_map_equals_sequential_map(
+        items in prop::collection::vec(any::<i64>(), 0..200),
+        threads in 0usize..9,
+        chunk in 0usize..17,
+    ) {
+        let f = |x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        let expected: Vec<i64> = items.iter().map(f).collect();
+        prop_assert_eq!(par::par_map_with(&items, threads, chunk, f), expected);
+    }
+
+    /// Order preservation with a value that encodes the input index, so a
+    /// chunk spliced back in the wrong place cannot cancel out.
+    #[test]
+    fn par_map_preserves_index_order(
+        len in 0usize..500,
+        threads in 1usize..9,
+        chunk in 0usize..33,
+    ) {
+        let items: Vec<usize> = (0..len).collect();
+        let got = par::par_map_with(&items, threads, chunk, |&i| i * 2 + 1);
+        prop_assert_eq!(got, (0..len).map(|i| i * 2 + 1).collect::<Vec<_>>());
+    }
+
+    /// `par_for_mut` applies the indexed update exactly once per slot.
+    #[test]
+    fn par_for_mut_equals_sequential_update(
+        items in prop::collection::vec(any::<u32>(), 0..200),
+        threads in 1usize..9,
+    ) {
+        let mut expected = items.clone();
+        for (i, v) in expected.iter_mut().enumerate() {
+            *v = v.wrapping_add(i as u32);
+        }
+        let mut got = items;
+        par::par_for_mut(&mut got, threads, |i, v| *v = v.wrapping_add(i as u32));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Empty input is a fixed point for every configuration.
+    #[test]
+    fn empty_input_is_empty_output(threads in 0usize..9, chunk in 0usize..17) {
+        let empty: Vec<u8> = Vec::new();
+        prop_assert!(par::par_map_with(&empty, threads, chunk, |&b| b).is_empty());
+    }
+}
+
+/// A panic in any worker chunk propagates to the caller with its payload,
+/// regardless of which chunk panics.
+#[test]
+fn panic_propagates_from_any_chunk() {
+    for poison in [0usize, 63, 127] {
+        let items: Vec<usize> = (0..128).collect();
+        let err = std::panic::catch_unwind(|| {
+            par::par_map_with(&items, 4, 8, |&i| {
+                assert!(i != poison, "poisoned at {i}");
+                i
+            })
+        })
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains(&format!("poisoned at {poison}")),
+            "payload lost: {msg}"
+        );
+    }
+}
