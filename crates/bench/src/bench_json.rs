@@ -1,0 +1,643 @@
+//! Machine-readable datalog benchmark: `repro --bench-json`.
+//!
+//! Runs the bundled Vadalog programs (control, close-link, generic
+//! pipeline) over a deterministically generated company graph twice per
+//! program — cost-based planning on and off — and emits the measurements
+//! as `BENCH_datalog.json`. The file is the artifact CI smokes: a schema
+//! validator ([`validate_bench_json`]) lives next to the writer so the
+//! JSON contract is enforced by `cargo test` and by the `repro` binary
+//! itself right after writing.
+//!
+//! No serde in the build environment, so both sides are hand-rolled: the
+//! writer builds the document with `format!`, the validator embeds a tiny
+//! recursive-descent JSON parser. That is deliberate scope control — the
+//! schema is one object, one array, all leaves primitive.
+
+use std::time::Instant;
+
+use datalog::{Database, Engine, Program};
+use gen::company::{generate, CompanyGraphConfig};
+use vada_link::mapping::load_facts;
+use vada_link::model::CompanyGraph;
+use vada_link::programs::{CLOSELINK_PROGRAM, CONTROL_PROGRAM, GENERIC_PIPELINE_PROGRAM};
+
+/// Schema tag written into — and demanded from — every bench document.
+pub const BENCH_SCHEMA: &str = "vadalink-bench-datalog/1";
+
+/// Close-link threshold used for the benchmark run (the paper's default).
+const CLOSELINK_THRESHOLD: f64 = 0.2;
+
+/// Measurements for one bundled program, planning on vs off.
+#[derive(Debug, Clone)]
+pub struct ProgramBench {
+    /// Program name (`control`, `close_link`, `generic_pipeline`).
+    pub name: &'static str,
+    /// Best-of-`repeats` fixpoint wall time with the planner enabled.
+    pub plan_on_secs: f64,
+    /// Best-of-`repeats` fixpoint wall time with the planner disabled.
+    pub plan_off_secs: f64,
+    /// `plan_off_secs / plan_on_secs` — how much planning buys.
+    pub speedup: f64,
+    /// Facts derived by the fixpoint (identical across modes).
+    pub facts_derived: usize,
+    /// Semi-naive rounds across strata (identical across modes).
+    pub rounds: usize,
+    /// Largest single relation after the run (relations only grow during
+    /// the fixpoint, so post-run size is the in-run peak for every
+    /// relation `@post` does not compact).
+    pub peak_relation_rows: usize,
+    /// Total stored facts after the run.
+    pub total_facts: usize,
+    /// Whether the planned and unplanned runs produced identical
+    /// databases (every relation, every tuple).
+    pub outputs_match: bool,
+}
+
+/// Benchmark workload knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Person nodes in the generated company graph (companies = half).
+    pub persons: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Engine worker threads (1 = sequential reference path).
+    pub threads: usize,
+    /// Timing repeats per mode; the minimum is reported.
+    pub repeats: usize,
+}
+
+/// The three bundled programs the benchmark exercises. Close-link needs
+/// the threshold fact; the others run on the mapped graph alone.
+fn programs() -> [(&'static str, &'static str, Option<f64>); 3] {
+    [
+        ("control", CONTROL_PROGRAM, None),
+        ("close_link", CLOSELINK_PROGRAM, Some(CLOSELINK_THRESHOLD)),
+        ("generic_pipeline", GENERIC_PIPELINE_PROGRAM, None),
+    ]
+}
+
+fn fresh_db(g: &CompanyGraph, threshold: Option<f64>) -> Database {
+    let mut db = Database::new();
+    load_facts(g, &mut db);
+    if let Some(t) = threshold {
+        db.assert_fact("th", &[datalog::Const::float(t)])
+            .expect("arity");
+    }
+    db
+}
+
+/// Full-database dump: every predicate's sorted tuples, sorted by name.
+/// Used to assert the planned and unplanned runs are indistinguishable.
+fn db_snapshot(db: &Database) -> Vec<(String, Vec<String>)> {
+    let mut snap: Vec<(String, Vec<String>)> = (0..db.pred_count() as u32)
+        .map(|p| {
+            let name = db.pred_name(p).to_owned();
+            let rows = db.dump(&name);
+            (name, rows)
+        })
+        .collect();
+    snap.sort();
+    snap
+}
+
+fn relation_profile(db: &Database) -> (usize, usize) {
+    let mut peak = 0usize;
+    let mut total = 0usize;
+    for p in 0..db.pred_count() as u32 {
+        let n = db.relation(db.pred_name(p)).map(|r| r.len()).unwrap_or(0);
+        peak = peak.max(n);
+        total += n;
+    }
+    (peak, total)
+}
+
+/// One run of `engine` on a fresh database, returning the wall time of
+/// the fixpoint alone (database construction is outside the timer).
+fn one_run(
+    engine: &Engine,
+    g: &CompanyGraph,
+    threshold: Option<f64>,
+) -> (f64, datalog::RunStats, Database) {
+    let mut db = fresh_db(g, threshold);
+    let start = Instant::now();
+    let stats = engine.run(&mut db).expect("fixpoint");
+    (start.elapsed().as_secs_f64(), stats, db)
+}
+
+/// Times two engine modes back to back: one untimed warm-up run per mode
+/// (heap growth and lazy page faults land on whichever mode runs first —
+/// warming both keeps the comparison fair), then `repeats` interleaved
+/// timed runs per mode, keeping the best of each. Returns
+/// `(best_a, best_b, stats, db_a, db_b)`; stats and databases come from
+/// the last repeat (identical across repeats — the engine is
+/// deterministic).
+fn timed_pair(
+    a: &Engine,
+    b: &Engine,
+    g: &CompanyGraph,
+    threshold: Option<f64>,
+    repeats: usize,
+) -> (f64, f64, datalog::RunStats, Database, Database) {
+    let _ = one_run(a, g, threshold);
+    let _ = one_run(b, g, threshold);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    let mut last: Option<(datalog::RunStats, Database, Database)> = None;
+    for _ in 0..repeats.max(1) {
+        let (secs_a, stats, db_a) = one_run(a, g, threshold);
+        let (secs_b, _, db_b) = one_run(b, g, threshold);
+        best_a = best_a.min(secs_a);
+        best_b = best_b.min(secs_b);
+        last = Some((stats, db_a, db_b));
+    }
+    let (stats, db_a, db_b) = last.expect("at least one repeat");
+    (best_a, best_b, stats, db_a, db_b)
+}
+
+/// Runs every bundled program with planning on and off at
+/// `cfg.threads`, returning one row per program.
+pub fn run_datalog_bench(cfg: &BenchConfig) -> Vec<ProgramBench> {
+    let out = generate(&CompanyGraphConfig {
+        persons: cfg.persons,
+        companies: cfg.persons / 2,
+        seed: cfg.seed,
+        ..Default::default()
+    });
+    let g = CompanyGraph::new(out.graph);
+
+    let mut rows = Vec::new();
+    for (name, src, threshold) in programs() {
+        let program = Program::parse(src).expect("bundled program parses");
+        let mut on = Engine::new(&program).expect("bundled program compiles");
+        on.options_mut().threads = cfg.threads;
+        on.options_mut().plan = true;
+        let mut off = Engine::new(&program).expect("bundled program compiles");
+        off.options_mut().threads = cfg.threads;
+        off.options_mut().plan = false;
+
+        let (plan_on_secs, plan_off_secs, stats, db_on, db_off) =
+            timed_pair(&on, &off, &g, threshold, cfg.repeats);
+
+        let outputs_match = db_snapshot(&db_on) == db_snapshot(&db_off);
+        let (peak_relation_rows, total_facts) = relation_profile(&db_on);
+        rows.push(ProgramBench {
+            name,
+            plan_on_secs,
+            plan_off_secs,
+            speedup: plan_off_secs / plan_on_secs.max(1e-12),
+            facts_derived: stats.derived,
+            rounds: stats.rounds,
+            peak_relation_rows,
+            total_facts,
+            outputs_match,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// JSON string escaping (the schema only emits ASCII identifiers, but the
+/// writer stays correct for anything).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Finite-float JSON literal (`NaN`/`inf` have no JSON spelling; clamp to
+/// zero rather than emit an invalid document).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_owned()
+    }
+}
+
+/// Renders the benchmark document.
+pub fn render_bench_json(cfg: &BenchConfig, rows: &[ProgramBench]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{}\",\n", esc(BENCH_SCHEMA)));
+    s.push_str(&format!("  \"persons\": {},\n", cfg.persons));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    s.push_str(&format!("  \"repeats\": {},\n", cfg.repeats));
+    s.push_str("  \"programs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", esc(r.name)));
+        s.push_str(&format!(
+            "      \"plan_on_secs\": {},\n",
+            num(r.plan_on_secs)
+        ));
+        s.push_str(&format!(
+            "      \"plan_off_secs\": {},\n",
+            num(r.plan_off_secs)
+        ));
+        s.push_str(&format!("      \"speedup\": {},\n", num(r.speedup)));
+        s.push_str(&format!("      \"facts_derived\": {},\n", r.facts_derived));
+        s.push_str(&format!("      \"rounds\": {},\n", r.rounds));
+        s.push_str(&format!(
+            "      \"peak_relation_rows\": {},\n",
+            r.peak_relation_rows
+        ));
+        s.push_str(&format!("      \"total_facts\": {},\n", r.total_facts));
+        s.push_str(&format!("      \"outputs_match\": {}\n", r.outputs_match));
+        s.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Validator (tiny JSON parser + schema checks)
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value — just enough for schema validation.
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a JVal> {
+        match self {
+            JVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct JParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JVal, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JVal::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JVal::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JVal::Bool(false)),
+            Some(b'n') => self.parse_lit("null", JVal::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, val: JVal) -> Result<JVal, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JVal, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(JVal::Num)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JVal, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Result<JVal, String> {
+    let mut p = JParser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    Ok(v)
+}
+
+fn want_num(v: &JVal, field: &str) -> Result<f64, String> {
+    match v.get(field) {
+        Some(JVal::Num(n)) => Ok(*n),
+        Some(_) => Err(format!("field '{field}' must be a number")),
+        None => Err(format!("missing field '{field}'")),
+    }
+}
+
+/// Validates a `BENCH_datalog.json` document against the
+/// `vadalink-bench-datalog/1` schema: field presence, types, and the
+/// basic sanity invariants (positive timings, non-empty program list,
+/// matched outputs).
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema") {
+        Some(JVal::Str(s)) if s == BENCH_SCHEMA => {}
+        Some(JVal::Str(s)) => return Err(format!("unknown schema '{s}'")),
+        _ => return Err("missing string field 'schema'".into()),
+    }
+    for field in ["persons", "seed", "threads", "repeats"] {
+        let v = want_num(&doc, field)?;
+        if v < 1.0 {
+            return Err(format!("field '{field}' must be >= 1"));
+        }
+    }
+    let programs = match doc.get("programs") {
+        Some(JVal::Arr(items)) => items,
+        Some(_) => return Err("field 'programs' must be an array".into()),
+        None => return Err("missing field 'programs'".into()),
+    };
+    if programs.is_empty() {
+        return Err("'programs' must not be empty".into());
+    }
+    for (i, p) in programs.iter().enumerate() {
+        let ctx = |msg: String| format!("programs[{i}]: {msg}");
+        match p.get("name") {
+            Some(JVal::Str(s)) if !s.is_empty() => {}
+            _ => return Err(ctx("missing non-empty string field 'name'".into())),
+        }
+        for field in ["plan_on_secs", "plan_off_secs", "speedup"] {
+            let v = want_num(p, field).map_err(&ctx)?;
+            if v <= 0.0 || v.is_nan() {
+                return Err(ctx(format!("field '{field}' must be > 0")));
+            }
+        }
+        for field in [
+            "facts_derived",
+            "rounds",
+            "peak_relation_rows",
+            "total_facts",
+        ] {
+            let v = want_num(p, field).map_err(&ctx)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(ctx(format!(
+                    "field '{field}' must be a non-negative integer"
+                )));
+            }
+        }
+        match p.get("outputs_match") {
+            Some(JVal::Bool(true)) => {}
+            Some(JVal::Bool(false)) => {
+                return Err(ctx(
+                    "outputs_match is false — planner changed the derived database".into(),
+                ))
+            }
+            _ => return Err(ctx("missing boolean field 'outputs_match'".into())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<ProgramBench> {
+        vec![ProgramBench {
+            name: "control",
+            plan_on_secs: 0.5,
+            plan_off_secs: 1.0,
+            speedup: 2.0,
+            facts_derived: 123,
+            rounds: 7,
+            peak_relation_rows: 99,
+            total_facts: 400,
+            outputs_match: true,
+        }]
+    }
+
+    fn sample_cfg() -> BenchConfig {
+        BenchConfig {
+            persons: 100,
+            seed: 1,
+            threads: 1,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let text = render_bench_json(&sample_cfg(), &sample_rows());
+        validate_bench_json(&text).expect("writer output must satisfy the schema");
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let good = render_bench_json(&sample_cfg(), &sample_rows());
+        // Not JSON at all.
+        assert!(validate_bench_json("not json").is_err());
+        // Wrong schema tag.
+        let bad = good.replace(BENCH_SCHEMA, "something-else/9");
+        assert!(validate_bench_json(&bad).is_err());
+        // Missing required field.
+        let bad = good.replace("\"speedup\"", "\"sped_up\"");
+        assert!(validate_bench_json(&bad).is_err());
+        // Output mismatch is a validation failure, not a warning.
+        let bad = good.replace("\"outputs_match\": true", "\"outputs_match\": false");
+        assert!(validate_bench_json(&bad).is_err());
+        // Empty program list.
+        let mut rows = sample_rows();
+        rows.clear();
+        let bad = render_bench_json(&sample_cfg(), &rows);
+        assert!(validate_bench_json(&bad).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\n\"y\""], "b": {"c": null}}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&JVal::Arr(vec![
+                JVal::Num(1.0),
+                JVal::Num(-25.0),
+                JVal::Str("x\n\"y\"".into()),
+            ]))
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&JVal::Null));
+        assert!(parse_json("{\"a\": 1,}").is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn bench_runs_end_to_end_on_a_tiny_graph() {
+        let cfg = BenchConfig {
+            persons: 60,
+            seed: 0xEDB7,
+            threads: 1,
+            repeats: 1,
+        };
+        let rows = run_datalog_bench(&cfg);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.outputs_match, "{}: plan on/off diverged", r.name);
+            assert!(r.plan_on_secs > 0.0 && r.plan_off_secs > 0.0);
+            assert!(r.total_facts >= r.peak_relation_rows);
+        }
+        let text = render_bench_json(&cfg, &rows);
+        validate_bench_json(&text).expect("real bench output must validate");
+    }
+}

@@ -2,26 +2,47 @@
 //!
 //! ```text
 //! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations]
-//!       [--scale small|full] [--threads N]
+//!       [--scale small|full] [--threads N] [--bench-json [PATH]]
 //! ```
 //!
 //! `small` (default) finishes in a few minutes; `full` pushes the sweeps
 //! to the paper's ranges (100k-person graphs, 1–500 clusters).
+//!
+//! `--bench-json` skips the figure sweeps and instead benchmarks the
+//! bundled Vadalog programs with cost-based planning on vs off, writing
+//! the measurements to `PATH` (default `BENCH_datalog.json`). The file is
+//! validated against the `vadalink-bench-datalog/1` schema before the
+//! process exits, so a malformed document fails loudly — CI smokes this
+//! path in release mode.
 
+use bench::bench_json::{render_bench_json, run_datalog_bench, validate_bench_json, BenchConfig};
 use bench::experiments::*;
 
 struct Args {
     exp: String,
     full: bool,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut exp = "all".to_owned();
     let mut full = false;
+    let mut bench_json = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--bench-json" => {
+                // Optional path operand; default next to the cwd.
+                let path = match argv.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "BENCH_datalog.json".to_owned(),
+                };
+                bench_json = Some(path);
+            }
             "--exp" => {
                 i += 1;
                 exp = argv.get(i).cloned().unwrap_or_else(|| "all".to_owned());
@@ -46,13 +67,66 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    Args { exp, full }
+    Args {
+        exp,
+        full,
+        bench_json,
+    }
 }
 
 const SEED: u64 = 0xEDB7;
 
+/// Runs the datalog plan-on/plan-off benchmark and writes + validates the
+/// JSON artifact. Exits non-zero on schema or identity failure.
+fn run_bench_json(path: &str, full: bool) {
+    let cfg = BenchConfig {
+        persons: if full { 4_000 } else { 1_500 },
+        seed: SEED,
+        threads: 1,
+        repeats: 5,
+    };
+    println!(
+        "Datalog bench: bundled programs, planning on vs off ({} persons, {} repeats, 1 thread)",
+        cfg.persons, cfg.repeats
+    );
+    let rows = run_datalog_bench(&cfg);
+    println!(
+        "{:>18} {:>12} {:>13} {:>9} {:>9} {:>8} {:>10}",
+        "program", "plan_on_s", "plan_off_s", "speedup", "derived", "rounds", "peak_rows"
+    );
+    for r in &rows {
+        println!(
+            "{:>18} {:>12.3} {:>13.3} {:>8.2}x {:>9} {:>8} {:>10}",
+            r.name,
+            r.plan_on_secs,
+            r.plan_off_secs,
+            r.speedup,
+            r.facts_derived,
+            r.rounds,
+            r.peak_relation_rows
+        );
+    }
+    let text = render_bench_json(&cfg, &rows);
+    if let Err(e) = validate_bench_json(&text) {
+        eprintln!("generated benchmark JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(path, &text) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nwrote {path} (schema {} — validated)",
+        bench::bench_json::BENCH_SCHEMA
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.bench_json {
+        run_bench_json(path, args.full);
+        return;
+    }
     let run = |name: &str| args.exp == "all" || args.exp == name;
     println!(
         "== VADA-LINK reproduction (scale: {}) ==\n",

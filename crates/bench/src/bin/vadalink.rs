@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! vadalink stats     --nodes nodes.csv --edges edges.csv
-//! vadalink control   --nodes nodes.csv --edges edges.csv [--explain X,Y]
-//! vadalink closelink --nodes nodes.csv --edges edges.csv [--threshold 0.2]
+//! vadalink control   --nodes nodes.csv --edges edges.csv [--explain X,Y] [--explain-plan]
+//! vadalink closelink --nodes nodes.csv --edges edges.csv [--threshold 0.2] [--explain-plan]
 //! vadalink demo      [--out DIR]      # writes the Figure 1 graph as CSV
 //! vadalink check     PROGRAM [--lax]  # static analysis of a Vadalog file
 //! ```
@@ -16,6 +16,11 @@
 //! parallel kernels (walks, training, linkage, fixpoint evaluation); the
 //! default consults `VADALINK_THREADS`, then the machine's parallelism.
 //! Results are identical for every value.
+//!
+//! `--explain-plan` prints the engine's cost-based execution plans for the
+//! subcommand's Vadalog program — per stratum and rule, the chosen literal
+//! order, probe keys and estimated cardinalities — to stderr before the
+//! results.
 //!
 //! `check` parses a program (`-` reads stdin) and prints every analyzer
 //! diagnostic as `file:line:col: severity[CODE]: message`. It runs in
@@ -31,7 +36,7 @@ use pgraph::{io, NodeId};
 use vada_link::kg::KnowledgeGraph;
 use vada_link::model::CompanyGraph;
 use vada_link::paper_graphs::figure1;
-use vada_link::programs::run_close_links;
+use vada_link::programs::{plan_report, run_close_links, CLOSELINK_PROGRAM, CONTROL_PROGRAM};
 
 struct Opts {
     cmd: String,
@@ -39,6 +44,7 @@ struct Opts {
     edges: Option<String>,
     threshold: f64,
     explain: Option<(u32, u32)>,
+    explain_plan: bool,
     out: String,
     file: Option<String>,
     lax: bool,
@@ -52,6 +58,7 @@ fn parse_opts() -> Result<Opts, String> {
         edges: None,
         threshold: 0.2,
         explain: None,
+        explain_plan: false,
         out: ".".to_owned(),
         file: None,
         lax: false,
@@ -80,6 +87,7 @@ fn parse_opts() -> Result<Opts, String> {
                     b.trim().parse().map_err(|e| format!("bad node id: {e}"))?,
                 ));
             }
+            "--explain-plan" => opts.explain_plan = true,
             "--out" => opts.out = next(&mut i)?,
             "--lax" => opts.lax = true,
             "--threads" => {
@@ -163,6 +171,9 @@ fn run() -> Result<ExitCode, String> {
         }
         "control" => {
             let g = load_graph(&opts)?;
+            if opts.explain_plan {
+                eprintln!("{}", plan_report(CONTROL_PROGRAM, &g, None));
+            }
             let mut kg = KnowledgeGraph::new(g).with_provenance();
             kg.derive_control();
             for (x, y) in kg.control_pairs() {
@@ -177,6 +188,12 @@ fn run() -> Result<ExitCode, String> {
         }
         "closelink" => {
             let g = load_graph(&opts)?;
+            if opts.explain_plan {
+                eprintln!(
+                    "{}",
+                    plan_report(CLOSELINK_PROGRAM, &g, Some(opts.threshold))
+                );
+            }
             for (x, y) in run_close_links(&g, opts.threshold) {
                 println!("{},{}", x.0, y.0);
             }

@@ -16,5 +16,6 @@
 //! The `repro` binary drives them from the command line; the Criterion
 //! benches in `benches/` wrap representative points of each series.
 
+pub mod bench_json;
 pub mod experiments;
 pub mod synth;

@@ -251,6 +251,22 @@ pub fn run_person_links(g: &CompanyGraph, detector: &FamilyDetector) -> Vec<(Nod
     pairs
 }
 
+/// Renders the engine's cost-based join-plan report
+/// ([`Engine::plan_report`]) for a program against the facts of `g`:
+/// per stratum and rule, the chosen literal order, probe keys and
+/// estimated cardinalities. `threshold` additionally loads the close-link
+/// `th` fact so threshold-dependent plans see realistic statistics.
+pub fn plan_report(src: &str, g: &CompanyGraph, threshold: Option<f64>) -> String {
+    let program = Program::parse(src).expect("valid program");
+    let engine = Engine::new(&program).expect("compiles");
+    let mut db = Database::new();
+    load_facts(g, &mut db);
+    if let Some(t) = threshold {
+        db.assert_fact("th", &[Const::float(t)]).expect("arity");
+    }
+    engine.plan_report(&db).expect("plan report")
+}
+
 /// Runs the generic (schema-independent) pipeline; returns control pairs.
 pub fn run_generic_control(g: &CompanyGraph) -> Vec<(NodeId, NodeId)> {
     let program = Program::parse(GENERIC_PIPELINE_PROGRAM).expect("valid program");

@@ -7,16 +7,16 @@
 //! on the column subsets the compiled rule plans need.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 use crate::error::{DatalogError, Result};
+use crate::fx::FxHashMap;
 use crate::value::{Const, Tuple};
 
 /// Interner for string constants.
 #[derive(Default, Debug, Clone)]
 pub struct SymbolTable {
     names: Vec<String>,
-    index: HashMap<String, u32>,
+    index: FxHashMap<String, u32>,
 }
 
 impl SymbolTable {
@@ -61,7 +61,7 @@ impl SymbolTable {
 /// key).
 #[derive(Default, Debug, Clone)]
 pub struct SkolemTable {
-    map: HashMap<(u32, Tuple), u64>,
+    map: FxHashMap<(u32, Tuple), u64>,
 }
 
 impl SkolemTable {
@@ -86,7 +86,9 @@ impl SkolemTable {
 }
 
 /// Provenance of a derived fact: which rule fired on which parent facts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The `Ord` derive (rule, then parents) gives derivations a canonical
+/// order within a fixpoint round.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ProvEntry {
     /// Index of the rule in the program.
     pub rule: u32,
@@ -100,9 +102,9 @@ pub struct Relation {
     /// Tuples in insertion order (row id = position).
     tuples: Vec<Tuple>,
     /// Tuple → row id (dedup).
-    seen: HashMap<Tuple, u32>,
+    seen: FxHashMap<Tuple, u32>,
     /// Registered indexes: column bitmask → key → rows.
-    indexes: HashMap<u64, HashMap<Tuple, Vec<u32>>>,
+    indexes: FxHashMap<u64, FxHashMap<Tuple, Vec<u32>>>,
     /// Optional provenance parallel to `tuples`.
     prov: Vec<Option<ProvEntry>>,
     /// Whether provenance is being recorded.
@@ -153,7 +155,7 @@ impl Relation {
         if mask == 0 || self.indexes.contains_key(&mask) {
             return;
         }
-        let mut index: HashMap<Tuple, Vec<u32>> = HashMap::new();
+        let mut index: FxHashMap<Tuple, Vec<u32>> = FxHashMap::default();
         for (row, t) in self.tuples.iter().enumerate() {
             index.entry(key_of(t, mask)).or_default().push(row as u32);
         }
@@ -228,7 +230,7 @@ pub(crate) fn key_of(tuple: &[Const], mask: u64) -> Tuple {
 pub struct Database {
     pub(crate) symbols: SymbolTable,
     pub(crate) skolems: SkolemTable,
-    pred_ids: HashMap<String, u32>,
+    pred_ids: FxHashMap<String, u32>,
     pred_names: Vec<String>,
     arities: Vec<Option<usize>>,
     pub(crate) relations: Vec<Relation>,

@@ -26,9 +26,8 @@
 //! only be refined upward as the fixpoint proceeds, and the total is always
 //! the sum of the best-known contributions — never a double count.
 
-use std::collections::HashMap;
-
 use crate::ast::AggFunc;
+use crate::fx::FxHashMap;
 use crate::value::{Const, Tuple};
 
 /// Contributor key: (rule id, contributor-variable grounding).
@@ -38,7 +37,7 @@ type ContribKey = (u32, Tuple);
 #[derive(Debug, Clone)]
 pub(crate) struct AggState {
     func: AggFunc,
-    contributions: HashMap<ContribKey, f64>,
+    contributions: FxHashMap<ContribKey, f64>,
     total: f64,
     /// Last value emitted as a head fact (for `V = m*(...)` rules).
     pub last_emitted: Option<f64>,
@@ -54,7 +53,7 @@ impl AggState {
         };
         AggState {
             func,
-            contributions: HashMap::new(),
+            contributions: FxHashMap::default(),
             total,
             last_emitted: None,
         }
@@ -124,7 +123,7 @@ impl AggState {
 /// All aggregation groups of one engine run.
 #[derive(Debug, Default)]
 pub(crate) struct AggStore {
-    groups: HashMap<(u32, Tuple), AggState>,
+    groups: FxHashMap<(u32, Tuple), AggState>,
 }
 
 impl AggStore {

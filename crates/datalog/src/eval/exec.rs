@@ -2,16 +2,26 @@
 //!
 //! One [`eval_rule`] call enumerates all matches of a rule body against the
 //! current relations — optionally restricting one positive atom to the
-//! semi-naive delta — and buffers the derived head facts. Joins probe the
-//! hash indexes registered at resolution time; within-atom repeated
-//! variables and cross-atom equalities are checked by unification.
+//! semi-naive delta — and buffers the derived head facts. The body is
+//! walked in the order chosen by the cost-based planner
+//! ([`crate::eval::plan`]); each positive atom carries a pre-compiled
+//! unification program and probe key, so the hot loop does no per-row
+//! analysis of the rule shape.
+//!
+//! The executor is allocation-lean: variable bindings, provenance support
+//! slots, probe keys and head-tuple scratch all live in a reusable
+//! [`Workspace`], and a derived head is only boxed into a `Tuple` after a
+//! lookup confirms the fact is not already in the (round-frozen) relation —
+//! inserting an existing tuple is a no-op that never overrides provenance,
+//! so skipping it early is behavior-preserving.
 
 use crate::ast::{AggFunc, BinOp, CmpOp};
 use crate::builtins::{FnCtx, FunctionRegistry};
 use crate::db::{ProvEntry, Relation, SkolemTable, SymbolTable};
 use crate::error::{DatalogError, Result};
 use crate::eval::agg::AggStore;
-use crate::eval::resolve::{AggKind, RAtom, RExpr, RLiteral, RRule, RTerm};
+use crate::eval::plan::{AtomStep, KeyOp, RulePlan, Step, TermOp};
+use crate::eval::resolve::{AggKind, RExpr, RLiteral, RRule, RTerm};
 use crate::value::{Const, Tuple};
 
 /// A buffered derivation.
@@ -22,6 +32,18 @@ pub(crate) struct Derived {
     pub prov: Option<ProvEntry>,
 }
 
+/// Reusable per-evaluation scratch space. One instance lives for the whole
+/// fixpoint (one per parallel worker); every [`eval_rule_chunk`] call
+/// borrows its buffers, so steady-state rule evaluation performs no
+/// allocations until a genuinely new fact is emitted.
+#[derive(Default)]
+pub(crate) struct Workspace {
+    binding: Vec<Option<Const>>,
+    support: Vec<(u32, u32)>,
+    key_buf: Vec<Const>,
+    tuple_buf: Vec<Const>,
+}
+
 /// Mutable evaluation context shared across rules of a round.
 pub(crate) struct RunCtx<'b> {
     pub symbols: &'b mut SymbolTable,
@@ -29,23 +51,26 @@ pub(crate) struct RunCtx<'b> {
     pub registry: &'b FunctionRegistry,
     pub agg: &'b mut AggStore,
     pub out: &'b mut Vec<Derived>,
+    pub ws: &'b mut Workspace,
     pub epsilon: f64,
     pub provenance: bool,
 }
 
-/// Evaluates `rule` against `relations`. If `delta` is `Some((li, start))`,
-/// the positive atom at literal index `li` only matches rows `>= start`.
+/// Evaluates `rule` under `plan` against `relations`. If `delta` is
+/// `Some((li, start))`, the positive atom at *original body literal* `li`
+/// only matches rows `>= start`.
 pub(crate) fn eval_rule(
     rule: &RRule,
+    plan: &RulePlan,
     relations: &[Relation],
     delta: Option<(usize, u32)>,
     ctx: &mut RunCtx<'_>,
 ) -> Result<()> {
-    eval_rule_chunk(rule, relations, delta, None, ctx)
+    eval_rule_chunk(rule, plan, relations, delta, None, ctx)
 }
 
-/// [`eval_rule`] restricted to an explicit candidate-row list for the first
-/// body literal (which must be a positive atom). The rows must be an
+/// [`eval_rule`] restricted to an explicit candidate-row list for the plan's
+/// first step (which must be a positive atom). The rows must be an
 /// in-order subsequence of what the unrestricted evaluation would
 /// enumerate — see [`driver_rows`] — so concatenating the outputs of a
 /// partition of chunks reproduces the sequential output exactly. This is
@@ -53,52 +78,79 @@ pub(crate) fn eval_rule(
 /// across workers.
 pub(crate) fn eval_rule_chunk(
     rule: &RRule,
+    plan: &RulePlan,
     relations: &[Relation],
     delta: Option<(usize, u32)>,
     driver: Option<&[u32]>,
     ctx: &mut RunCtx<'_>,
 ) -> Result<()> {
+    // Borrow the workspace buffers for the duration of this evaluation;
+    // capacity is retained across calls.
+    let mut binding = std::mem::take(&mut ctx.ws.binding);
+    binding.clear();
+    binding.resize(rule.nvars, None);
+    let mut support = std::mem::take(&mut ctx.ws.support);
+    support.clear();
+    support.resize(plan.n_support, (0, 0));
+    let key_buf = std::mem::take(&mut ctx.ws.key_buf);
+    let tuple_buf = std::mem::take(&mut ctx.ws.tuple_buf);
     let mut ev = Evaluator {
         rule,
+        plan,
         relations,
         delta,
         driver,
-        binding: vec![None; rule.nvars],
-        support: Vec::new(),
+        binding,
+        support,
+        key_buf,
+        tuple_buf,
         ctx,
     };
-    ev.step(0)
+    let result = ev.step(0);
+    let Evaluator {
+        binding,
+        support,
+        key_buf,
+        tuple_buf,
+        ctx,
+        ..
+    } = ev;
+    ctx.ws.binding = binding;
+    ctx.ws.support = support;
+    ctx.ws.key_buf = key_buf;
+    ctx.ws.tuple_buf = tuple_buf;
+    result
 }
 
-/// Materializes the candidate rows the *first* body literal of `rule` would
+/// Materializes the candidate rows the *first* plan step of a rule would
 /// enumerate under `delta`, in enumeration order. Returns `None` when the
-/// rule has no leading positive atom to drive chunking from (empty bodies).
-/// Mirrors the probe/scan dispatch of `match_atom` at literal 0, where the
-/// only statically bound positions are constants.
+/// plan has no leading positive atom to drive chunking from (empty bodies).
+/// Mirrors the probe/scan dispatch of `match_atom` at step 0, where the
+/// planner guarantees any masked position is a constant.
 pub(crate) fn driver_rows(
-    rule: &RRule,
+    plan: &RulePlan,
     relations: &[Relation],
     delta: Option<(usize, u32)>,
 ) -> Option<Vec<u32>> {
-    let RLiteral::Atom { atom, mask } = rule.body.first()? else {
+    let Some(Step::Atom(step)) = plan.steps.first() else {
         return None;
     };
-    let rel = &relations[atom.pred as usize];
+    let rel = &relations[step.pred as usize];
     let delta_start = match delta {
-        Some((0, start)) => Some(start),
+        Some((li, start)) if li == step.lit => Some(start),
         _ => None,
     };
-    if *mask != 0 {
-        let mut key = Vec::with_capacity(mask.count_ones() as usize);
-        for (i, t) in atom.terms.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                match t {
-                    RTerm::Const(c) => key.push(*c),
-                    _ => unreachable!("masked position at literal 0 must be a constant"),
-                }
+    if step.mask != 0 {
+        let mut key = Vec::with_capacity(step.key_ops.len());
+        for k in &step.key_ops {
+            match k {
+                KeyOp::Const(c) => key.push(*c),
+                // No variable can be bound before the first atom; bail out
+                // defensively rather than panic if a plan ever violates it.
+                KeyOp::Var(_) => return None,
             }
         }
-        let rows = rel.probe(*mask, &key);
+        let rows = rel.probe(step.mask, &key);
         Some(match delta_start {
             Some(start) => rows.iter().copied().filter(|&r| r >= start).collect(),
             None => rows.to_vec(),
@@ -111,67 +163,96 @@ pub(crate) fn driver_rows(
 
 struct Evaluator<'a, 'c> {
     rule: &'a RRule,
+    plan: &'a RulePlan,
     relations: &'a [Relation],
     delta: Option<(usize, u32)>,
-    /// Pre-enumerated candidate rows for literal 0 (chunked evaluation).
+    /// Pre-enumerated candidate rows for step 0 (chunked evaluation).
     driver: Option<&'a [u32]>,
     binding: Vec<Option<Const>>,
+    /// Provenance parents, one slot per positive literal in original body
+    /// order — slot addressing keeps parent order plan-independent.
     support: Vec<(u32, u32)>,
+    key_buf: Vec<Const>,
+    tuple_buf: Vec<Const>,
     ctx: &'a mut RunCtx<'c>,
 }
 
 impl<'a, 'c> Evaluator<'a, 'c> {
-    fn step(&mut self, li: usize) -> Result<()> {
-        // Copy the rule reference so literal borrows are independent of self.
+    fn step(&mut self, si: usize) -> Result<()> {
+        // Copy the references so literal borrows are independent of self.
         let rule = self.rule;
-        if li == rule.body.len() {
+        let plan = self.plan;
+        if si == plan.steps.len() {
             return self.emit_heads();
         }
-        match &rule.body[li] {
-            RLiteral::Atom { atom, mask } => self.match_atom(li, atom, *mask),
-            RLiteral::Negated(atom) => {
-                let tuple = self.ground_atom(atom)?;
-                if self.relations[atom.pred as usize].find(&tuple).is_none() {
-                    self.step(li + 1)
+        match &plan.steps[si] {
+            Step::Atom(step) => self.match_atom(si, step),
+            Step::Negated(li) => {
+                let RLiteral::Negated(atom) = &rule.body[*li] else {
+                    unreachable!("Negated step points at a negated literal")
+                };
+                self.tuple_buf.clear();
+                for term in &atom.terms {
+                    let v = self.term_value(term)?;
+                    self.tuple_buf.push(v);
+                }
+                if self.relations[atom.pred as usize]
+                    .find(&self.tuple_buf)
+                    .is_none()
+                {
+                    self.step(si + 1)
                 } else {
                     Ok(())
                 }
             }
-            RLiteral::Cond(e) => match eval_expr(e, &self.binding, self.ctx)? {
-                Const::Bool(true) => self.step(li + 1),
-                Const::Bool(false) => Ok(()),
-                other => Err(DatalogError::Function(format!(
-                    "condition evaluated to non-boolean {other}"
-                ))),
-            },
-            RLiteral::Let(v, e) => {
+            Step::Cond(li) => {
+                let RLiteral::Cond(e) = &rule.body[*li] else {
+                    unreachable!("Cond step points at a condition literal")
+                };
+                match eval_expr(e, &self.binding, self.ctx)? {
+                    Const::Bool(true) => self.step(si + 1),
+                    Const::Bool(false) => Ok(()),
+                    other => Err(DatalogError::Function(format!(
+                        "condition evaluated to non-boolean {other}"
+                    ))),
+                }
+            }
+            Step::Let(li) => {
+                let RLiteral::Let(v, e) = &rule.body[*li] else {
+                    unreachable!("Let step points at a let literal")
+                };
                 let val = eval_expr(e, &self.binding, self.ctx)?;
                 match self.binding[*v as usize] {
                     Some(existing) => {
                         if existing == val {
-                            self.step(li + 1)
+                            self.step(si + 1)
                         } else {
                             Ok(())
                         }
                     }
                     None => {
                         self.binding[*v as usize] = Some(val);
-                        let r = self.step(li + 1);
+                        let r = self.step(si + 1);
                         self.binding[*v as usize] = None;
                         r
                     }
                 }
             }
-            RLiteral::Agg { agg, kind } => self.apply_aggregate(agg, kind),
+            Step::Agg(li) => {
+                let RLiteral::Agg { agg, kind } = &rule.body[*li] else {
+                    unreachable!("Agg step points at an aggregate literal")
+                };
+                self.apply_aggregate(agg, kind)
+            }
         }
     }
 
-    fn match_atom(&mut self, li: usize, atom: &RAtom, mask: u64) -> Result<()> {
+    fn match_atom(&mut self, si: usize, step: &'a AtomStep) -> Result<()> {
         // Copy the slice reference so `rows` borrows independently of self.
         let relations = self.relations;
-        let rel = &relations[atom.pred as usize];
+        let rel = &relations[step.pred as usize];
         let delta_start = match self.delta {
-            Some((dli, start)) if dli == li => Some(start),
+            Some((dli, start)) if dli == step.lit => Some(start),
             _ => None,
         };
         // Collect candidate rows.
@@ -181,70 +262,56 @@ impl<'a, 'c> Evaluator<'a, 'c> {
             Probe(&'r [u32]),
             Scan(std::ops::Range<u32>),
         }
-        let driver = if li == 0 { self.driver } else { None };
+        let driver = if si == 0 { self.driver } else { None };
         let rows = if let Some(rows) = driver {
             Rows::Driver(rows)
-        } else if mask != 0 {
-            let mut key = Vec::with_capacity(mask.count_ones() as usize);
-            for (i, t) in atom.terms.iter().enumerate() {
-                if mask & (1 << i) != 0 {
-                    let v = match t {
-                        RTerm::Const(c) => *c,
-                        RTerm::Var(v) => {
-                            self.binding[*v as usize].expect("masked position must be bound")
-                        }
-                        RTerm::Skolem { .. } => unreachable!("no skolems in body atoms"),
-                    };
-                    key.push(v);
-                }
+        } else if step.mask != 0 {
+            self.key_buf.clear();
+            for k in &step.key_ops {
+                self.key_buf.push(match k {
+                    KeyOp::Const(c) => *c,
+                    KeyOp::Var(v) => {
+                        self.binding[*v as usize].expect("masked position must be bound")
+                    }
+                });
             }
-            Rows::Probe(rel.probe(mask, &key))
+            // The probe key is consumed before descending, so reusing
+            // `key_buf` across recursion levels is safe.
+            Rows::Probe(rel.probe(step.mask, &self.key_buf))
         } else {
             let start = delta_start.unwrap_or(0);
             Rows::Scan(start..rel.len() as u32)
         };
         let visit = |ev: &mut Self, row: u32| -> Result<()> {
-            let tuple = ev.relations[atom.pred as usize].row(row);
-            // Unify; record which vars this atom bound to undo later.
-            let mut bound_here: Vec<u32> = Vec::new();
+            let tuple = ev.relations[step.pred as usize].row(row);
+            // Run the pre-compiled unification program for this atom.
             let mut ok = true;
-            for (i, t) in atom.terms.iter().enumerate() {
-                match t {
-                    RTerm::Const(c) => {
+            for (i, op) in step.ops.iter().enumerate() {
+                match op {
+                    TermOp::CheckConst(c) => {
                         if *c != tuple[i] {
                             ok = false;
                             break;
                         }
                     }
-                    RTerm::Var(v) => match ev.binding[*v as usize] {
-                        Some(b) => {
-                            if b != tuple[i] {
-                                ok = false;
-                                break;
-                            }
+                    TermOp::CheckVar(v) => {
+                        if ev.binding[*v as usize] != Some(tuple[i]) {
+                            ok = false;
+                            break;
                         }
-                        None => {
-                            ev.binding[*v as usize] = Some(tuple[i]);
-                            bound_here.push(*v);
-                        }
-                    },
-                    RTerm::Skolem { .. } => unreachable!("no skolems in body atoms"),
+                    }
+                    TermOp::Bind(v) => ev.binding[*v as usize] = Some(tuple[i]),
                 }
             }
             let result = if ok {
-                if ev.ctx.provenance {
-                    ev.support.push((atom.pred, row));
-                }
-                let r = ev.step(li + 1);
-                if ev.ctx.provenance {
-                    ev.support.pop();
-                }
-                r
+                ev.support[step.support_slot] = (step.pred, row);
+                ev.step(si + 1)
             } else {
                 Ok(())
             };
-            for v in bound_here {
-                ev.binding[v as usize] = None;
+            // Undo is statically known: exactly the vars this atom binds.
+            for v in &step.binds {
+                ev.binding[*v as usize] = None;
             }
             result
         };
@@ -290,14 +357,6 @@ impl<'a, 'c> Evaluator<'a, 'c> {
         }
     }
 
-    fn ground_atom(&mut self, atom: &RAtom) -> Result<Tuple> {
-        let mut t = Vec::with_capacity(atom.terms.len());
-        for term in &atom.terms {
-            t.push(self.term_value(term)?);
-        }
-        Ok(t.into())
-    }
-
     fn emit_heads(&mut self) -> Result<()> {
         let rule = self.rule;
         // Existential variables: one labelled null per (rule, var, frontier).
@@ -311,16 +370,26 @@ impl<'a, 'c> Evaluator<'a, 'c> {
             self.binding[*v as usize] = Some(null);
             bound_ex.push(*v);
         }
-        let prov = self.make_prov();
         for atom in &rule.head {
-            let mut tuple = Vec::with_capacity(atom.terms.len());
+            self.tuple_buf.clear();
             for t in &atom.terms {
-                tuple.push(self.term_value(t)?);
+                let v = self.term_value(t)?;
+                self.tuple_buf.push(v);
             }
+            // The fact is already in the round-frozen relation: inserting it
+            // again would be a no-op (set semantics, first-derivation
+            // provenance), so skip without boxing a tuple.
+            if self.relations[atom.pred as usize]
+                .find(&self.tuple_buf)
+                .is_some()
+            {
+                continue;
+            }
+            let prov = self.make_prov();
             self.ctx.out.push(Derived {
                 pred: atom.pred,
-                tuple: tuple.into(),
-                prov: prov.clone(),
+                tuple: self.tuple_buf.as_slice().into(),
+                prov,
             });
         }
         for v in bound_ex {
@@ -408,7 +477,12 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 }
             }
             AggKind::Cond { op, rhs } => {
-                let head_tuple = self.ground_atom(head)?;
+                self.tuple_buf.clear();
+                for t in &head.terms {
+                    let v = self.term_value(t)?;
+                    self.tuple_buf.push(v);
+                }
+                let head_tuple: Tuple = self.tuple_buf.as_slice().into();
                 let rhs_val = eval_expr(rhs, &self.binding, self.ctx)?;
                 let (state, _) = self.ctx.agg.contribute(
                     head_pred,
@@ -421,12 +495,19 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 );
                 let total = state.total_const();
                 if compare(*op, total, rhs_val) {
-                    let prov = self.make_prov();
-                    self.ctx.out.push(Derived {
-                        pred: head_pred,
-                        tuple: head_tuple,
-                        prov,
-                    });
+                    // Duplicate-skip: re-deriving an existing fact is a
+                    // no-op at insert time.
+                    if self.relations[head_pred as usize]
+                        .find(&head_tuple)
+                        .is_none()
+                    {
+                        let prov = self.make_prov();
+                        self.ctx.out.push(Derived {
+                            pred: head_pred,
+                            tuple: head_tuple,
+                            prov,
+                        });
+                    }
                 }
             }
         }

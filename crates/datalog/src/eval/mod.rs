@@ -12,6 +12,17 @@
 //! the defense-in-depth termination guards discussed in Section 4.4 of the
 //! paper.
 //!
+//! At each stratum entry the engine samples relation cardinalities and
+//! compiles every rule into cost-based execution plans ([`plan`]): joins
+//! are greedily reordered by estimated selectivity, filters and negations
+//! are pushed to the earliest point where their variables are bound, and
+//! semi-naive rounds drive from the delta atom. Only the hash indexes the
+//! chosen plans actually probe are registered. Each round's derivations
+//! are inserted in canonical `(pred, tuple, prov)` order — the derived
+//! *set* of a round does not depend on join order, so canonical insertion
+//! makes row ids and provenance byte-identical whether planning is on
+//! ([`EngineOptions::plan`]) or off.
+//!
 //! Rounds can evaluate on [`par`] worker threads ([`EngineOptions::threads`]):
 //! rules whose bodies touch no shared evaluation state (no aggregates, no
 //! Skolem invention, no external calls) are split into chunks of their
@@ -21,6 +32,7 @@
 
 mod agg;
 mod exec;
+mod plan;
 mod resolve;
 
 use std::time::{Duration, Instant};
@@ -33,8 +45,9 @@ use crate::error::{DatalogError, Result};
 use crate::value::Tuple;
 
 use agg::AggStore;
-use exec::{driver_rows, eval_rule, eval_rule_chunk, Derived, RunCtx};
-use resolve::{resolve_rules, CompiledProgram, RRule};
+use exec::{driver_rows, eval_rule, eval_rule_chunk, Derived, RunCtx, Workspace};
+use plan::{plan_stratum, RulePlan, RulePlans, Step, StratumStats};
+use resolve::{resolve_rules, CompiledProgram, RLiteral, RRule};
 
 /// Tunable evaluation options.
 #[derive(Debug, Clone)]
@@ -64,6 +77,12 @@ pub struct EngineOptions {
     /// path. The result is byte-identical for every value: parallel rounds
     /// splice their per-chunk outputs back in sequential order.
     pub threads: usize,
+    /// Cost-based join planning: reorder rule bodies by estimated
+    /// selectivity and drive semi-naive rounds from the delta atom. The
+    /// result — row ids, provenance, everything — is byte-identical with
+    /// planning on or off; this switch exists for benchmarking and
+    /// differential testing.
+    pub plan: bool,
 }
 
 impl Default for EngineOptions {
@@ -76,6 +95,7 @@ impl Default for EngineOptions {
             apply_post: true,
             analysis: AnalysisConfig::default(),
             threads: 0,
+            plan: true,
         }
     }
 }
@@ -165,6 +185,31 @@ impl Engine {
         self.registry.register(name, f);
     }
 
+    /// Renders the execution plans the engine would choose for `db`:
+    /// per stratum and rule, the literal order, probe keys and estimated
+    /// cardinalities. Estimates reflect the database as given (pre-fixpoint
+    /// sizes); in-stratum derived predicates start at their current size.
+    /// Honors [`EngineOptions::plan`], so the report with planning disabled
+    /// shows the identity plans.
+    pub fn plan_report(&self, db: &Database) -> Result<String> {
+        use std::fmt::Write as _;
+        // Resolution interns predicates and constants, so work on a clone.
+        let mut db = db.clone();
+        let rules = resolve_rules(&self.program, &mut db)?;
+        let mut out = String::new();
+        for (si, stratum) in self.compiled.strata.iter().enumerate() {
+            let _ = writeln!(out, "stratum {si}:");
+            let stats = StratumStats::collect(&rules, stratum, &db.relations);
+            let plans = plan_stratum(&rules, stratum, &stats, self.options.plan);
+            for &ri in stratum {
+                let rp = plans[ri].as_ref().expect("stratum rules are planned");
+                let vars = &self.program.rules[ri].vars;
+                out.push_str(&plan::render_rule_report(ri, &rules[ri], rp, vars, &db));
+            }
+        }
+        Ok(out)
+    }
+
     /// Runs the program to fixpoint over `db`.
     pub fn run(&self, db: &mut Database) -> Result<RunStats> {
         let start = Instant::now();
@@ -177,6 +222,7 @@ impl Engine {
         let threads = par::resolve(self.options.threads);
         let mut stats = RunStats::default();
         let mut agg = AggStore::default();
+        let mut ws = Workspace::default();
 
         for stratum in &self.compiled.strata {
             stats.strata += 1;
@@ -184,6 +230,80 @@ impl Engine {
             let stratum_preds: Vec<u32> = stratum
                 .iter()
                 .flat_map(|&ri| rules[ri].head.iter().map(|h| h.pred))
+                .collect();
+            // Plan the stratum's rules against current cardinalities and
+            // register exactly the probe indexes the plans use. When any
+            // rule actually got a cost-based order, the stratum *replans
+            // every round*: recursive predicates are empty at stratum
+            // entry, so only from round 1 onward do the delta plans see the
+            // real relation sizes they join against. Plans influence
+            // evaluation order only — the canonical sort below makes any
+            // order produce the same database — so replanning is free of
+            // output drift, and `register_index` is a no-op for masks
+            // already present. Strata of identity plans (planner disabled,
+            // or every rule order-sensitive) skip the per-round stats pass.
+            // Stats are scoped to reorderable rules' predicates and cached
+            // by row count, so each round only re-samples relations that
+            // both grew and feed a cost-planned join.
+            let mut stats_cache = crate::fx::FxHashMap::default();
+            let enable = self.options.plan;
+            let mut plan_round = |db: &mut Database| {
+                let stratum_stats = if enable {
+                    StratumStats::collect_reorderable(
+                        &rules,
+                        stratum,
+                        &db.relations,
+                        &mut stats_cache,
+                    )
+                } else {
+                    StratumStats::default()
+                };
+                let plans = plan_stratum(&rules, stratum, &stratum_stats, enable);
+                for rp in plans.iter().flatten() {
+                    for p in std::iter::once(&rp.naive).chain(rp.delta.iter()) {
+                        for step in &p.steps {
+                            if let Step::Atom(a) = step {
+                                if a.mask != 0 {
+                                    db.relation_mut(a.pred).register_index(a.mask);
+                                }
+                            }
+                        }
+                    }
+                }
+                plans
+            };
+            let mut plans = plan_round(db);
+            // Replanning can only change an order for a cost-planned rule
+            // with at least two joinable atoms whose body reads a predicate
+            // this stratum is still deriving — anything else sees the same
+            // statistics every round. `watched` collects the predicates
+            // those rules read; a later round replans only when one of them
+            // grew enough (2x, or from empty) to plausibly flip an order.
+            let mut watched: Vec<u32> = Vec::new();
+            for &ri in stratum {
+                let planned = plans[ri]
+                    .as_ref()
+                    .is_some_and(|rp| rp.naive.planned || rp.delta.iter().any(|p| p.planned));
+                if !planned {
+                    continue;
+                }
+                let atoms: Vec<u32> = rules[ri]
+                    .body
+                    .iter()
+                    .filter_map(|lit| match lit {
+                        RLiteral::Atom { atom } => Some(atom.pred),
+                        _ => None,
+                    })
+                    .collect();
+                if atoms.len() >= 2 && atoms.iter().any(|p| stratum_preds.contains(p)) {
+                    watched.extend(atoms);
+                }
+            }
+            watched.sort_unstable();
+            watched.dedup();
+            let mut planned_len: Vec<usize> = watched
+                .iter()
+                .map(|&p| db.relations[p as usize].len())
                 .collect();
             let mut prev_len: Vec<u32> = db.relations.iter().map(|r| r.len() as u32).collect();
             let mut round = 0usize;
@@ -194,6 +314,22 @@ impl Engine {
                         self.options.max_rounds,
                         stats.strata - 1
                     )));
+                }
+                if round > 0 && !watched.is_empty() {
+                    let grown = watched.iter().zip(&planned_len).any(|(&p, &l)| {
+                        let n = db.relations[p as usize].len();
+                        if l == 0 {
+                            n > 0
+                        } else {
+                            n >= l * 2
+                        }
+                    });
+                    if grown {
+                        plans = plan_round(db);
+                        for (i, &p) in watched.iter().enumerate() {
+                            planned_len[i] = db.relations[p as usize].len();
+                        }
+                    }
                 }
                 let mut out: Vec<Derived> = Vec::new();
                 {
@@ -227,11 +363,22 @@ impl Engine {
                         registry: &self.registry,
                         agg: &mut agg,
                         out: &mut out,
+                        ws: &mut ws,
                         epsilon: self.options.epsilon,
                         provenance: self.options.provenance,
                     };
-                    eval_round(&rules, relations, &items, threads, &mut ctx)?;
+                    eval_round(&rules, &plans, relations, &items, threads, &mut ctx)?;
                 }
+                // Canonical per-round ordering: a round's derived *set* is
+                // independent of body-literal order, so sorting before
+                // insertion pins row ids and provenance regardless of the
+                // plans that produced the buffer.
+                out.sort_unstable_by(|a, b| {
+                    a.pred
+                        .cmp(&b.pred)
+                        .then_with(|| a.tuple.cmp(&b.tuple))
+                        .then_with(|| a.prov.cmp(&b.prov))
+                });
                 // Snapshot lengths, then insert this round's derivations:
                 // they become the next round's deltas.
                 for (i, rel) in db.relations.iter().enumerate() {
@@ -293,14 +440,31 @@ const PAR_MIN_DRIVER_ROWS: usize = 512;
 /// downstream.
 fn eval_round(
     rules: &[RRule],
+    plans: &[Option<RulePlans>],
     relations: &[Relation],
     items: &[(usize, Option<(usize, u32)>)],
     threads: usize,
     ctx: &mut RunCtx<'_>,
 ) -> Result<()> {
+    // The plan for one work item: the naive plan on round 0, the matching
+    // delta plan otherwise.
+    let plan_for = |ri: usize, delta: Option<(usize, u32)>| -> &RulePlan {
+        let rp = plans[ri].as_ref().expect("stratum rules are planned");
+        match delta {
+            None => &rp.naive,
+            Some((li, _)) => {
+                let k = rules[ri]
+                    .positive_literals
+                    .iter()
+                    .position(|&p| p == li)
+                    .expect("delta literal is a positive atom");
+                &rp.delta[k]
+            }
+        }
+    };
     let run_seq = |ctx: &mut RunCtx<'_>| -> Result<()> {
         for &(ri, delta) in items {
-            eval_rule(&rules[ri], relations, delta, ctx)?;
+            eval_rule(&rules[ri], plan_for(ri, delta), relations, delta, ctx)?;
         }
         Ok(())
     };
@@ -313,7 +477,7 @@ fn eval_round(
     for &(ri, delta) in items {
         let rule = &rules[ri];
         let rows = if rule.par_full {
-            driver_rows(rule, relations, delta)
+            driver_rows(plan_for(ri, delta), relations, delta)
         } else {
             None
         };
@@ -349,6 +513,7 @@ fn eval_round(
         let mut symbols = SymbolTable::default();
         let mut skolems = SkolemTable::default();
         let mut agg = AggStore::default();
+        let mut ws = Workspace::default();
         let mut local: Vec<Derived> = Vec::new();
         let mut wctx = RunCtx {
             symbols: &mut symbols,
@@ -356,10 +521,19 @@ fn eval_round(
             registry,
             agg: &mut agg,
             out: &mut local,
+            ws: &mut ws,
             epsilon,
             provenance,
         };
-        eval_rule_chunk(&rules[ri], relations, delta, Some(rows), &mut wctx).map(|()| local)
+        eval_rule_chunk(
+            &rules[ri],
+            plan_for(ri, delta),
+            relations,
+            delta,
+            Some(rows),
+            &mut wctx,
+        )
+        .map(|()| local)
     });
     // Splice in sequential order: chunk outputs at their item's position,
     // sequential items evaluated in place with the real context.
@@ -373,7 +547,7 @@ fn eval_round(
                 cursor += 1;
             }
         } else {
-            eval_rule(&rules[ri], relations, delta, ctx)?;
+            eval_rule(&rules[ri], plan_for(ri, delta), relations, delta, ctx)?;
         }
     }
     Ok(())
@@ -397,8 +571,7 @@ fn apply_post(db: &mut Database, pred: &str, op: &PostOp) {
     if col >= arity {
         return;
     }
-    use std::collections::HashMap;
-    let mut best: HashMap<Tuple, Tuple> = HashMap::new();
+    let mut best: crate::fx::FxHashMap<Tuple, Tuple> = crate::fx::FxHashMap::default();
     for row in rel.rows() {
         let key: Tuple = row
             .iter()

@@ -5,8 +5,9 @@
 //! graph and computes the stratification (negation must not be recursive;
 //! monotonic aggregation may be — that is the point of Vadalog's `m*`
 //! family). [`resolve_rules`] runs per evaluation: it interns predicate
-//! names, constants and Skolem functors into the target database and
-//! registers the hash indexes the join plans will probe.
+//! names, constants and Skolem functors into the target database; index
+//! registration happens later, when the cost-based planner knows which
+//! probe keys its chosen join orders actually use.
 
 use std::collections::{HashMap, HashSet};
 
@@ -544,10 +545,10 @@ pub(crate) enum AggKind {
 /// A resolved body literal.
 #[derive(Debug, Clone)]
 pub(crate) enum RLiteral {
-    /// Positive atom with the statically computed bound-position mask.
+    /// Positive atom. Bound-position masks are computed by the planner for
+    /// whatever literal order it chooses, not stored here.
     Atom {
         atom: RAtom,
-        mask: u64,
     },
     Negated(RAtom),
     Cond(RExpr),
@@ -666,7 +667,9 @@ fn resolve_atom(a: &Atom, db: &mut Database) -> Result<RAtom> {
     })
 }
 
-/// Resolves all rules against `db`, registering indexes for the join plans.
+/// Resolves all rules against `db`. The bound-position masks computed here
+/// describe the body *as written*; the cost-based planner recomputes masks
+/// for its chosen orders and registers the indexes its plans probe.
 pub(crate) fn resolve_rules(program: &Program, db: &mut Database) -> Result<Vec<RRule>> {
     let mut out = Vec::with_capacity(program.rules.len());
     for (ri, rule) in program.rules.iter().enumerate() {
@@ -678,31 +681,14 @@ pub(crate) fn resolve_rules(program: &Program, db: &mut Database) -> Result<Vec<
             match lit {
                 Literal::Atom(a) => {
                     let ra = resolve_atom(a, db)?;
-                    // Mask of positions already bound (constants or earlier vars).
-                    let mut mask = 0u64;
-                    let mut newly = Vec::new();
-                    for (i, t) in ra.terms.iter().enumerate() {
-                        match t {
-                            RTerm::Const(_) => mask |= 1 << i,
-                            RTerm::Var(v) => {
-                                if bound.contains(v) || newly.contains(v) {
-                                    // A repeat *within* this atom is checked
-                                    // by unification, not by the index key.
-                                    if bound.contains(v) {
-                                        mask |= 1 << i;
-                                    }
-                                } else {
-                                    newly.push(*v);
-                                }
-                            }
-                            RTerm::Skolem { .. } => unreachable!("validated"),
+                    for t in &ra.terms {
+                        if let RTerm::Var(v) = t {
+                            bound.insert(*v);
                         }
                     }
-                    bound.extend(newly);
-                    db.relation_mut(ra.pred).register_index(mask);
                     positive_literals.push(li);
                     positive_preds.push(ra.pred);
-                    body.push(RLiteral::Atom { atom: ra, mask });
+                    body.push(RLiteral::Atom { atom: ra });
                 }
                 Literal::Negated(a) => {
                     body.push(RLiteral::Negated(resolve_atom(a, db)?));

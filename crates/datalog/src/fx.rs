@@ -1,0 +1,134 @@
+//! Dependency-free FxHash-style hasher for the evaluation hot path.
+//!
+//! Every `Tuple`-keyed map in the engine — relation dedup maps, hash-join
+//! indexes, the Skolem table, aggregate groups — hashes short slices of
+//! [`crate::value::Const`]. SipHash (the `std` default) pays its
+//! DoS-resistance tax on every probe of the fixpoint inner loop; these maps
+//! are keyed by interned ids and small numerics under our own control, so a
+//! fast multiply-rotate hash is the right trade. The algorithm is the
+//! well-known Fx construction used by rustc (word-at-a-time
+//! `rotate ^ mix * K`), implemented here locally because the build
+//! environment has no registry access.
+//!
+//! Determinism matters more than speed here: the hasher has no random
+//! state, so iteration-order-independent uses (all of ours — lookups,
+//! membership, entry updates) behave identically across runs, threads and
+//! platforms of the same pointer width.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx construction (a.k.a. the Firefox hash): an
+/// arbitrary odd constant close to the golden ratio in 64 bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-rotate hasher; not DoS-resistant by design.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(word));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut word = [0u8; 8];
+            word[..bytes.len()].copy_from_slice(bytes);
+            // Fold the length in so "ab" ++ "" and "a" ++ "b" differ.
+            self.add_to_hash(u64::from_le_bytes(word) ^ (bytes.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, no random state).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn byte_boundaries_matter() {
+        // Same bytes split differently must not collide trivially.
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2][..]));
+        assert_ne!(hash_of(&"ab"), hash_of(&"a"));
+    }
+
+    #[test]
+    fn tuple_keys_round_trip() {
+        use crate::value::Const;
+        let mut m: FxHashMap<Box<[Const]>, u32> = FxHashMap::default();
+        let t: Box<[Const]> = vec![Const::Sym(3), Const::Float(0.5)].into();
+        m.insert(t.clone(), 7);
+        assert_eq!(m.get(&t), Some(&7));
+        // Cross-type numeric equality must keep hashing consistently.
+        let a: Box<[Const]> = vec![Const::Int(2)].into();
+        let b: Box<[Const]> = vec![Const::Float(2.0)].into();
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+}

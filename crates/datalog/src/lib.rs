@@ -56,6 +56,7 @@ pub mod db;
 pub mod error;
 pub mod eval;
 pub mod explain;
+pub mod fx;
 pub mod parser;
 pub mod value;
 pub mod warded;

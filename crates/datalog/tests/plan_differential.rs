@@ -1,0 +1,203 @@
+//! Planner on/off differential tests over *generated* synthetic programs.
+//!
+//! The bundled paper programs exercise one shape of rule body; this suite
+//! generates families of random — but legal and type-uniform — Datalog
+//! programs and checks the planner's core contract on each: evaluating
+//! with cost-based planning on or off, sequentially or on 4 threads, must
+//! produce byte-identical databases (tuples, insertion order / row ids,
+//! provenance).
+//!
+//! Programs are generated, not sampled from a corpus: random join chains
+//! over a ternary edge relation, random comparison/inequality filters,
+//! random arithmetic bindings, stratified negation over derived
+//! predicates, and a recursive closure rule. Bodies always list atoms
+//! first, then negations, then conditions — every permutation of the
+//! *atoms* is legal, and the generator shuffles them so the planner sees
+//! textual orders both better and worse than its own choice.
+
+use datalog::{Database, Engine, EngineOptions, Program};
+
+/// SplitMix64: deterministic generation without external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Random type-uniform program: `k` chain-join rules over `e/3`
+/// (sym, sym, int), a derived unary predicate, a stratified negation rule
+/// and a bounded recursive closure. Returns the program text.
+fn synth_program(rng: &mut Rng) -> String {
+    let mut src = String::new();
+    let n_chain = 2 + rng.below(3); // 2..=4 chain rules
+    for r in 0..n_chain {
+        let len = 2 + rng.below(3) as usize; // 2..=4 atoms
+                                             // Chain variables N0..Nlen, weights W0..W(len-1).
+        let mut atoms: Vec<String> = (0..len)
+            .map(|i| format!("e(N{i}, N{}, W{i})", i + 1))
+            .collect();
+        rng.shuffle(&mut atoms);
+        let mut body = atoms;
+        // Random filters over bound variables; always satisfiable for
+        // some rows (weights are 0..=16).
+        if rng.below(2) == 0 {
+            body.push(format!("W{} >= {}", rng.below(len as u64), rng.below(9)));
+        }
+        if rng.below(2) == 0 {
+            body.push(format!("N0 != N{len}"));
+        }
+        // Random arithmetic binding folded into the head.
+        let head = if rng.below(2) == 0 {
+            let a = rng.below(len as u64);
+            let b = rng.below(len as u64);
+            body.push(format!("S = W{a} + W{b} * 2"));
+            format!("r{r}(N0, N{len}, S)")
+        } else {
+            format!("r{r}(N0, N{len}, W0)")
+        };
+        src.push_str(&format!("{head} :- {}.\n", body.join(", ")));
+    }
+    // Derived unary predicate over a random chain head.
+    let pick = rng.below(n_chain);
+    src.push_str(&format!("hit(X) :- r{pick}(X, _, _).\n"));
+    // Stratified negation over the derived predicate.
+    src.push_str("quiet(X) :- node(X), not hit(X).\n");
+    // Bounded recursion with a random weight gate: big enough to iterate,
+    // small enough to terminate fast.
+    let gate = 8 + rng.below(6);
+    src.push_str("tc(X, Y) :- e(X, Y, W), W >= ");
+    src.push_str(&format!("{gate}.\n"));
+    src.push_str(&format!("tc(X, Z) :- tc(X, Y), e(Y, Z, W), W >= {gate}.\n"));
+    src
+}
+
+/// Random edge facts: `nodes` symbols, `edges` weighted edges.
+fn synth_facts(db: &mut Database, rng: &mut Rng, nodes: u64, edges: u64) {
+    for i in 0..nodes {
+        db.fact("node").sym(&format!("v{i}")).assert();
+    }
+    for _ in 0..edges {
+        let a = format!("v{}", rng.below(nodes));
+        let b = format!("v{}", rng.below(nodes));
+        db.fact("e")
+            .sym(&a)
+            .sym(&b)
+            .int(rng.below(17) as i64)
+            .assert();
+    }
+}
+
+/// Full database image: every predicate (name order), rows in insertion
+/// order, provenance included.
+fn full_snapshot(db: &Database) -> Vec<String> {
+    let mut preds: Vec<String> = (0..db.pred_count() as u32)
+        .map(|p| db.pred_name(p).to_owned())
+        .collect();
+    preds.sort();
+    let mut out = Vec::new();
+    for pred in &preds {
+        let Some(rel) = db.relation(pred) else {
+            continue;
+        };
+        for (row, tuple) in rel.rows().enumerate() {
+            let cells: Vec<String> = tuple.iter().map(|c| db.display(*c)).collect();
+            let prov = rel
+                .provenance(row as u32)
+                .map(|p| format!(" by rule {} from {:?}", p.rule, p.parents))
+                .unwrap_or_default();
+            out.push(format!("{pred}[{row}]({}){prov}", cells.join(",")));
+        }
+    }
+    out
+}
+
+fn run_once(src: &str, seed: u64, plan: bool, threads: usize) -> Vec<String> {
+    let program =
+        Program::parse(src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"));
+    let options = EngineOptions {
+        plan,
+        threads,
+        provenance: true,
+        ..EngineOptions::default()
+    };
+    let engine = Engine::with(&program, Default::default(), options)
+        .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
+    let mut db = Database::new();
+    synth_facts(&mut db, &mut Rng(seed ^ 0xFAC7), 80, 240);
+    engine
+        .run(&mut db)
+        .unwrap_or_else(|e| panic!("fixpoint failed: {e}\n{src}"));
+    full_snapshot(&db)
+}
+
+fn assert_plan_invisible(seed: u64) {
+    let src = synth_program(&mut Rng(seed));
+    let reference = run_once(&src, seed, true, 1);
+    assert!(
+        !reference.is_empty(),
+        "seed {seed}: generated program derived nothing\n{src}"
+    );
+    for (plan, threads) in [(false, 1), (true, 4), (false, 4)] {
+        let got = run_once(&src, seed, plan, threads);
+        assert_eq!(
+            got, reference,
+            "seed {seed}: plan={plan} threads={threads} diverged\n{src}"
+        );
+    }
+}
+
+#[test]
+fn synthetic_programs_are_plan_invariant() {
+    for seed in 0..6u64 {
+        assert_plan_invisible(seed);
+    }
+}
+
+#[test]
+fn synthetic_programs_are_plan_invariant_more_seeds() {
+    // A second batch under a different seed stripe, so a planner change
+    // that happens to keep batch one identical still gets fresh shapes.
+    for seed in 100..104u64 {
+        assert_plan_invisible(seed);
+    }
+}
+
+#[test]
+fn generated_programs_cover_the_interesting_literal_kinds() {
+    // Meta-test on the generator itself: across the tested seed range the
+    // programs must include shuffled joins, filters, bindings, negation
+    // and recursion — otherwise the differential tests above are weaker
+    // than they look.
+    let mut saw_cmp = false;
+    let mut saw_neq = false;
+    let mut saw_let = false;
+    for seed in 0..6u64 {
+        let src = synth_program(&mut Rng(seed));
+        saw_cmp |= src.contains(">=");
+        saw_neq |= src.contains("!=");
+        saw_let |= src.contains("S = ");
+        assert!(src.contains("not hit(X)"), "negation rule missing");
+        assert!(src.contains("tc(X, Z)"), "recursive rule missing");
+    }
+    assert!(
+        saw_cmp && saw_neq && saw_let,
+        "generator lost a literal kind"
+    );
+}

@@ -1,0 +1,287 @@
+//! Vendored, dependency-free subset of the `criterion` 0.8 API.
+//!
+//! The build container has no network access and no registry cache, so the
+//! workspace vendors the slice of `criterion` its benches use (see
+//! `shims/README.md`): `Criterion::{benchmark_group, bench_function}`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each closure is warmed up once, then timed over
+//! batches until ~`measurement_millis` of wall clock or `sample_size`
+//! batches, whichever comes first; mean/min per iteration are printed in a
+//! criterion-like line. There are no statistics, plots, or baselines —
+//! the point is that `cargo bench` compiles, runs, and prints honest
+//! wall-clock numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    batch: u64,
+}
+
+impl Bencher {
+    /// Run the routine `batch` times, accumulating elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += self.batch;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_millis: u64,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_millis: 500,
+        }
+    }
+}
+
+fn run_benchmark(full_name: &str, settings: &Settings, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up / calibration run: one iteration.
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        batch: 1,
+    };
+    routine(&mut b);
+    if b.iters_done == 0 {
+        println!("{full_name:<40} (no iterations)");
+        return;
+    }
+    let per_iter = b
+        .elapsed
+        .checked_div(b.iters_done as u32)
+        .unwrap_or_default();
+
+    // Measurement: repeat single-iteration samples until the time budget or
+    // the sample target is exhausted, tracking the fastest sample.
+    let budget = Duration::from_millis(settings.measurement_millis);
+    let mut total = b.elapsed;
+    let mut samples = 1u64;
+    let mut best = per_iter;
+    while total < budget && (samples as usize) < settings.sample_size {
+        let mut s = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            batch: 1,
+        };
+        routine(&mut s);
+        if s.iters_done == 0 {
+            break;
+        }
+        let sample_per_iter = s
+            .elapsed
+            .checked_div(s.iters_done as u32)
+            .unwrap_or_default();
+        if sample_per_iter < best {
+            best = sample_per_iter;
+        }
+        total += s.elapsed;
+        samples += 1;
+    }
+    let mean = total
+        .checked_div((samples as u32).max(1))
+        .unwrap_or_default();
+    println!(
+        "{full_name:<40} mean {:>12}   fastest {:>12}   ({samples} samples)",
+        fmt_duration(mean),
+        fmt_duration(best)
+    );
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_millis = d.as_millis() as u64;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, &self.settings, routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, &self.settings, |b| routine(b, input));
+        self
+    }
+
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: F,
+    ) -> &mut Self {
+        let full = id.into().to_string();
+        run_benchmark(&full, &self.settings, routine);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7usize), &7usize, |b, &n| {
+            b.iter(|| (0..n).product::<usize>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_bench_run() {
+        benches();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
