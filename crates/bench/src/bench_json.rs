@@ -200,7 +200,7 @@ pub fn run_datalog_bench(cfg: &BenchConfig) -> Vec<ProgramBench> {
 
 /// JSON string escaping (the schema only emits ASCII identifiers, but the
 /// writer stays correct for anything).
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -218,7 +218,7 @@ fn esc(s: &str) -> String {
 
 /// Finite-float JSON literal (`NaN`/`inf` have no JSON spelling; clamp to
 /// zero rather than emit an invalid document).
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {
@@ -273,7 +273,7 @@ pub fn render_bench_json(cfg: &BenchConfig, rows: &[ProgramBench]) -> String {
 
 /// Parsed JSON value — just enough for schema validation.
 #[derive(Debug, Clone, PartialEq)]
-enum JVal {
+pub(crate) enum JVal {
     Null,
     Bool(bool),
     Num(f64),
@@ -283,7 +283,7 @@ enum JVal {
 }
 
 impl JVal {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a JVal> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a JVal> {
         match self {
             JVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -471,7 +471,7 @@ impl<'a> JParser<'a> {
     }
 }
 
-fn parse_json(s: &str) -> Result<JVal, String> {
+pub(crate) fn parse_json(s: &str) -> Result<JVal, String> {
     let mut p = JParser::new(s);
     let v = p.parse_value()?;
     p.skip_ws();
@@ -481,7 +481,7 @@ fn parse_json(s: &str) -> Result<JVal, String> {
     Ok(v)
 }
 
-fn want_num(v: &JVal, field: &str) -> Result<f64, String> {
+pub(crate) fn want_num(v: &JVal, field: &str) -> Result<f64, String> {
     match v.get(field) {
         Some(JVal::Num(n)) => Ok(*n),
         Some(_) => Err(format!("field '{field}' must be a number")),

@@ -1,27 +1,37 @@
 //! Reproduction driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations]
+//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations|incr]
 //!       [--scale small|full] [--threads N] [--bench-json [PATH]]
 //! ```
 //!
 //! `small` (default) finishes in a few minutes; `full` pushes the sweeps
 //! to the paper's ranges (100k-person graphs, 1–500 clusters).
 //!
-//! `--bench-json` skips the figure sweeps and instead benchmarks the
-//! bundled Vadalog programs with cost-based planning on vs off, writing
-//! the measurements to `PATH` (default `BENCH_datalog.json`). The file is
-//! validated against the `vadalink-bench-datalog/1` schema before the
-//! process exits, so a malformed document fails loudly — CI smokes this
-//! path in release mode.
+//! `--bench-json` skips the figure sweeps and instead writes a
+//! schema-validated JSON benchmark artifact. With the default experiment
+//! selection it benchmarks the bundled Vadalog programs with cost-based
+//! planning on vs off (`BENCH_datalog.json`, schema
+//! `vadalink-bench-datalog/1`); with `--exp incr` it benchmarks
+//! incremental update propagation vs full recomputation across batch
+//! sizes (`BENCH_incr.json`, schema `vadalink-bench-incr/1`). Both
+//! documents are validated in-process before they are written, so a
+//! malformed artifact fails loudly — CI smokes both paths in release
+//! mode.
+//!
+//! `--exp incr` without `--bench-json` prints the same sweep as a table:
+//! per batch size, incremental update latency, full-recompute time, the
+//! speedup, and the number of changed facts.
 
 use bench::bench_json::{render_bench_json, run_datalog_bench, validate_bench_json, BenchConfig};
 use bench::experiments::*;
+use bench::incr_bench::{render_incr_json, run_incr_bench, validate_incr_json, IncrConfig};
 
 struct Args {
     exp: String,
     full: bool,
-    bench_json: Option<String>,
+    /// `Some(None)` = `--bench-json` with the default path.
+    bench_json: Option<Option<String>>,
 }
 
 fn parse_args() -> Args {
@@ -33,13 +43,13 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--bench-json" => {
-                // Optional path operand; default next to the cwd.
+                // Optional path operand; the default depends on --exp.
                 let path = match argv.get(i + 1) {
                     Some(p) if !p.starts_with("--") => {
                         i += 1;
-                        p.clone()
+                        Some(p.clone())
                     }
-                    _ => "BENCH_datalog.json".to_owned(),
+                    _ => None,
                 };
                 bench_json = Some(path);
             }
@@ -121,10 +131,70 @@ fn run_bench_json(path: &str, full: bool) {
     );
 }
 
+/// Shared workload knobs of the incremental sweep (table and JSON modes).
+/// The small scale stays above the acceptance floor (>= 1500 persons,
+/// where the close-link join the session avoids re-running is large enough
+/// for single-edge updates to clear their 5x speedup bar with margin).
+fn incr_config(full: bool) -> IncrConfig {
+    IncrConfig {
+        persons: if full { 8_000 } else { 4_000 },
+        seed: SEED,
+        threads: 1,
+        repeats: if full { 5 } else { 3 },
+        batches: vec![1, 8, 64, 256],
+    }
+}
+
+/// Runs the incremental-vs-recompute sweep; optionally writes + validates
+/// the `BENCH_incr.json` artifact. Exits non-zero on schema or identity
+/// failure.
+fn run_incr(json_path: Option<&str>, full: bool) {
+    let cfg = incr_config(full);
+    println!(
+        "Incremental maintenance bench: close_link updates vs full recompute \
+         ({} persons, {} repeats, 1 thread)",
+        cfg.persons, cfg.repeats
+    );
+    let rows = run_incr_bench(&cfg);
+    println!(
+        "{:>7} {:>13} {:>11} {:>9} {:>9}",
+        "batch", "update_s", "full_s", "speedup", "changed"
+    );
+    for r in &rows {
+        println!(
+            "{:>7} {:>13.6} {:>11.3} {:>8.1}x {:>9}",
+            r.batch, r.update_secs, r.full_secs, r.speedup, r.changed_facts
+        );
+        assert!(r.outputs_match, "batch {}: maintenance diverged", r.batch);
+    }
+    println!("acceptance: single-edge updates >= 5x faster than recomputation (EXPERIMENTS.md).");
+    if let Some(path) = json_path {
+        let text = render_incr_json(&cfg, &rows);
+        if let Err(e) = validate_incr_json(&text) {
+            eprintln!("generated benchmark JSON failed schema validation: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\nwrote {path} (schema {} — validated)",
+            bench::incr_bench::INCR_SCHEMA
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.bench_json {
-        run_bench_json(path, args.full);
+        if args.exp == "incr" {
+            let path = path.as_deref().unwrap_or("BENCH_incr.json");
+            run_incr(Some(path), args.full);
+        } else {
+            let path = path.as_deref().unwrap_or("BENCH_datalog.json");
+            run_bench_json(path, args.full);
+        }
         return;
     }
     let run = |name: &str| args.exp == "all" || args.exp == name;
@@ -242,5 +312,10 @@ fn main() {
     if run("ablations") {
         let persons = if args.full { 3_000 } else { 1_000 };
         println!("{}", exp_ablations(persons, SEED));
+    }
+
+    if run("incr") {
+        run_incr(None, args.full);
+        println!();
     }
 }

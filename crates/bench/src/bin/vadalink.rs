@@ -4,6 +4,7 @@
 //! vadalink stats     --nodes nodes.csv --edges edges.csv
 //! vadalink control   --nodes nodes.csv --edges edges.csv [--explain X,Y] [--explain-plan]
 //! vadalink closelink --nodes nodes.csv --edges edges.csv [--threshold 0.2] [--explain-plan]
+//! vadalink update    PROGRAM --nodes nodes.csv --edges edges.csv --update u.txt [--threshold 0.2]
 //! vadalink demo      [--out DIR]      # writes the Figure 1 graph as CSV
 //! vadalink check     PROGRAM [--lax]  # static analysis of a Vadalog file
 //! ```
@@ -27,6 +28,18 @@
 //! strict mode (implicit existentials are errors) unless `--lax` is given,
 //! and exits 1 when any error-level diagnostic is found, 2 on usage or
 //! parse errors, 0 otherwise.
+//!
+//! `update` opens an incremental reasoning session over the graph's
+//! extensional facts, applies the signed ground facts of the update file
+//! (`+own(n0,n4,0.3)` inserts, `-own(n0,n4,0.8)` deletes, `%` comments),
+//! and prints the net derived-fact diff — one `+fact`/`-fact` line each —
+//! with propagation statistics on stderr. `PROGRAM` is a Vadalog file or
+//! one of the bundled shortcuts `control` / `closelink` (the latter seeds
+//! `th(--threshold)`).
+//!
+//! All usage errors (unknown flags or subcommands, missing values) exit 2
+//! and print the usage summary to stderr; `--help`/`-h` prints it to
+//! stdout and exits 0.
 
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -34,9 +47,30 @@ use std::process::ExitCode;
 
 use pgraph::{io, NodeId};
 use vada_link::kg::KnowledgeGraph;
+use vada_link::mapping::load_facts;
 use vada_link::model::CompanyGraph;
 use vada_link::paper_graphs::figure1;
 use vada_link::programs::{plan_report, run_close_links, CLOSELINK_PROGRAM, CONTROL_PROGRAM};
+
+const USAGE: &str = "\
+usage: vadalink <subcommand> [options]
+
+subcommands:
+  stats     --nodes N.csv --edges E.csv
+  control   --nodes N.csv --edges E.csv [--explain X,Y] [--explain-plan]
+  closelink --nodes N.csv --edges E.csv [--threshold 0.2] [--explain-plan]
+  update    PROGRAM --nodes N.csv --edges E.csv --update U [--threshold 0.2]
+            PROGRAM is a Vadalog file or a bundled shortcut
+            (control | closelink); U holds one signed ground fact per
+            line: +own(n0,n4,0.3) inserts, -own(n0,n4,0.8) deletes,
+            '%' starts a comment
+  demo      [--out DIR]
+  check     PROGRAM [--lax]
+
+global options:
+  --threads N   pin the worker-thread count
+  -h, --help    print this help and exit
+";
 
 struct Opts {
     cmd: String,
@@ -47,6 +81,7 @@ struct Opts {
     explain_plan: bool,
     out: String,
     file: Option<String>,
+    update: Option<String>,
     lax: bool,
 }
 
@@ -61,6 +96,7 @@ fn parse_opts() -> Result<Opts, String> {
         explain_plan: false,
         out: ".".to_owned(),
         file: None,
+        update: None,
         lax: false,
     };
     let mut i = 1;
@@ -89,6 +125,7 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--explain-plan" => opts.explain_plan = true,
             "--out" => opts.out = next(&mut i)?,
+            "--update" => opts.update = Some(next(&mut i)?),
             "--lax" => opts.lax = true,
             "--threads" => {
                 let n: usize = next(&mut i)?
@@ -161,6 +198,68 @@ fn run_check(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Implements `vadalink update`: open an incremental session, apply the
+/// update file, print the net fact diff (derived facts included).
+fn run_update(opts: &Opts) -> Result<ExitCode, String> {
+    let spec = opts
+        .file
+        .as_deref()
+        .ok_or("update needs a PROGRAM (a .vada file, control, or closelink)")?;
+    let src = match spec {
+        "control" => CONTROL_PROGRAM.to_owned(),
+        "closelink" => CLOSELINK_PROGRAM.to_owned(),
+        path => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+    };
+    let upd_path = opts.update.as_ref().ok_or("--update is required")?;
+    let upd_src = std::fs::read_to_string(upd_path).map_err(|e| format!("{upd_path}: {e}"))?;
+    let g = load_graph(opts)?;
+    if opts.explain_plan {
+        eprintln!("{}", plan_report(&src, &g, Some(opts.threshold)));
+    }
+    let program = datalog::Program::parse(&src).map_err(|e| format!("{spec}: {e}"))?;
+    let mut db = datalog::Database::new();
+    load_facts(&g, &mut db);
+    db.assert_fact("th", &[datalog::Const::float(opts.threshold)])
+        .map_err(|e| e.to_string())?;
+    let mut session = datalog::IncrementalEngine::new(&program, db).map_err(|e| e.to_string())?;
+    let update = session
+        .parse_update(&upd_src)
+        .map_err(|e| format!("{upd_path}: {e}"))?;
+    let cs = session.apply_update(&update).map_err(|e| e.to_string())?;
+    let db = session.db();
+    let render = |tuple: &[datalog::Const]| -> String {
+        tuple
+            .iter()
+            .map(|c| db.canonical(*c))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    for (pred, tuple) in &cs.deleted {
+        println!("-{pred}({})", render(tuple));
+    }
+    for (pred, tuple) in &cs.inserted {
+        println!("+{pred}({})", render(tuple));
+    }
+    let s = &cs.stats;
+    eprintln!(
+        "vadalink: {} inserted, {} deleted in {:.3?} \
+         ({} counting, {} DRed, {} replayed, {} skipped unit(s){})",
+        cs.inserted.len(),
+        cs.deleted.len(),
+        s.duration,
+        s.counting_units,
+        s.dred_units,
+        s.replayed_units,
+        s.skipped_units,
+        if s.full_recompute {
+            "; full recompute"
+        } else {
+            ""
+        }
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run() -> Result<ExitCode, String> {
     let opts = parse_opts()?;
     match opts.cmd.as_str() {
@@ -213,9 +312,10 @@ fn run() -> Result<ExitCode, String> {
             );
         }
         "check" => return run_check(&opts),
+        "update" => return run_update(&opts),
         other => {
             return Err(format!(
-                "unknown subcommand {other} (stats|control|closelink|demo|check)"
+                "unknown subcommand {other} (stats|control|closelink|update|demo|check)"
             ))
         }
     }
@@ -223,10 +323,15 @@ fn run() -> Result<ExitCode, String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     match run() {
         Ok(code) => code,
         Err(e) => {
             eprintln!("vadalink: {e}");
+            eprint!("{USAGE}");
             ExitCode::from(2)
         }
     }

@@ -18,4 +18,5 @@
 
 pub mod bench_json;
 pub mod experiments;
+pub mod incr_bench;
 pub mod synth;

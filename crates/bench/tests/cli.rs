@@ -1,0 +1,161 @@
+//! End-to-end tests of the `vadalink` binary: exit-code conventions
+//! (0 clean, 1 analyzer errors, 2 usage/parse errors with usage text) and
+//! the `update` subcommand's incremental diff output.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn vadalink(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vadalink"))
+        .args(args)
+        .output()
+        .expect("vadalink runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vadalink-cli-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let out = vadalink(&[]);
+    assert_eq!(code(&out), 2);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage: vadalink"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage_everywhere() {
+    for args in [
+        &["check", "--frobnicate"][..],
+        &["update", "--frobnicate"][..],
+        &["control", "--explain-plan", "--frobnicate"][..],
+        &["frobnicate"][..],
+    ] {
+        let out = vadalink(args);
+        assert_eq!(code(&out), 2, "args: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("usage: vadalink"),
+            "args: {args:?}, stderr: {err}"
+        );
+    }
+}
+
+#[test]
+fn help_prints_usage_and_exits_0() {
+    for flag in ["--help", "-h"] {
+        let out = vadalink(&[flag]);
+        assert_eq!(code(&out), 0);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: vadalink"));
+        assert!(stdout.contains("update"));
+    }
+}
+
+#[test]
+fn check_distinguishes_clean_errors_and_parse_failures() {
+    let dir = scratch("check");
+    let clean = dir.join("clean.vada");
+    fs::write(&clean, "t(X, Y) :- e(X, Y).\n").unwrap();
+    assert_eq!(code(&vadalink(&["check", clean.to_str().unwrap()])), 0);
+
+    let broken = dir.join("broken.vada");
+    fs::write(&broken, "t(X :- e(X).\n").unwrap();
+    assert_eq!(code(&vadalink(&["check", broken.to_str().unwrap()])), 2);
+
+    let missing = dir.join("missing.vada");
+    assert_eq!(code(&vadalink(&["check", missing.to_str().unwrap()])), 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn update_applies_an_incremental_diff_to_the_demo_graph() {
+    let dir = scratch("update");
+    let out = vadalink(&["demo", "--out", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    let nodes = dir.join("figure1_nodes.csv");
+    let edges = dir.join("figure1_edges.csv");
+
+    // Figure 1: P1 is n0 and company C is n2, held at 0.8. Weakening the
+    // stake below the majority must retract control(P1, C).
+    let upd = dir.join("u.txt");
+    fs::write(&upd, "% weaken P1 -> C\n-own(n0,n2,0.8)\n+own(n0,n2,0.3)\n").unwrap();
+    let out = vadalink(&[
+        "update",
+        "control",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+        "--update",
+        upd.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-control(n0,n2)"), "stdout: {stdout}");
+    assert!(stdout.contains("-own(n0,n2,0.8)"), "stdout: {stdout}");
+    assert!(stdout.contains("+own(n0,n2,0.3)"), "stdout: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("inserted"), "stderr: {stderr}");
+
+    // The closelink shortcut seeds th(--threshold) and maintains acc_own.
+    let out = vadalink(&[
+        "update",
+        "closelink",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+        "--update",
+        upd.to_str().unwrap(),
+        "--threshold",
+        "0.2",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-acc_own(n0,n2,0.8)"), "stdout: {stdout}");
+
+    // Missing update file and malformed update lines are usage errors.
+    let out = vadalink(&[
+        "update",
+        "control",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2);
+    let bad = dir.join("bad.txt");
+    fs::write(&bad, "own(n0,n2,0.8)\n").unwrap();
+    let out = vadalink(&[
+        "update",
+        "control",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+        "--update",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -223,6 +223,102 @@ pub fn augment(
     stats
 }
 
+/// Re-evaluates only the `Candidate` pairs a change can affect: blocks
+/// are rebuilt from scratch (blocking is linear and cheap — comparisons
+/// are the quadratic cost), but pairs are enumerated only when at least
+/// one member is in `touched`. The embedding step is skipped: re-running
+/// `#GraphEmbedClust` would reshuffle blocks far away from the change, so
+/// the delta pass works in the paper's "no cluster mode". One round; the
+/// reinforcement loop belongs to full [`augment`] runs.
+///
+/// With `touched` covering every node this degenerates to a single
+/// `clusters = 1` round of [`augment`] — the differential tests pin that.
+pub fn augment_delta(
+    g: &mut CompanyGraph,
+    candidates: &[&dyn CandidatePredicate],
+    touched: &[NodeId],
+    opts: &AugmentOptions,
+) -> AugmentStats {
+    use std::collections::HashMap;
+
+    let start = Instant::now();
+    let mut stats = AugmentStats {
+        rounds: 1,
+        ..AugmentStats::default()
+    };
+    let touched_set: HashSet<NodeId> = touched.iter().copied().collect();
+    if touched_set.is_empty() {
+        stats.total_time = start.elapsed();
+        return stats;
+    }
+    let blocker = match opts.block_count {
+        Some(k) => FeatureBlocker::with_block_count(k).with_salt(opts.seed),
+        None => FeatureBlocker::natural().with_salt(opts.seed),
+    };
+    let t1 = Instant::now();
+    let mut new_links: Vec<(String, NodeId, NodeId)> = Vec::new();
+    for cand in candidates {
+        let mut blocks: HashMap<u64, Vec<NodeId>> = HashMap::new();
+        for n in g.graph().node_ids() {
+            if !cand.applies(g, n) {
+                continue;
+            }
+            let mut keys: Vec<u64> = cand
+                .block_keys(g, n)
+                .into_iter()
+                .map(|k| blocker.block_of(&k))
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            for key in keys {
+                blocks.entry(key).or_default().push(n);
+            }
+        }
+        // Same deterministic enumeration as the full loop, restricted to
+        // pairs with a touched member; dedup is per candidate.
+        let mut keys: Vec<&u64> = blocks.keys().collect();
+        keys.sort_unstable();
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        for key in keys {
+            let members = &blocks[key];
+            if !members.iter().any(|m| touched_set.contains(m)) {
+                continue;
+            }
+            for i in 0..members.len() {
+                for j in i + 1..members.len() {
+                    let (a, b) = (members[i], members[j]);
+                    if !touched_set.contains(&a) && !touched_set.contains(&b) {
+                        continue;
+                    }
+                    if seen.insert((a.0.min(b.0), a.0.max(b.0))) {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+        }
+        stats.comparisons += pairs.len();
+        let gref = &*g;
+        let decisions =
+            par::par_map_with(&pairs, opts.threads, 0, |&(a, b)| cand.decide(gref, a, b));
+        for ((a, b), class) in pairs.into_iter().zip(decisions) {
+            if let Some(class) = class {
+                new_links.push((class, a, b));
+            }
+        }
+    }
+    new_links.sort_unstable_by(|(c1, a1, b1), (c2, a2, b2)| (c1, a1, b1).cmp(&(c2, a2, b2)));
+    for (class, a, b) in new_links {
+        if g.find_link(&class, a, b).is_none() && g.find_link(&class, b, a).is_none() {
+            g.add_link(&class, a, b);
+            stats.links_added += 1;
+        }
+    }
+    stats.compare_time = t1.elapsed();
+    stats.total_time = start.elapsed();
+    stats
+}
+
 /// The personal-connection `Candidate` (Algorithm 7): persons only,
 /// blocked by home address (family members overwhelmingly share one),
 /// decided by the Bayesian detector and typed by surname/age structure.
@@ -403,6 +499,66 @@ mod tests {
         );
         assert!(stats.rounds >= 1);
         assert!(stats.embed_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn delta_pass_matches_one_full_round_when_everything_is_touched() {
+        let (g, _, cand) = setup(300);
+        let opts = AugmentOptions {
+            clusters: 1,
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let mut g_full = g.clone();
+        let full = augment(&mut g_full, &[&cand], &opts);
+        let mut g_delta = g.clone();
+        let all: Vec<NodeId> = g.graph().node_ids().collect();
+        let delta = augment_delta(&mut g_delta, &[&cand], &all, &opts);
+        assert_eq!(delta.comparisons, full.comparisons);
+        assert_eq!(delta.links_added, full.links_added);
+        for class in ["PartnerOf", "SiblingOf", "ParentOf"] {
+            let mut a = g_full.links_of(class);
+            let mut b = g_delta.links_of(class);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{class} links diverged");
+        }
+    }
+
+    #[test]
+    fn delta_pass_narrows_to_the_touched_neighborhood() {
+        let (g, _, cand) = setup(300);
+        let opts = AugmentOptions {
+            clusters: 1,
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let mut g_full = g.clone();
+        let full = augment(&mut g_full, &[&cand], &opts);
+        // Empty delta: nothing compared, nothing added.
+        let mut g0 = g.clone();
+        let none = augment_delta(&mut g0, &[&cand], &[], &opts);
+        assert_eq!(none.comparisons, 0);
+        assert_eq!(none.links_added, 0);
+        // A single touched person only compares pairs it participates in.
+        let p = g.persons().next().unwrap();
+        let one = augment_delta(&mut g0, &[&cand], &[p], &opts);
+        assert!(
+            one.comparisons < full.comparisons,
+            "{} should be well below {}",
+            one.comparisons,
+            full.comparisons
+        );
+        // Every link it did add also appears in the full pass.
+        for class in ["PartnerOf", "SiblingOf", "ParentOf"] {
+            for (a, b) in g0.links_of(class) {
+                assert!(
+                    g_full.find_link(class, a, b).is_some()
+                        || g_full.find_link(class, b, a).is_some(),
+                    "spurious {class} link {a:?}-{b:?}"
+                );
+            }
+        }
     }
 
     #[test]

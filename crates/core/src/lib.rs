@@ -53,10 +53,10 @@ pub mod paper_graphs;
 pub mod programs;
 pub mod recall;
 
-pub use augment::{augment, AugmentOptions, AugmentStats, CandidatePredicate};
+pub use augment::{augment, augment_delta, AugmentOptions, AugmentStats, CandidatePredicate};
 pub use candidates::{CloseLinkCandidate, ControlCandidate};
 pub use closelink::{accumulated_ownership, close_links, CloseLink, CloseLinkReason};
 pub use control::{all_control, controls, family_control};
 pub use family::{FamilyDetector, FamilyDetectorConfig};
-pub use kg::KnowledgeGraph;
+pub use kg::{KgUpdate, KnowledgeGraph, LinkDiff, OwnershipChange};
 pub use model::{CompanyGraph, CompanyGraphBuilder};

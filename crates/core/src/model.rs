@@ -157,6 +157,48 @@ impl CompanyGraph {
             .collect()
     }
 
+    /// Finds the shareholding edge `owner → company`, if present.
+    pub fn find_share(&self, owner: NodeId, company: NodeId) -> Option<EdgeId> {
+        self.g.out_edges(owner).iter().copied().find(|&e| {
+            self.g.edge_label(e) == self.shareholding && self.g.endpoints(e).1 == company
+        })
+    }
+
+    /// Adds or updates the shareholding `owner → company` to fraction `w`,
+    /// returning the previous fraction when the edge already existed.
+    pub fn set_share(&mut self, owner: NodeId, company: NodeId, w: f64) -> Option<f64> {
+        if let Some(e) = self.find_share(owner, company) {
+            let old = self.share(e);
+            self.g.set_edge_prop(e, SHARE_W, Value::float(w));
+            Some(old)
+        } else {
+            let e = self.g.add_edge(SHAREHOLDING, owner, company);
+            self.g.set_edge_prop(e, SHARE_W, Value::float(w));
+            None
+        }
+    }
+
+    /// Removes the shareholding `owner → company`, returning its fraction.
+    /// Edge ids held by the caller are invalidated (swap-remove).
+    pub fn remove_share(&mut self, owner: NodeId, company: NodeId) -> Option<f64> {
+        let e = self.find_share(owner, company)?;
+        let w = self.share(e);
+        self.g.remove_edge(e);
+        Some(w)
+    }
+
+    /// Removes a derived edge of `class` from `a` to `b`; returns whether
+    /// one was present. Edge ids held by the caller are invalidated.
+    pub fn remove_link(&mut self, class: &str, a: NodeId, b: NodeId) -> bool {
+        match self.find_link(class, a, b) {
+            Some(e) => {
+                self.g.remove_edge(e);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// CSR snapshot over the shareholding weights (derived links included
     /// with weight 1.0; build before augmenting for a pure ownership view).
     pub fn csr(&self) -> Csr {
@@ -272,5 +314,34 @@ mod tests {
         let (g, p, _, _) = tiny();
         let csr = g.csr();
         assert_eq!(csr.out_weights(p), &[0.6, 0.2]);
+    }
+
+    #[test]
+    fn share_mutators_roundtrip() {
+        let (mut g, p, c, d) = tiny();
+        assert!(g.find_share(p, c).is_some());
+        assert!(g.find_share(c, p).is_none());
+        // Update in place.
+        assert_eq!(g.set_share(p, c, 0.9), Some(0.6));
+        assert_eq!(g.share(g.find_share(p, c).unwrap()), 0.9);
+        assert_eq!(g.share_edges().count(), 3);
+        // Fresh edge.
+        assert_eq!(g.set_share(d, c, 0.1), None);
+        assert_eq!(g.share_edges().count(), 4);
+        // Removal returns the weight and drops the edge.
+        assert_eq!(g.remove_share(p, c), Some(0.9));
+        assert!(g.find_share(p, c).is_none());
+        assert_eq!(g.remove_share(p, c), None);
+        assert_eq!(g.share_edges().count(), 3);
+    }
+
+    #[test]
+    fn remove_link_drops_derived_edges_only() {
+        let (mut g, p, _, d) = tiny();
+        g.add_link("Control", p, d);
+        assert!(g.remove_link("Control", p, d));
+        assert!(!g.remove_link("Control", p, d));
+        assert!(g.links_of("Control").is_empty());
+        assert_eq!(g.share_edges().count(), 3, "shareholdings untouched");
     }
 }

@@ -62,6 +62,11 @@ impl SymbolTable {
 #[derive(Default, Debug, Clone)]
 pub struct SkolemTable {
     map: FxHashMap<(u32, Tuple), u64>,
+    /// Reverse map, parallel to the sequential ids: `defs[id] = (functor,
+    /// args)`. Lets nulls be rendered by their *structural* definition,
+    /// which is stable across evaluations even though the numeric ids
+    /// depend on invention order.
+    defs: Vec<(u32, Tuple)>,
 }
 
 impl SkolemTable {
@@ -70,8 +75,17 @@ impl SkolemTable {
         let next = self.map.len() as u64;
         match self.map.entry((functor, args.into())) {
             Entry::Occupied(o) => *o.get(),
-            Entry::Vacant(v) => *v.insert(next),
+            Entry::Vacant(v) => {
+                let key = v.key().clone();
+                self.defs.push(key);
+                *v.insert(next)
+            }
         }
+    }
+
+    /// The `(functor, args)` pair a null id was invented for.
+    pub fn definition(&self, id: u64) -> Option<(u32, &[Const])> {
+        self.defs.get(id as usize).map(|(f, args)| (*f, &args[..]))
     }
 
     /// Number of invented OIDs.
@@ -188,6 +202,38 @@ impl Relation {
             self.prov.push(prov);
         }
         (row, true)
+    }
+
+    /// Removes every tuple in `del`, compacting the surviving rows in
+    /// their original order — tombstone-free: the dedup map, all
+    /// registered indexes and any recorded provenance are rebuilt so row
+    /// ids stay dense. Returns how many rows were actually removed.
+    pub(crate) fn remove_tuples(&mut self, del: &crate::fx::FxHashSet<Tuple>) -> usize {
+        if del.is_empty() {
+            return 0;
+        }
+        let masks: Vec<u64> = self.indexes.keys().copied().collect();
+        let old_tuples = std::mem::take(&mut self.tuples);
+        let mut old_prov = std::mem::take(&mut self.prov);
+        self.seen.clear();
+        self.indexes.clear();
+        let mut removed = 0usize;
+        for (i, t) in old_tuples.into_iter().enumerate() {
+            if del.contains(&t) {
+                removed += 1;
+                continue;
+            }
+            let row = self.tuples.len() as u32;
+            self.seen.insert(t.clone(), row);
+            self.tuples.push(t);
+            if self.track_prov {
+                self.prov.push(old_prov.get_mut(i).and_then(Option::take));
+            }
+        }
+        for m in masks {
+            self.register_index(m);
+        }
+        removed
     }
 
     /// Replaces the contents with `rows` (used by `@post`); indexes are
@@ -326,6 +372,17 @@ impl Database {
         Ok(new)
     }
 
+    /// Retracts a fact if present; returns true if it was removed. The
+    /// relation is compacted in place (order-preserving, tombstone-free).
+    pub fn retract_fact(&mut self, pred: &str, tuple: &[Const]) -> bool {
+        let Some(p) = self.find_pred(pred) else {
+            return false;
+        };
+        let mut del = crate::fx::FxHashSet::default();
+        del.insert(Tuple::from(tuple));
+        self.relations[p as usize].remove_tuples(&del) > 0
+    }
+
     /// Starts a fluent fact builder: `db.fact("own").sym("a").float(0.5).assert();`
     pub fn fact<'a>(&'a mut self, pred: &str) -> FactBuilder<'a> {
         FactBuilder {
@@ -395,6 +452,44 @@ impl Database {
                         .all(|(c, p)| p.is_none_or(|pc| *c == pc))
             })
             .collect()
+    }
+
+    /// Renders a constant canonically: like [`Database::display`], except
+    /// labelled nulls are rendered by their structural Skolem definition
+    /// (`functor(args…)`, recursively) instead of their numeric id. Two
+    /// databases that derived the same facts in different orders assign
+    /// different null ids but identical canonical renderings, so this is
+    /// the right lens for set-level comparisons (isomorphism of labelled
+    /// nulls).
+    pub fn canonical(&self, c: Const) -> String {
+        match c {
+            Const::Null(n) => match self.skolems.definition(n) {
+                Some((functor, args)) => {
+                    let parts: Vec<String> = args.iter().map(|a| self.canonical(*a)).collect();
+                    format!("{}({})", self.symbols.resolve(functor), parts.join(","))
+                }
+                None => format!("_:{n}"),
+            },
+            other => self.display(other),
+        }
+    }
+
+    /// Renders a relation's tuples canonically (see [`Database::canonical`]),
+    /// sorted. The comparison lens used by the incremental differential
+    /// tests: set-identity modulo labelled-null renaming.
+    pub fn dump_canonical(&self, pred: &str) -> Vec<String> {
+        let Some(rel) = self.relation(pred) else {
+            return Vec::new();
+        };
+        let mut out: Vec<String> = rel
+            .rows()
+            .map(|t| {
+                let parts: Vec<String> = t.iter().map(|c| self.canonical(*c)).collect();
+                parts.join(",")
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// Renders a relation's tuples as display strings, sorted (test helper).
@@ -566,6 +661,58 @@ mod tests {
         assert_eq!(db.query("e", &[None, None]).len(), 3);
         assert!(db.query("e", &[None]).is_empty(), "arity mismatch");
         assert!(db.query("zzz", &[None]).is_empty());
+    }
+
+    #[test]
+    fn remove_tuples_compacts_in_order() {
+        let mut r = Relation::default();
+        r.register_index(0b01);
+        for i in 0..5 {
+            r.insert(vec![Const::Int(i), Const::Int(i * 10)].into(), None);
+        }
+        let mut del = crate::fx::FxHashSet::default();
+        del.insert(Tuple::from(&[Const::Int(1), Const::Int(10)][..]));
+        del.insert(Tuple::from(&[Const::Int(3), Const::Int(30)][..]));
+        del.insert(Tuple::from(&[Const::Int(9), Const::Int(90)][..])); // absent
+        assert_eq!(r.remove_tuples(&del), 2);
+        assert_eq!(r.len(), 3);
+        // Survivors keep their relative order; row ids are dense again.
+        let kept: Vec<i64> = r.rows().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(kept, vec![0, 2, 4]);
+        assert_eq!(r.find(&[Const::Int(2), Const::Int(20)]), Some(1));
+        assert_eq!(r.find(&[Const::Int(1), Const::Int(10)]), None);
+        // Indexes were rebuilt over the compacted rows.
+        assert_eq!(r.probe(0b01, &[Const::Int(4)]), &[2]);
+        assert!(r.probe(0b01, &[Const::Int(3)]).is_empty());
+        // Re-inserting a removed tuple appends at the end.
+        let (row, fresh) = r.insert(vec![Const::Int(1), Const::Int(10)].into(), None);
+        assert!(fresh);
+        assert_eq!(row, 3);
+    }
+
+    #[test]
+    fn retract_fact_roundtrip() {
+        let mut db = Database::new();
+        db.fact("own").sym("a").sym("b").float(0.6).assert();
+        let row: Vec<Const> = db.query("own", &[None, None, None])[0].to_vec();
+        assert!(db.retract_fact("own", &row));
+        assert_eq!(db.fact_count("own"), 0);
+        assert!(!db.retract_fact("own", &[Const::Int(1), Const::Int(2), Const::Int(3)]));
+        assert!(!db.retract_fact("zzz", &[Const::Int(1)]));
+    }
+
+    #[test]
+    fn canonical_rendering_resolves_nulls_structurally() {
+        let mut db = Database::new();
+        let a = db.sym("a");
+        let f = db.symbols.intern("#mk");
+        let id = db.skolems.apply(f, &[a]);
+        let nested = db.skolems.apply(f, &[Const::Null(id)]);
+        assert_eq!(db.canonical(Const::Null(id)), "#mk(a)");
+        assert_eq!(db.canonical(Const::Null(nested)), "#mk(#mk(a))");
+        assert_eq!(db.canonical(a), "a");
+        // Unknown null ids fall back to the numeric rendering.
+        assert_eq!(db.canonical(Const::Null(99)), "_:99");
     }
 
     #[test]

@@ -571,6 +571,32 @@ pub(crate) fn eval_expr(
     }
 }
 
+/// Evaluates a *pure* expression — no external calls, hence no access to
+/// the symbol or Skolem tables — under a binding. Shares `arith`/`compare`
+/// with [`eval_expr`] so the two paths cannot drift; the incremental
+/// delta enumerator ([`crate::incr`]) uses this on rules already
+/// classified call-free.
+pub(crate) fn eval_pure_expr(e: &RExpr, binding: &[Option<Const>]) -> Result<Const> {
+    match e {
+        RExpr::Var(v) => binding[*v as usize]
+            .ok_or_else(|| DatalogError::Validation(format!("unbound variable v{v}"))),
+        RExpr::Const(c) => Ok(*c),
+        RExpr::Binary(op, a, b) => arith(
+            *op,
+            eval_pure_expr(a, binding)?,
+            eval_pure_expr(b, binding)?,
+        ),
+        RExpr::Cmp(op, a, b) => Ok(Const::Bool(compare(
+            *op,
+            eval_pure_expr(a, binding)?,
+            eval_pure_expr(b, binding)?,
+        ))),
+        RExpr::Call { name, .. } => Err(DatalogError::Function(format!(
+            "#{name}: external calls are not pure (incremental enumerator)"
+        ))),
+    }
+}
+
 fn arith(op: BinOp, a: Const, b: Const) -> Result<Const> {
     use Const::*;
     let err = || {

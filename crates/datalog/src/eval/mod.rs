@@ -30,10 +30,10 @@
 //! sequential order, so the derived facts — values, insertion order, row
 //! ids, provenance — are identical for every thread count.
 
-mod agg;
-mod exec;
-mod plan;
-mod resolve;
+pub(crate) mod agg;
+pub(crate) mod exec;
+pub(crate) mod plan;
+pub(crate) mod resolve;
 
 use std::time::{Duration, Instant};
 
@@ -170,6 +170,21 @@ impl Engine {
         &mut self.options
     }
 
+    /// Evaluation options (read-only).
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The name-level compilation output (strata, auto-post list).
+    pub(crate) fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// The function registry the engine evaluates external calls with.
+    pub(crate) fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
     /// Registers an external function (callable as `#name`).
     pub fn register_function(
         &mut self,
@@ -226,184 +241,18 @@ impl Engine {
 
         for stratum in &self.compiled.strata {
             stats.strata += 1;
-            // Predicates derived in this stratum (delta sources).
-            let stratum_preds: Vec<u32> = stratum
-                .iter()
-                .flat_map(|&ri| rules[ri].head.iter().map(|h| h.pred))
-                .collect();
-            // Plan the stratum's rules against current cardinalities and
-            // register exactly the probe indexes the plans use. When any
-            // rule actually got a cost-based order, the stratum *replans
-            // every round*: recursive predicates are empty at stratum
-            // entry, so only from round 1 onward do the delta plans see the
-            // real relation sizes they join against. Plans influence
-            // evaluation order only — the canonical sort below makes any
-            // order produce the same database — so replanning is free of
-            // output drift, and `register_index` is a no-op for masks
-            // already present. Strata of identity plans (planner disabled,
-            // or every rule order-sensitive) skip the per-round stats pass.
-            // Stats are scoped to reorderable rules' predicates and cached
-            // by row count, so each round only re-samples relations that
-            // both grew and feed a cost-planned join.
-            let mut stats_cache = crate::fx::FxHashMap::default();
-            let enable = self.options.plan;
-            let mut plan_round = |db: &mut Database| {
-                let stratum_stats = if enable {
-                    StratumStats::collect_reorderable(
-                        &rules,
-                        stratum,
-                        &db.relations,
-                        &mut stats_cache,
-                    )
-                } else {
-                    StratumStats::default()
-                };
-                let plans = plan_stratum(&rules, stratum, &stratum_stats, enable);
-                for rp in plans.iter().flatten() {
-                    for p in std::iter::once(&rp.naive).chain(rp.delta.iter()) {
-                        for step in &p.steps {
-                            if let Step::Atom(a) = step {
-                                if a.mask != 0 {
-                                    db.relation_mut(a.pred).register_index(a.mask);
-                                }
-                            }
-                        }
-                    }
-                }
-                plans
-            };
-            let mut plans = plan_round(db);
-            // Replanning can only change an order for a cost-planned rule
-            // with at least two joinable atoms whose body reads a predicate
-            // this stratum is still deriving — anything else sees the same
-            // statistics every round. `watched` collects the predicates
-            // those rules read; a later round replans only when one of them
-            // grew enough (2x, or from empty) to plausibly flip an order.
-            let mut watched: Vec<u32> = Vec::new();
-            for &ri in stratum {
-                let planned = plans[ri]
-                    .as_ref()
-                    .is_some_and(|rp| rp.naive.planned || rp.delta.iter().any(|p| p.planned));
-                if !planned {
-                    continue;
-                }
-                let atoms: Vec<u32> = rules[ri]
-                    .body
-                    .iter()
-                    .filter_map(|lit| match lit {
-                        RLiteral::Atom { atom } => Some(atom.pred),
-                        _ => None,
-                    })
-                    .collect();
-                if atoms.len() >= 2 && atoms.iter().any(|p| stratum_preds.contains(p)) {
-                    watched.extend(atoms);
-                }
-            }
-            watched.sort_unstable();
-            watched.dedup();
-            let mut planned_len: Vec<usize> = watched
-                .iter()
-                .map(|&p| db.relations[p as usize].len())
-                .collect();
-            let mut prev_len: Vec<u32> = db.relations.iter().map(|r| r.len() as u32).collect();
-            let mut round = 0usize;
-            loop {
-                if round >= self.options.max_rounds {
-                    return Err(DatalogError::BudgetExceeded(format!(
-                        "exceeded {} rounds in stratum {}",
-                        self.options.max_rounds,
-                        stats.strata - 1
-                    )));
-                }
-                if round > 0 && !watched.is_empty() {
-                    let grown = watched.iter().zip(&planned_len).any(|(&p, &l)| {
-                        let n = db.relations[p as usize].len();
-                        if l == 0 {
-                            n > 0
-                        } else {
-                            n >= l * 2
-                        }
-                    });
-                    if grown {
-                        plans = plan_round(db);
-                        for (i, &p) in watched.iter().enumerate() {
-                            planned_len[i] = db.relations[p as usize].len();
-                        }
-                    }
-                }
-                let mut out: Vec<Derived> = Vec::new();
-                {
-                    let db_ref = &mut *db;
-                    let relations = &db_ref.relations;
-                    // The round's rule evaluations in sequential order:
-                    // round 0 is the naive pass; later rounds contribute
-                    // one item per (rule, in-stratum delta literal).
-                    let mut items: Vec<(usize, Option<(usize, u32)>)> = Vec::new();
-                    for &ri in stratum {
-                        let rule = &rules[ri];
-                        if round == 0 {
-                            items.push((ri, None));
-                        } else {
-                            for (k, &li) in rule.positive_literals.iter().enumerate() {
-                                let pred = rule.positive_preds[k];
-                                if !stratum_preds.contains(&pred) {
-                                    continue;
-                                }
-                                let dstart = prev_len[pred as usize];
-                                if (dstart as usize) >= relations[pred as usize].len() {
-                                    continue;
-                                }
-                                items.push((ri, Some((li, dstart))));
-                            }
-                        }
-                    }
-                    let mut ctx = RunCtx {
-                        symbols: &mut db_ref.symbols,
-                        skolems: &mut db_ref.skolems,
-                        registry: &self.registry,
-                        agg: &mut agg,
-                        out: &mut out,
-                        ws: &mut ws,
-                        epsilon: self.options.epsilon,
-                        provenance: self.options.provenance,
-                    };
-                    eval_round(&rules, &plans, relations, &items, threads, &mut ctx)?;
-                }
-                // Canonical per-round ordering: a round's derived *set* is
-                // independent of body-literal order, so sorting before
-                // insertion pins row ids and provenance regardless of the
-                // plans that produced the buffer.
-                out.sort_unstable_by(|a, b| {
-                    a.pred
-                        .cmp(&b.pred)
-                        .then_with(|| a.tuple.cmp(&b.tuple))
-                        .then_with(|| a.prov.cmp(&b.prov))
-                });
-                // Snapshot lengths, then insert this round's derivations:
-                // they become the next round's deltas.
-                for (i, rel) in db.relations.iter().enumerate() {
-                    prev_len[i] = rel.len() as u32;
-                }
-                let mut new_facts = 0usize;
-                for d in out {
-                    let (_, fresh) = db.relations[d.pred as usize].insert(d.tuple, d.prov);
-                    if fresh {
-                        new_facts += 1;
-                    }
-                }
-                stats.derived += new_facts;
-                stats.rounds += 1;
-                round += 1;
-                if db.total_facts() > self.options.max_facts {
-                    return Err(DatalogError::BudgetExceeded(format!(
-                        "exceeded {} facts",
-                        self.options.max_facts
-                    )));
-                }
-                if new_facts == 0 {
-                    break;
-                }
-            }
+            run_stratum(
+                &rules,
+                stratum,
+                stats.strata - 1,
+                db,
+                &self.registry,
+                &self.options,
+                threads,
+                &mut agg,
+                &mut ws,
+                &mut stats,
+            )?;
         }
 
         if self.options.apply_post {
@@ -419,6 +268,203 @@ impl Engine {
         stats.duration = start.elapsed();
         Ok(stats)
     }
+}
+
+/// Runs one stratum's semi-naive fixpoint over `db`: round 0 evaluates
+/// every rule in `stratum` naively, later rounds once per (rule,
+/// in-stratum delta literal). Extracted from [`Engine::run`] so the
+/// incremental-maintenance subsystem ([`crate::incr`]) can replay a rule
+/// subset (a dependency unit, or a whole stratum) with its own aggregate
+/// store; the behavior — canonical per-round insertion order, growth-
+/// triggered replanning, budgets — is exactly the engine's.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_stratum(
+    rules: &[RRule],
+    stratum: &[usize],
+    stratum_label: usize,
+    db: &mut Database,
+    registry: &FunctionRegistry,
+    options: &EngineOptions,
+    threads: usize,
+    agg: &mut AggStore,
+    ws: &mut Workspace,
+    stats: &mut RunStats,
+) -> Result<()> {
+    {
+        // Predicates derived in this stratum (delta sources).
+        let stratum_preds: Vec<u32> = stratum
+            .iter()
+            .flat_map(|&ri| rules[ri].head.iter().map(|h| h.pred))
+            .collect();
+        // Plan the stratum's rules against current cardinalities and
+        // register exactly the probe indexes the plans use. When any
+        // rule actually got a cost-based order, the stratum *replans
+        // every round*: recursive predicates are empty at stratum
+        // entry, so only from round 1 onward do the delta plans see the
+        // real relation sizes they join against. Plans influence
+        // evaluation order only — the canonical sort below makes any
+        // order produce the same database — so replanning is free of
+        // output drift, and `register_index` is a no-op for masks
+        // already present. Strata of identity plans (planner disabled,
+        // or every rule order-sensitive) skip the per-round stats pass.
+        // Stats are scoped to reorderable rules' predicates and cached
+        // by row count, so each round only re-samples relations that
+        // both grew and feed a cost-planned join.
+        let mut stats_cache = crate::fx::FxHashMap::default();
+        let enable = options.plan;
+        let mut plan_round = |db: &mut Database| {
+            let stratum_stats = if enable {
+                StratumStats::collect_reorderable(rules, stratum, &db.relations, &mut stats_cache)
+            } else {
+                StratumStats::default()
+            };
+            let plans = plan_stratum(rules, stratum, &stratum_stats, enable);
+            for rp in plans.iter().flatten() {
+                for p in std::iter::once(&rp.naive).chain(rp.delta.iter()) {
+                    for step in &p.steps {
+                        if let Step::Atom(a) = step {
+                            if a.mask != 0 {
+                                db.relation_mut(a.pred).register_index(a.mask);
+                            }
+                        }
+                    }
+                }
+            }
+            plans
+        };
+        let mut plans = plan_round(db);
+        // Replanning can only change an order for a cost-planned rule
+        // with at least two joinable atoms whose body reads a predicate
+        // this stratum is still deriving — anything else sees the same
+        // statistics every round. `watched` collects the predicates
+        // those rules read; a later round replans only when one of them
+        // grew enough (2x, or from empty) to plausibly flip an order.
+        let mut watched: Vec<u32> = Vec::new();
+        for &ri in stratum {
+            let planned = plans[ri]
+                .as_ref()
+                .is_some_and(|rp| rp.naive.planned || rp.delta.iter().any(|p| p.planned));
+            if !planned {
+                continue;
+            }
+            let atoms: Vec<u32> = rules[ri]
+                .body
+                .iter()
+                .filter_map(|lit| match lit {
+                    RLiteral::Atom { atom } => Some(atom.pred),
+                    _ => None,
+                })
+                .collect();
+            if atoms.len() >= 2 && atoms.iter().any(|p| stratum_preds.contains(p)) {
+                watched.extend(atoms);
+            }
+        }
+        watched.sort_unstable();
+        watched.dedup();
+        let mut planned_len: Vec<usize> = watched
+            .iter()
+            .map(|&p| db.relations[p as usize].len())
+            .collect();
+        let mut prev_len: Vec<u32> = db.relations.iter().map(|r| r.len() as u32).collect();
+        let mut round = 0usize;
+        loop {
+            if round >= options.max_rounds {
+                return Err(DatalogError::BudgetExceeded(format!(
+                    "exceeded {} rounds in stratum {}",
+                    options.max_rounds, stratum_label
+                )));
+            }
+            if round > 0 && !watched.is_empty() {
+                let grown = watched.iter().zip(&planned_len).any(|(&p, &l)| {
+                    let n = db.relations[p as usize].len();
+                    if l == 0 {
+                        n > 0
+                    } else {
+                        n >= l * 2
+                    }
+                });
+                if grown {
+                    plans = plan_round(db);
+                    for (i, &p) in watched.iter().enumerate() {
+                        planned_len[i] = db.relations[p as usize].len();
+                    }
+                }
+            }
+            let mut out: Vec<Derived> = Vec::new();
+            {
+                let db_ref = &mut *db;
+                let relations = &db_ref.relations;
+                // The round's rule evaluations in sequential order:
+                // round 0 is the naive pass; later rounds contribute
+                // one item per (rule, in-stratum delta literal).
+                let mut items: Vec<(usize, Option<(usize, u32)>)> = Vec::new();
+                for &ri in stratum {
+                    let rule = &rules[ri];
+                    if round == 0 {
+                        items.push((ri, None));
+                    } else {
+                        for (k, &li) in rule.positive_literals.iter().enumerate() {
+                            let pred = rule.positive_preds[k];
+                            if !stratum_preds.contains(&pred) {
+                                continue;
+                            }
+                            let dstart = prev_len[pred as usize];
+                            if (dstart as usize) >= relations[pred as usize].len() {
+                                continue;
+                            }
+                            items.push((ri, Some((li, dstart))));
+                        }
+                    }
+                }
+                let mut ctx = RunCtx {
+                    symbols: &mut db_ref.symbols,
+                    skolems: &mut db_ref.skolems,
+                    registry,
+                    agg: &mut *agg,
+                    out: &mut out,
+                    ws: &mut *ws,
+                    epsilon: options.epsilon,
+                    provenance: options.provenance,
+                };
+                eval_round(rules, &plans, relations, &items, threads, &mut ctx)?;
+            }
+            // Canonical per-round ordering: a round's derived *set* is
+            // independent of body-literal order, so sorting before
+            // insertion pins row ids and provenance regardless of the
+            // plans that produced the buffer.
+            out.sort_unstable_by(|a, b| {
+                a.pred
+                    .cmp(&b.pred)
+                    .then_with(|| a.tuple.cmp(&b.tuple))
+                    .then_with(|| a.prov.cmp(&b.prov))
+            });
+            // Snapshot lengths, then insert this round's derivations:
+            // they become the next round's deltas.
+            for (i, rel) in db.relations.iter().enumerate() {
+                prev_len[i] = rel.len() as u32;
+            }
+            let mut new_facts = 0usize;
+            for d in out {
+                let (_, fresh) = db.relations[d.pred as usize].insert(d.tuple, d.prov);
+                if fresh {
+                    new_facts += 1;
+                }
+            }
+            stats.derived += new_facts;
+            stats.rounds += 1;
+            round += 1;
+            if db.total_facts() > options.max_facts {
+                return Err(DatalogError::BudgetExceeded(format!(
+                    "exceeded {} facts",
+                    options.max_facts
+                )));
+            }
+            if new_facts == 0 {
+                break;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Driver rows below which a round runs sequentially: thread spawn and
@@ -555,7 +601,7 @@ fn eval_round(
 
 /// Applies a `@post` grouping filter: per grouping of all columns except the
 /// value column, keep only the row with the extremal value.
-fn apply_post(db: &mut Database, pred: &str, op: &PostOp) {
+pub(crate) fn apply_post(db: &mut Database, pred: &str, op: &PostOp) {
     let Some(p) = db.find_pred(pred) else {
         return;
     };

@@ -436,7 +436,7 @@ pub(crate) fn compile(program: &Program) -> Result<CompiledProgram> {
 }
 
 /// Iterative Tarjan SCC over a small adjacency list.
-fn tarjan(adj: &[Vec<usize>]) -> Vec<usize> {
+pub(crate) fn tarjan(adj: &[Vec<usize>]) -> Vec<usize> {
     const UNVISITED: usize = usize::MAX;
     let n = adj.len();
     let mut index = vec![UNVISITED; n];

@@ -57,6 +57,7 @@ pub mod error;
 pub mod eval;
 pub mod explain;
 pub mod fx;
+pub mod incr;
 pub mod parser;
 pub mod value;
 pub mod warded;
@@ -70,5 +71,6 @@ pub use db::{Database, FactBuilder};
 pub use error::DatalogError;
 pub use eval::{Engine, EngineOptions, RunStats};
 pub use explain::Derivation;
+pub use incr::{ChangeSet, IncrementalEngine, SessionInfo, Update, UpdateStats};
 pub use value::Const;
 pub use warded::{check as check_warded, WardedReport};

@@ -299,6 +299,38 @@ impl PropertyGraph {
     pub fn self_loop_count(&self) -> usize {
         self.edges.iter().filter(|e| e.src == e.dst).count()
     }
+
+    /// Removes an edge, keeping edge ids dense by swap-moving the last
+    /// edge into the freed slot. The removed id and the id of the
+    /// previously-last edge are both invalidated: the latter now names the
+    /// moved edge. Callers holding edge ids across a removal must re-look
+    /// them up. Returns the removed edge's endpoints.
+    ///
+    /// # Panics
+    /// Panics if `edge` is out of bounds.
+    pub fn remove_edge(&mut self, edge: EdgeId) -> (NodeId, NodeId) {
+        let last = EdgeId::from_usize(self.edges.len() - 1);
+        let (src, dst) = self.endpoints(edge);
+        self.out[src.index()].retain(|&e| e != edge);
+        self.inc[dst.index()].retain(|&e| e != edge);
+        if edge != last {
+            // Rename the last edge to the freed slot in both incidence
+            // lists, then physically move it.
+            let (ls, ld) = self.endpoints(last);
+            for e in self.out[ls.index()].iter_mut() {
+                if *e == last {
+                    *e = edge;
+                }
+            }
+            for e in self.inc[ld.index()].iter_mut() {
+                if *e == last {
+                    *e = edge;
+                }
+            }
+        }
+        self.edges.swap_remove(edge.index());
+        (src, dst)
+    }
 }
 
 /// Sorts by key and keeps the last write for duplicated keys.
@@ -405,6 +437,35 @@ mod tests {
         let mut g = PropertyGraph::new();
         let a = g.add_node("C");
         g.add_edge("S", a, NodeId(99));
+    }
+
+    #[test]
+    fn remove_edge_unlinks_and_compacts() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("C");
+        let b = g.add_node("C");
+        let c = g.add_node("C");
+        let e0 = g.add_edge("S", a, b);
+        let e1 = g.add_edge("S", b, c);
+        let e2 = g.add_edge("S", a, c);
+        g.set_edge_prop(e2, "w", Value::from(0.7));
+        // Remove a middle edge: the last edge (a→c) is renamed to its slot.
+        assert_eq!(g.remove_edge(e1), (b, c));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.endpoints(EdgeId(1)), (a, c));
+        assert_eq!(g.edge_prop(EdgeId(1), "w").unwrap().as_f64(), Some(0.7));
+        assert_eq!(g.out_edges(a), &[e0, EdgeId(1)]);
+        assert_eq!(g.in_edges(c), &[EdgeId(1)]);
+        assert!(g.in_edges(b).iter().all(|&e| g.endpoints(e).1 == b));
+        // Remove the (new) last edge: no rename needed.
+        assert_eq!(g.remove_edge(EdgeId(1)), (a, c));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_edges(a), &[e0]);
+        assert!(g.in_edges(c).is_empty());
+        // Remove the only remaining edge.
+        g.remove_edge(e0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.out_edges(a).is_empty() && g.in_edges(b).is_empty());
     }
 }
 
