@@ -200,7 +200,7 @@ pub fn run_datalog_bench(cfg: &BenchConfig) -> Vec<ProgramBench> {
 
 /// JSON string escaping (the schema only emits ASCII identifiers, but the
 /// writer stays correct for anything).
-pub(crate) fn esc(s: &str) -> String {
+pub fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -218,7 +218,7 @@ pub(crate) fn esc(s: &str) -> String {
 
 /// Finite-float JSON literal (`NaN`/`inf` have no JSON spelling; clamp to
 /// zero rather than emit an invalid document).
-pub(crate) fn num(v: f64) -> String {
+pub fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {

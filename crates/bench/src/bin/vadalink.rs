@@ -6,7 +6,8 @@
 //! vadalink closelink --nodes nodes.csv --edges edges.csv [--threshold 0.2] [--explain-plan]
 //! vadalink update    PROGRAM --nodes nodes.csv --edges edges.csv --update u.txt [--threshold 0.2]
 //! vadalink demo      [--out DIR]      # writes the Figure 1 graph as CSV
-//! vadalink check     PROGRAM [--lax]  # static analysis of a Vadalog file
+//! vadalink check     PROGRAM [--lax] [--json]  # static analysis of a Vadalog file
+//! vadalink query     PROGRAM 'control("n0", X)?' --nodes N.csv --edges E.csv
 //! ```
 //!
 //! Node files: `id,label[,k=v;k=v...]` with dense integer ids; edge files:
@@ -27,7 +28,17 @@
 //! diagnostic as `file:line:col: severity[CODE]: message`. It runs in
 //! strict mode (implicit existentials are errors) unless `--lax` is given,
 //! and exits 1 when any error-level diagnostic is found, 2 on usage or
-//! parse errors, 0 otherwise.
+//! parse errors, 0 otherwise. With `--json` the diagnostics are emitted as
+//! one machine-readable JSON document (schema `vadalink-check/1`) instead:
+//! code, severity, source location and message per diagnostic, in the
+//! analyzer's deterministic order; the exit-code contract is unchanged.
+//!
+//! `query` evaluates a single goal goal-directedly: the program is
+//! rewritten by the demand (magic-sets) transformation around the goal's
+//! bound constants, so only the cone of facts the answer depends on is
+//! derived. Matching facts print one per line; the adornment summary and
+//! run statistics go to stderr. `PROGRAM` is a Vadalog file or a bundled
+//! shortcut (`control` / `closelink`, the latter seeds `th(--threshold)`).
 //!
 //! `update` opens an incremental reasoning session over the graph's
 //! extensional facts, applies the signed ground facts of the update file
@@ -65,7 +76,11 @@ subcommands:
             line: +own(n0,n4,0.3) inserts, -own(n0,n4,0.8) deletes,
             '%' starts a comment
   demo      [--out DIR]
-  check     PROGRAM [--lax]
+  check     PROGRAM [--lax] [--json]
+  query     PROGRAM GOAL --nodes N.csv --edges E.csv [--threshold 0.2]
+            GOAL is a single goal such as 'control(\"n0\", X)?';
+            PROGRAM is a Vadalog file or a bundled shortcut
+            (control | closelink)
 
 global options:
   --threads N   pin the worker-thread count
@@ -81,8 +96,10 @@ struct Opts {
     explain_plan: bool,
     out: String,
     file: Option<String>,
+    goal: Option<String>,
     update: Option<String>,
     lax: bool,
+    json: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -96,8 +113,10 @@ fn parse_opts() -> Result<Opts, String> {
         explain_plan: false,
         out: ".".to_owned(),
         file: None,
+        goal: None,
         update: None,
         lax: false,
+        json: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -127,6 +146,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--out" => opts.out = next(&mut i)?,
             "--update" => opts.update = Some(next(&mut i)?),
             "--lax" => opts.lax = true,
+            "--json" => opts.json = true,
             "--threads" => {
                 let n: usize = next(&mut i)?
                     .parse()
@@ -137,7 +157,13 @@ fn parse_opts() -> Result<Opts, String> {
                 par::set_threads(n);
             }
             other if !other.starts_with('-') || other == "-" => {
-                if opts.file.replace(other.to_owned()).is_some() {
+                // Positionals in order: PROGRAM first, then (for `query`)
+                // the goal.
+                if opts.file.is_none() {
+                    opts.file = Some(other.to_owned());
+                } else if opts.goal.is_none() {
+                    opts.goal = Some(other.to_owned());
+                } else {
                     return Err(format!("unexpected extra argument {other}"));
                 }
             }
@@ -182,6 +208,14 @@ fn run_check(opts: &Opts) -> Result<ExitCode, String> {
         datalog::AnalysisConfig::strict()
     };
     let analysis = datalog::analyze_with(&program, &cfg);
+    if opts.json {
+        println!("{}", render_check_json(path, &src, &analysis));
+        return Ok(if analysis.errors().count() > 0 {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
     for d in &analysis.diagnostics {
         println!("{path}:{}", d.render(&src));
     }
@@ -194,6 +228,95 @@ fn run_check(opts: &Opts) -> Result<ExitCode, String> {
     eprintln!(
         "vadalink: {path} is clean ({} rule(s), {warnings} warning(s))",
         program.rules.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders the `check --json` document: one object per diagnostic with
+/// the stable code, severity, rule index, resolved source location and
+/// message, in the analyzer's deterministic order.
+fn render_check_json(path: &str, src: &str, analysis: &datalog::Analysis) -> String {
+    use bench::bench_json::esc;
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"vadalink-check/1\",\n");
+    s.push_str(&format!("  \"path\": \"{}\",\n", esc(path)));
+    s.push_str(&format!("  \"errors\": {},\n", analysis.errors().count()));
+    s.push_str(&format!(
+        "  \"warnings\": {},\n",
+        analysis.warnings().count()
+    ));
+    s.push_str("  \"diagnostics\": [");
+    for (i, d) in analysis.diagnostics.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str("    {");
+        s.push_str(&format!("\"code\": \"{}\", ", d.code.as_str()));
+        s.push_str(&format!(
+            "\"severity\": \"{}\", ",
+            format!("{:?}", d.severity).to_lowercase()
+        ));
+        match d.rule {
+            Some(r) => s.push_str(&format!("\"rule\": {r}, ")),
+            None => s.push_str("\"rule\": null, "),
+        }
+        match d.span {
+            Some(span) => {
+                let (line, col) = span.line_col(src);
+                s.push_str(&format!("\"line\": {line}, \"col\": {col}, "));
+                s.push_str(&format!(
+                    "\"start\": {}, \"end\": {}, ",
+                    span.start, span.end
+                ));
+            }
+            None => s.push_str("\"line\": null, \"col\": null, \"start\": null, \"end\": null, "),
+        }
+        s.push_str(&format!("\"message\": \"{}\"}}", esc(&d.message)));
+    }
+    s.push_str("\n  ]\n}");
+    s
+}
+
+/// Implements `vadalink query`: goal-directed evaluation of a single goal
+/// over the graph's facts, via the demand (magic-sets) rewrite.
+fn run_query(opts: &Opts) -> Result<ExitCode, String> {
+    let spec = opts
+        .file
+        .as_deref()
+        .ok_or("query needs a PROGRAM (a .vada file, control, or closelink)")?;
+    let goal = opts
+        .goal
+        .as_deref()
+        .ok_or("query needs a GOAL, e.g. 'control(\"n0\", X)?'")?;
+    let src = match spec {
+        "control" => CONTROL_PROGRAM.to_owned(),
+        "closelink" => CLOSELINK_PROGRAM.to_owned(),
+        path => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+    };
+    let g = load_graph(opts)?;
+    let program = datalog::Program::parse(&src).map_err(|e| format!("{spec}: {e}"))?;
+    let engine = datalog::Engine::new(&program).map_err(|e| e.to_string())?;
+    let mut db = datalog::Database::new();
+    load_facts(&g, &mut db);
+    db.assert_fact("th", &[datalog::Const::float(opts.threshold)])
+        .map_err(|e| e.to_string())?;
+    let answer = engine.query(&db, goal).map_err(|e| e.to_string())?;
+    for row in &answer.rows {
+        println!("{row}");
+    }
+    eprint!("{}", answer.report.render());
+    eprintln!(
+        "vadalink: {} answer(s) in {:.3?} ({}, {} fact(s) derived, {} round(s))",
+        answer.rows.len(),
+        answer.stats.duration,
+        if answer.demanded {
+            "goal-directed".to_owned()
+        } else {
+            let why = answer.fallback_reason.as_deref().unwrap_or("all-free goal");
+            format!("full evaluation: {why}")
+        },
+        answer.stats.derived,
+        answer.stats.rounds,
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -312,10 +435,11 @@ fn run() -> Result<ExitCode, String> {
             );
         }
         "check" => return run_check(&opts),
+        "query" => return run_query(&opts),
         "update" => return run_update(&opts),
         other => {
             return Err(format!(
-                "unknown subcommand {other} (stats|control|closelink|update|demo|check)"
+                "unknown subcommand {other} (stats|control|closelink|update|demo|check|query)"
             ))
         }
     }

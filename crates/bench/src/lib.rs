@@ -19,4 +19,5 @@
 pub mod bench_json;
 pub mod experiments;
 pub mod incr_bench;
+pub mod magic_bench;
 pub mod synth;

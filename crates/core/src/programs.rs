@@ -8,7 +8,7 @@
 //! 5) that 20–30 lines of Vadalog replace 1k+ lines of imperative code —
 //! these constants are those lines.
 
-use datalog::{Const, Database, Engine, Program};
+use datalog::{Const, Database, DiagCode, Engine, Program};
 use pgraph::NodeId;
 
 use crate::family::FamilyDetector;
@@ -96,6 +96,61 @@ g_ctl(X, Y) :- g_ctl(X, Z), link(E, Z, Y, W), edge_type(E, "Shareholding"),
 % ---- Algorithm 4: output mapping -----------------------------------
 g_control(NX, NY) :- g_ctl(X, Y), X != Y, node(X, NX), node(Y, NY).
 "#;
+
+/// Deliberately broken variants of the bundled programs, one per analyzer
+/// family: `(name, source, code)` where `name` is a stable slug (the golden
+/// `check`-output snapshots are keyed by it) and `code` is the diagnostic
+/// the strict analyzer must report. These double as the fixture set for the
+/// span audit: every diagnostic the analyzer emits for them must carry a
+/// real source span.
+pub const BROKEN_VARIANTS: [(&str, &str, DiagCode); 6] = [
+    (
+        // Head var never bound (misspelled join var).
+        "control_unbound_head",
+        "@output(\"control\").\n\
+         control(X, Y) :- company(X).",
+        DiagCode::V002,
+    ),
+    (
+        // acc_own used with two different arities.
+        "closelink_arity_mismatch",
+        "@output(\"close_link\").\n\
+         acc_own(X, Y, V) :- own(X, Y, W), X != Y, V = msum(W, <X, Y>).\n\
+         close_link(X, Y) :- acc_own(X, Y), th(T).",
+        DiagCode::V006,
+    ),
+    (
+        // Negation through the predicate's own recursion.
+        "family_control_unstratified",
+        "@output(\"fcontrol\").\n\
+         fcontrol(F, Y) :- member(F, X), control(X, Y).\n\
+         fcontrol(F, Y) :- fcontrol(F, X), own(X, Y, W), not fcontrol(F, Y).",
+        DiagCode::V005,
+    ),
+    (
+        // Unbound variable under negation.
+        "family_closelink_unsafe_negation",
+        "@output(\"f_close_link\").\n\
+         f_close_link(X, Y) :- company(X), company(Y), not acc_own(X, Y, V).",
+        DiagCode::V001,
+    ),
+    (
+        // Aggregate not the last body literal.
+        "partner_aggregate_not_last",
+        "@output(\"person_link\").\n\
+         person_link(X, V) :- person_attr(X, N, S, B, BC, SX, A),\n\
+         V = msum(B, <X>), person_attr(X, N, S, B, BC, SX, A).",
+        DiagCode::V014,
+    ),
+    (
+        // @post column beyond the predicate arity.
+        "generic_post_out_of_range",
+        "@output(\"g_control\").\n\
+         @post(\"g_control\", \"max(7)\").\n\
+         g_control(X, Y) :- g_ctl(X, Y).",
+        DiagCode::V008,
+    ),
+];
 
 /// Runs the control program; returns `(x, y)` control pairs, `x ≠ y`.
 pub fn run_control(g: &CompanyGraph) -> Vec<(NodeId, NodeId)> {
@@ -324,54 +379,10 @@ mod tests {
 
     #[test]
     fn broken_program_variants_are_rejected() {
-        use datalog::DiagCode;
-
         // One deliberately broken variant per bundled program, each
         // tripping a different analyzer code. The engine must also refuse
         // to compile them under the strict profile.
-        let broken: [(&str, &str, DiagCode); 6] = [
-            (
-                "control: head var never bound (misspelled join var)",
-                "@output(\"control\").\n\
-                 control(X, Y) :- company(X).",
-                DiagCode::V002,
-            ),
-            (
-                "closelink: acc_own used with two different arities",
-                "@output(\"close_link\").\n\
-                 acc_own(X, Y, V) :- own(X, Y, W), X != Y, V = msum(W, <X, Y>).\n\
-                 close_link(X, Y) :- acc_own(X, Y), th(T).",
-                DiagCode::V006,
-            ),
-            (
-                "family_control: negation through its own recursion",
-                "@output(\"fcontrol\").\n\
-                 fcontrol(F, Y) :- member(F, X), control(X, Y).\n\
-                 fcontrol(F, Y) :- fcontrol(F, X), own(X, Y, W), not fcontrol(F, Y).",
-                DiagCode::V005,
-            ),
-            (
-                "family_closelink: unbound variable under negation",
-                "@output(\"f_close_link\").\n\
-                 f_close_link(X, Y) :- company(X), company(Y), not acc_own(X, Y, V).",
-                DiagCode::V001,
-            ),
-            (
-                "partner: aggregate not the last body literal",
-                "@output(\"person_link\").\n\
-                 person_link(X, V) :- person_attr(X, N, S, B, BC, SX, A),\n\
-                 V = msum(B, <X>), person_attr(X, N, S, B, BC, SX, A).",
-                DiagCode::V014,
-            ),
-            (
-                "generic: @post column beyond the predicate arity",
-                "@output(\"g_control\").\n\
-                 @post(\"g_control\", \"max(7)\").\n\
-                 g_control(X, Y) :- g_ctl(X, Y).",
-                DiagCode::V008,
-            ),
-        ];
-        for (name, src, code) in broken {
+        for (name, src, code) in BROKEN_VARIANTS {
             let program = datalog::Program::parse(src).unwrap();
             let analysis = datalog::analyze_with(&program, &datalog::AnalysisConfig::strict());
             assert!(

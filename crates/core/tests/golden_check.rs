@@ -1,0 +1,96 @@
+//! Golden snapshots of `vadalink check`-style analyzer output for the
+//! deliberately broken bundled-program variants, plus the diagnostic span
+//! audit.
+//!
+//! Each [`vada_link::programs::BROKEN_VARIANTS`] entry is analyzed under
+//! the strict profile (the one `vadalink check` uses) and the rendered
+//! diagnostics — `line:col: severity[CODE]: message`, the analyzer's
+//! deterministic order — are compared line for line against a checked-in
+//! snapshot under `tests/golden/`. Any change to a message, span, code or
+//! severity shows up as a readable diff.
+//!
+//! Regenerate after an intentional diagnostic change with:
+//! `UPDATE_GOLDEN=1 cargo test -p vada-link --test golden_check`
+
+use std::path::PathBuf;
+
+use datalog::{analyze_with, AnalysisConfig, Program};
+use vada_link::programs::BROKEN_VARIANTS;
+
+fn check_golden(name: &str, lines: &[String]) {
+    assert!(!lines.is_empty(), "{name}: snapshot must not be empty");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("check_{name}.txt"));
+    let actual = lines.join("\n") + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); create it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        actual, expected,
+        "{name}: diagnostics diverged from tests/golden/check_{name}.txt \
+         (regenerate with UPDATE_GOLDEN=1 if the change is intentional)"
+    );
+}
+
+#[test]
+fn broken_variant_diagnostics_match_snapshots() {
+    for (name, src, code) in BROKEN_VARIANTS {
+        let program = Program::parse(src).expect("broken variants still parse");
+        let analysis = analyze_with(&program, &AnalysisConfig::strict());
+        assert!(
+            analysis.errors().any(|d| d.code == code),
+            "{name}: expected {code} under strict analysis"
+        );
+        let lines: Vec<String> = analysis.diagnostics.iter().map(|d| d.render(src)).collect();
+        check_golden(name, &lines);
+    }
+}
+
+#[test]
+fn every_diagnostic_carries_a_real_span() {
+    // The span audit: no diagnostic may fall back to a missing or empty
+    // span — `render` must always be able to point at source. Checked
+    // across both analyzer profiles so span plumbing in strict-only paths
+    // (e.g. V002-as-error) is covered too.
+    for cfg in [AnalysisConfig::strict(), AnalysisConfig::default()] {
+        for (name, src, _) in BROKEN_VARIANTS {
+            let program = Program::parse(src).expect("broken variants still parse");
+            let analysis = analyze_with(&program, &cfg);
+            assert!(
+                !analysis.diagnostics.is_empty(),
+                "{name}: expected findings"
+            );
+            for d in &analysis.diagnostics {
+                let span = d.span.unwrap_or_else(|| {
+                    panic!(
+                        "{name}: {}[{}] has no span: {}",
+                        d.severity, d.code, d.message
+                    )
+                });
+                assert!(
+                    span.end > span.start,
+                    "{name}: {}[{}] has a degenerate span {}..{}: {}",
+                    d.severity,
+                    d.code,
+                    span.start,
+                    span.end,
+                    d.message
+                );
+                let rendered = d.render(src);
+                assert!(
+                    rendered
+                        .split(':')
+                        .next()
+                        .is_some_and(|l| l.parse::<usize>().is_ok()),
+                    "{name}: rendered diagnostic lacks a line prefix: {rendered}"
+                );
+            }
+        }
+    }
+}

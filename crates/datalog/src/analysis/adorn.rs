@@ -1,0 +1,970 @@
+//! Adornment (binding-pattern) analysis and the demand — "magic sets" —
+//! program rewrite for goal-directed evaluation.
+//!
+//! The engine evaluates programs bottom-up, deriving *every* fact of every
+//! predicate. The paper's reasoning workloads are point queries
+//! (`control(c, ?)`, `close_link(x, y)?`), for which bottom-up evaluation
+//! does arbitrarily more work than the query needs. This pass implements
+//! the classical fix: starting from a query goal's binding pattern (its
+//! **adornment**: which argument positions are bound to constants, which
+//! are free), it propagates bindings *sideways* through rule bodies,
+//! specializes each reachable predicate per adornment, and emits a
+//! rewritten program in which every specialized rule is guarded by a
+//! `magic_p_bf(...)` **demand predicate** whose facts enumerate exactly
+//! the bindings the query can ever ask for. Bottom-up evaluation of the
+//! rewritten program then simulates top-down evaluation with memoization.
+//!
+//! The rewrite is *sound and complete for the goal*: the goal predicate's
+//! matching facts in the rewritten program are exactly its matching facts
+//! under full evaluation ([`rewrite`] is validated by differential tests
+//! over every bundled program). Three design points keep it that way:
+//!
+//! * **Per-adornment predicate variants.** A predicate demanded under
+//!   several binding patterns (e.g. `close_link` through its symmetry rule
+//!   `close_link(X, Y) :- close_link(Y, X)`) gets one renamed copy per
+//!   pattern (`close_link_bf`, `close_link_fb`), each with its own demand
+//!   predicate, instead of one pattern-join that would collapse to
+//!   all-free.
+//! * **Greedy sideways information passing.** Within a rule body the next
+//!   literal to absorb bindings is chosen greedily — ready `V = expr`
+//!   bindings first, then the positive atom with the most bound argument
+//!   positions — rather than left-to-right, so a body like
+//!   `g_ctl(X, Y), node(X, NX), node(Y, NY)` under a bound-`NX` head
+//!   routes the binding through `node` into `g_ctl`.
+//! * **Conservative weakening.** Binding an argument position is only
+//!   meaning-preserving when every defining rule can *receive* the
+//!   binding: positions holding existential variables, Skolem terms or
+//!   aggregate results are weakened to free, and predicates used under
+//!   negation, defined by multi-head rules, targeted by `@post`, or purely
+//!   extensional are left **unrestricted** (evaluated in full, original
+//!   name). An all-free effective adornment simply keeps the original
+//!   rules, so the fallback is always full bottom-up evaluation of the
+//!   reachable cone.
+//!
+//! The rewritten program is re-validated by the full analyzer pipeline
+//! (safety, arity, stratifiability, wardedness); if *any* error-level
+//! diagnostic appears — possible in principle when magic predicates
+//! interact with negation — the rewrite falls back to the original
+//! program and reports why ([`MagicRewrite::fallback_reason`]). The
+//! rewrite never hands the engine a program the analyzer rejects.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use crate::analysis::{analyze_with, term_vars, AnalysisConfig, ProgramIndex};
+use crate::ast::{Atom, Directive, Literal, Program, Query, Rule, Span, Term, VarId};
+use crate::error::{DatalogError, Result};
+
+/// The binding pattern of one predicate occurrence: `true` = bound.
+///
+/// Rendered in the classical `b`/`f` notation: `control` called with its
+/// first argument bound and second free has adornment `bf`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Adornment(pub Vec<bool>);
+
+impl Adornment {
+    /// The all-free adornment of the given arity (no binding information).
+    pub fn all_free(arity: usize) -> Adornment {
+        Adornment(vec![false; arity])
+    }
+
+    /// True when no position is bound — the pattern of full evaluation.
+    pub fn is_all_free(&self) -> bool {
+        !self.0.iter().any(|b| *b)
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|b| **b).count()
+    }
+
+    /// Positionwise meet: bound only where both patterns are bound.
+    pub fn meet(&self, other: &Adornment) -> Adornment {
+        Adornment(self.0.iter().zip(&other.0).map(|(a, b)| *a && *b).collect())
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            f.write_str(if *b { "b" } else { "f" })?;
+        }
+        Ok(())
+    }
+}
+
+/// The adornment dataflow result: which (predicate, binding pattern)
+/// variants the goal demands and which predicates stayed unrestricted.
+#[derive(Debug, Clone, Default)]
+pub struct BindingReport {
+    /// Demanded `(predicate, adornment)` pairs with at least one bound
+    /// position, in discovery order from the goal.
+    pub adornments: Vec<(String, String)>,
+    /// Predicates forced to full (all-free) evaluation, with the reason.
+    pub unrestricted: Vec<(String, String)>,
+}
+
+impl BindingReport {
+    /// Renders the report, one line per entry.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (p, a) in &self.adornments {
+            out.push_str(&format!("adorned: {p}^{a}\n"));
+        }
+        for (p, why) in &self.unrestricted {
+            out.push_str(&format!("unrestricted: {p} ({why})\n"));
+        }
+        out
+    }
+}
+
+/// The result of the demand rewrite for one query goal.
+#[derive(Debug, Clone)]
+pub struct MagicRewrite {
+    /// The program to evaluate. When [`demanded`](Self::demanded) this is
+    /// the guarded magic program; otherwise the original program (plus an
+    /// `@output` for the goal).
+    pub program: Program,
+    /// The parsed goal the rewrite specialized for.
+    pub goal: Query,
+    /// The relation holding the goal's answers in [`program`](Self::program):
+    /// the goal's adorned variant when [`demanded`](Self::demanded), else
+    /// the original predicate. Reading the variant directly (instead of
+    /// copying into the original name with an extra rule) keeps aggregate
+    /// post-compaction semantics identical to full evaluation.
+    pub result_pred: String,
+    /// Names of the demand (`magic_*`) predicates — cardinality hints for
+    /// the cost planner: demand relations are small by construction.
+    pub magic_preds: Vec<String>,
+    /// True when the goal predicate was actually demand-restricted. False
+    /// means full evaluation (goal unrestricted, or validation fell back).
+    pub demanded: bool,
+    /// Why the rewrite fell back to the original program, if it did.
+    pub fallback_reason: Option<String>,
+    /// The adornment dataflow summary.
+    pub report: BindingReport,
+}
+
+/// One step of a rule's sideways-information-passing order.
+enum SipStep {
+    /// Positive atom at body index, demanded with the effective adornment.
+    Atom(usize, Adornment),
+    /// `V = expr` binding at body index whose inputs were bound.
+    Let(usize),
+}
+
+/// Emission-phase table: per restricted `(predicate, adornment)` variant,
+/// the defining rules (by index) with their SIP steps.
+type VariantRules = HashMap<(u32, Adornment), Vec<(usize, Vec<SipStep>)>>;
+
+/// Per-predicate facts the dataflow needs.
+struct PredInfo {
+    /// Indices of defining rules (head occurrences).
+    rules: Vec<usize>,
+    /// Arity from the first occurrence.
+    arity: usize,
+    /// `Err(reason)` when the predicate must stay unrestricted.
+    restrictable: std::result::Result<(), String>,
+    /// Positions every defining rule can receive a binding at (constants
+    /// or head variables occurring in a positive body atom). Empty for
+    /// unrestrictable predicates.
+    supportable: Vec<bool>,
+}
+
+fn atom_term_bound(t: &Term, bound: &HashSet<VarId>) -> bool {
+    match t {
+        Term::Lit(_) => true,
+        Term::Var(v) => bound.contains(v),
+        // Skolem terms are barred from bodies (V015); in heads they are
+        // never bound-eligible.
+        Term::Skolem { .. } => false,
+    }
+}
+
+fn bind_term(t: &Term, bound: &mut HashSet<VarId>) {
+    let mut vs = Vec::new();
+    term_vars(t, &mut vs);
+    bound.extend(vs);
+}
+
+/// Builds the per-predicate table: defining rules, arity, restrictability
+/// and supportable positions.
+fn pred_table(ix: &ProgramIndex<'_>) -> Vec<PredInfo> {
+    let program = ix.program;
+    let n = ix.len();
+    let mut infos: Vec<PredInfo> = (0..n)
+        .map(|_| PredInfo {
+            rules: Vec::new(),
+            arity: 0,
+            restrictable: Ok(()),
+            supportable: Vec::new(),
+        })
+        .collect();
+    let mut seen_arity = vec![false; n];
+    let note_arity = |infos: &mut Vec<PredInfo>, seen: &mut Vec<bool>, id: u32, a: usize| {
+        if !seen[id as usize] {
+            seen[id as usize] = true;
+            infos[id as usize].arity = a;
+        }
+    };
+    for (ri, rule) in program.rules.iter().enumerate() {
+        for h in &rule.head {
+            let id = ix.id(&h.pred).expect("indexed");
+            note_arity(&mut infos, &mut seen_arity, id, h.terms.len());
+            if !infos[id as usize].rules.contains(&ri) {
+                infos[id as usize].rules.push(ri);
+            }
+            if rule.head.len() > 1 && infos[id as usize].restrictable.is_ok() {
+                infos[id as usize].restrictable = Err("defined by a multi-head rule".into());
+            }
+        }
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom(a) => {
+                    let id = ix.id(&a.pred).expect("indexed");
+                    note_arity(&mut infos, &mut seen_arity, id, a.terms.len());
+                }
+                Literal::Negated(a) => {
+                    let id = ix.id(&a.pred).expect("indexed");
+                    note_arity(&mut infos, &mut seen_arity, id, a.terms.len());
+                    if infos[id as usize].restrictable.is_ok() {
+                        infos[id as usize].restrictable = Err("appears under negation".into());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for d in &program.directives {
+        if let Directive::Post(p, _) = d {
+            if let Some(id) = ix.id(p) {
+                if infos[id as usize].restrictable.is_ok() {
+                    infos[id as usize].restrictable = Err("target of @post".into());
+                }
+            }
+        }
+    }
+    for info in infos.iter_mut() {
+        if info.rules.is_empty() && info.restrictable.is_ok() {
+            info.restrictable = Err("extensional (no defining rules)".into());
+        }
+    }
+    // Supportable positions: a head position can receive a binding only
+    // when, in every defining rule, it holds a constant or a variable the
+    // body derives from a positive atom. Guarding an existential position
+    // or an aggregate result would change what the rule derives.
+    for (id, info) in infos.iter_mut().enumerate() {
+        if info.restrictable.is_err() {
+            continue;
+        }
+        let arity = info.arity;
+        let mut sup = vec![true; arity];
+        for &ri in &info.rules {
+            let rule = &program.rules[ri];
+            let mut body_vars: HashSet<VarId> = HashSet::new();
+            for a in rule.positive_atoms() {
+                for t in &a.terms {
+                    bind_term(t, &mut body_vars);
+                }
+            }
+            let mut derived: HashSet<VarId> = HashSet::new();
+            for lit in &rule.body {
+                if let Literal::Let(v, _) | Literal::LetAgg(v, _) = lit {
+                    derived.insert(*v);
+                }
+            }
+            let head = rule
+                .head
+                .iter()
+                .find(|h| ix.id(&h.pred) == Some(id as u32))
+                .expect("defining rule");
+            for (j, s) in sup.iter_mut().enumerate() {
+                let ok = match head.terms.get(j) {
+                    Some(Term::Lit(_)) => true,
+                    Some(Term::Var(v)) => body_vars.contains(v) && !derived.contains(v),
+                    _ => false,
+                };
+                if !ok {
+                    *s = false;
+                }
+            }
+        }
+        info.supportable = sup;
+    }
+    infos
+}
+
+/// Computes the greedy SIP order of one rule body under the given bound
+/// head variables: ready `Let` bindings first, then the positive atom
+/// with the most bound argument positions (ties broken by body order).
+/// Conditions, negations and aggregates neither receive nor produce
+/// bindings for demand purposes. The returned adornments are the *call
+/// site* patterns; the caller weakens them per callee.
+fn sip_order(rule: &Rule, bound0: HashSet<VarId>) -> Vec<(usize, Option<Adornment>)> {
+    let mut bound = bound0;
+    let mut atoms: Vec<usize> = Vec::new();
+    let mut lets: Vec<usize> = Vec::new();
+    for (li, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Atom(_) => atoms.push(li),
+            Literal::Let(_, _) => lets.push(li),
+            _ => {}
+        }
+    }
+    let mut order: Vec<(usize, Option<Adornment>)> = Vec::new();
+    loop {
+        // Ready bindings propagate constants through arithmetic.
+        if let Some(pos) = lets.iter().position(|&li| {
+            if let Literal::Let(_, e) = &rule.body[li] {
+                let mut vs = Vec::new();
+                crate::analysis::expr_vars(e, &mut vs);
+                vs.iter().all(|v| bound.contains(v))
+            } else {
+                false
+            }
+        }) {
+            let li = lets.remove(pos);
+            if let Literal::Let(v, _) = &rule.body[li] {
+                bound.insert(*v);
+            }
+            order.push((li, None));
+            continue;
+        }
+        if atoms.is_empty() {
+            break;
+        }
+        let (pos, _) = atoms
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &li)| {
+                let Literal::Atom(a) = &rule.body[li] else {
+                    unreachable!()
+                };
+                let score = a
+                    .terms
+                    .iter()
+                    .filter(|t| atom_term_bound(t, &bound))
+                    .count();
+                // Highest score wins; on ties, the *earliest* literal
+                // (max_by_key keeps the last max, so negate the index).
+                (score, usize::MAX - i)
+            })
+            .expect("non-empty");
+        let li = atoms.remove(pos);
+        let Literal::Atom(a) = &rule.body[li] else {
+            unreachable!()
+        };
+        let adornment = Adornment(a.terms.iter().map(|t| atom_term_bound(t, &bound)).collect());
+        for t in &a.terms {
+            bind_term(t, &mut bound);
+        }
+        order.push((li, Some(adornment)));
+    }
+    order
+}
+
+/// Allocates a name not used by any original predicate or prior synthetic
+/// predicate, extending the base with underscores on collision.
+fn fresh_name(base: String, taken: &mut HashSet<String>) -> String {
+    let mut name = base;
+    while taken.contains(&name) {
+        name.push('_');
+    }
+    taken.insert(name.clone());
+    name
+}
+
+/// Rewrites `program` for goal-directed evaluation of `query`.
+///
+/// Returns the guarded magic program when the goal predicate could be
+/// demand-restricted, or the original program (with an `@output` for the
+/// goal) when it could not — see [`MagicRewrite::demanded`]. Errors only
+/// on goal/program mismatches (arity), never on rewrite limitations.
+pub fn rewrite(program: &Program, query: &Query) -> Result<MagicRewrite> {
+    let ix = ProgramIndex::new(program);
+    let goal_id = ix.id(&query.pred).filter(|id| !ix.directive_only(*id));
+    let infos = pred_table(&ix);
+    if let Some(id) = goal_id {
+        let arity = infos[id as usize].arity;
+        if arity != query.arity() {
+            return Err(DatalogError::Validation(format!(
+                "query goal {}/{} does not match the program's arity {} for `{}`",
+                query.pred,
+                query.arity(),
+                arity,
+                query.pred
+            )));
+        }
+    }
+
+    let mut report = BindingReport::default();
+    let fallback = |reason: String, report: BindingReport| MagicRewrite {
+        program: with_goal_output(program, &query.pred),
+        goal: query.clone(),
+        result_pred: query.pred.clone(),
+        magic_preds: Vec::new(),
+        demanded: false,
+        fallback_reason: Some(reason),
+        report,
+    };
+
+    let Some(goal_id) = goal_id else {
+        return Ok(fallback(
+            format!(
+                "goal predicate `{}` does not occur in the program (pure data predicate)",
+                query.pred
+            ),
+            report,
+        ));
+    };
+
+    // --- demand propagation ------------------------------------------------
+    // Worklist over (predicate, effective adornment) variants. Demanding a
+    // predicate intersects the requested pattern with its supportable
+    // positions; unrestrictable predicates weaken to all-free, which keeps
+    // their original rules and propagates full demand to their callees.
+    let mut seen: HashSet<(u32, Adornment)> = HashSet::new();
+    let mut variants: Vec<(u32, Adornment)> = Vec::new();
+    let mut queue: VecDeque<(u32, Adornment)> = VecDeque::new();
+    let mut unrestricted_reported: HashSet<u32> = HashSet::new();
+
+    let effective = |id: u32,
+                     requested: &Adornment,
+                     report: &mut BindingReport,
+                     reported: &mut HashSet<u32>| {
+        let info = &infos[id as usize];
+        match &info.restrictable {
+            Err(why) => {
+                if !requested.is_all_free() && reported.insert(id) {
+                    report
+                        .unrestricted
+                        .push((ix.name(id).to_owned(), why.clone()));
+                }
+                Adornment::all_free(info.arity)
+            }
+            Ok(()) => {
+                let sup = Adornment(info.supportable.clone());
+                let eff = requested.meet(&sup);
+                if !requested.is_all_free() && eff.is_all_free() && reported.insert(id) {
+                    report.unrestricted.push((
+                        ix.name(id).to_owned(),
+                        "no requested position is supportable".into(),
+                    ));
+                }
+                eff
+            }
+        }
+    };
+
+    let goal_adornment = {
+        let requested = Adornment(query.pattern());
+        effective(goal_id, &requested, &mut report, &mut unrestricted_reported)
+    };
+    if goal_adornment.is_all_free() {
+        let why = match &infos[goal_id as usize].restrictable {
+            Err(w) => w.clone(),
+            Ok(()) => "goal binding pattern has no supportable bound position".into(),
+        };
+        return Ok(fallback(
+            format!("goal not demand-restrictable: {why}"),
+            report,
+        ));
+    }
+
+    let demand = |id: u32,
+                  requested: &Adornment,
+                  report: &mut BindingReport,
+                  reported: &mut HashSet<u32>,
+                  seen: &mut HashSet<(u32, Adornment)>,
+                  variants: &mut Vec<(u32, Adornment)>,
+                  queue: &mut VecDeque<(u32, Adornment)>| {
+        let eff = effective(id, requested, report, reported);
+        let key = (id, eff.clone());
+        if seen.insert(key.clone()) {
+            variants.push(key.clone());
+            queue.push_back(key);
+        }
+        eff
+    };
+
+    demand(
+        goal_id,
+        &goal_adornment,
+        &mut report,
+        &mut unrestricted_reported,
+        &mut seen,
+        &mut variants,
+        &mut queue,
+    );
+
+    // Per restricted (variant, defining rule): the SIP steps with effective
+    // callee adornments, keyed for the emission phase.
+    let mut variant_rules: VariantRules = HashMap::new();
+    // Rules copied verbatim for unrestricted predicates.
+    let mut copied: BTreeSet<usize> = BTreeSet::new();
+
+    while let Some((pid, adornment)) = queue.pop_front() {
+        let info = &infos[pid as usize];
+        if adornment.is_all_free() {
+            // Unrestricted: original rules, full demand on every callee.
+            for &ri in &info.rules {
+                if !copied.insert(ri) {
+                    continue;
+                }
+                let rule = &program.rules[ri];
+                for lit in &rule.body {
+                    if let Literal::Atom(a) | Literal::Negated(a) = lit {
+                        let id = ix.id(&a.pred).expect("indexed");
+                        let free = Adornment::all_free(a.terms.len());
+                        demand(
+                            id,
+                            &free,
+                            &mut report,
+                            &mut unrestricted_reported,
+                            &mut seen,
+                            &mut variants,
+                            &mut queue,
+                        );
+                    }
+                }
+            }
+            continue;
+        }
+        let mut rules_out = Vec::new();
+        for &ri in &info.rules {
+            let rule = &program.rules[ri];
+            let head = rule
+                .head
+                .iter()
+                .find(|h| ix.id(&h.pred) == Some(pid))
+                .expect("defining rule");
+            let mut bound0: HashSet<VarId> = HashSet::new();
+            for (j, t) in head.terms.iter().enumerate() {
+                if adornment.0.get(j).copied().unwrap_or(false) {
+                    bind_term(t, &mut bound0);
+                }
+            }
+            let order = sip_order(rule, bound0);
+            let mut steps = Vec::new();
+            for (li, call) in order {
+                match call {
+                    None => steps.push(SipStep::Let(li)),
+                    Some(requested) => {
+                        let Literal::Atom(a) = &rule.body[li] else {
+                            unreachable!()
+                        };
+                        let id = ix.id(&a.pred).expect("indexed");
+                        let eff = demand(
+                            id,
+                            &requested,
+                            &mut report,
+                            &mut unrestricted_reported,
+                            &mut seen,
+                            &mut variants,
+                            &mut queue,
+                        );
+                        steps.push(SipStep::Atom(li, eff));
+                    }
+                }
+            }
+            // Negated callees need their full extension.
+            for lit in &rule.body {
+                if let Literal::Negated(a) = lit {
+                    let id = ix.id(&a.pred).expect("indexed");
+                    let free = Adornment::all_free(a.terms.len());
+                    demand(
+                        id,
+                        &free,
+                        &mut report,
+                        &mut unrestricted_reported,
+                        &mut seen,
+                        &mut variants,
+                        &mut queue,
+                    );
+                }
+            }
+            rules_out.push((ri, steps));
+        }
+        variant_rules.insert((pid, adornment), rules_out);
+    }
+
+    for (pid, a) in &variants {
+        if !a.is_all_free() {
+            report
+                .adornments
+                .push((ix.name(*pid).to_owned(), a.to_string()));
+        }
+    }
+
+    // --- emission ----------------------------------------------------------
+    let mut taken: HashSet<String> = (0..ix.len() as u32)
+        .map(|i| ix.name(i).to_owned())
+        .collect();
+    let mut variant_names: HashMap<(u32, Adornment), String> = HashMap::new();
+    let mut magic_names: HashMap<(u32, Adornment), String> = HashMap::new();
+    let mut magic_preds: Vec<String> = Vec::new();
+    for (pid, a) in &variants {
+        if a.is_all_free() {
+            variant_names.insert((*pid, a.clone()), ix.name(*pid).to_owned());
+            continue;
+        }
+        let base = ix.name(*pid);
+        let vname = fresh_name(format!("{base}_{a}"), &mut taken);
+        let mname = fresh_name(format!("magic_{base}_{a}"), &mut taken);
+        magic_preds.push(mname.clone());
+        variant_names.insert((*pid, a.clone()), vname);
+        magic_names.insert((*pid, a.clone()), mname);
+    }
+    let vname = |id: u32, a: &Adornment| -> String {
+        variant_names
+            .get(&(id, a.clone()))
+            .expect("named variant")
+            .clone()
+    };
+
+    let mut out = Program::default();
+
+    // Seed: the goal's bound constants, as a ground fact of the goal
+    // variant's demand predicate (derives in round 0 — no database setup).
+    let seed_terms: Vec<Term> = query
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| goal_adornment.0[*j])
+        .map(|(_, arg)| Term::Lit(arg.clone().expect("bound position holds a constant")))
+        .collect();
+    out.rules.push(Rule {
+        head: vec![Atom {
+            pred: magic_names[&(goal_id, goal_adornment.clone())].clone(),
+            terms: seed_terms,
+        }],
+        body: Vec::new(),
+        vars: Vec::new(),
+        span: Span::default(),
+    });
+
+    // Guarded rule variants and their magic (demand-propagation) rules.
+    for (pid, a) in &variants {
+        if a.is_all_free() {
+            continue;
+        }
+        let rules_out = &variant_rules[&(*pid, a.clone())];
+        for (ri, steps) in rules_out {
+            let rule = &program.rules[*ri];
+            let head = rule
+                .head
+                .iter()
+                .find(|h| ix.id(&h.pred) == Some(*pid))
+                .expect("defining rule");
+            let guard = Atom {
+                pred: magic_names[&(*pid, a.clone())].clone(),
+                terms: head
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| a.0[*j])
+                    .map(|(_, t)| t.clone())
+                    .collect(),
+            };
+            // Effective adornment per body literal, for atom renaming.
+            let mut lit_adorn: HashMap<usize, &Adornment> = HashMap::new();
+            for s in steps {
+                if let SipStep::Atom(li, eff) = s {
+                    lit_adorn.insert(*li, eff);
+                }
+            }
+            let rename = |li: usize, atom: &Atom| -> Atom {
+                let id = ix.id(&atom.pred).expect("indexed");
+                match lit_adorn.get(&li) {
+                    Some(eff) => Atom {
+                        pred: vname(id, eff),
+                        terms: atom.terms.clone(),
+                    },
+                    None => atom.clone(),
+                }
+            };
+            // The guarded variant: original body order with the guard in
+            // front, so identity (non-reordered) plans drive from demand.
+            let mut body = vec![Literal::Atom(guard.clone())];
+            for (li, lit) in rule.body.iter().enumerate() {
+                body.push(match lit {
+                    Literal::Atom(atom) => Literal::Atom(rename(li, atom)),
+                    other => other.clone(),
+                });
+            }
+            out.rules.push(Rule {
+                head: vec![Atom {
+                    pred: vname(*pid, a),
+                    terms: head.terms.clone(),
+                }],
+                body,
+                vars: rule.vars.clone(),
+                span: rule.span,
+            });
+            // Magic rules: demand for each restricted callee is the guard
+            // plus the SIP prefix that produced its bindings.
+            let mut prefix: Vec<Literal> = Vec::new();
+            for s in steps {
+                match s {
+                    SipStep::Let(li) => prefix.push(rule.body[*li].clone()),
+                    SipStep::Atom(li, eff) => {
+                        let Literal::Atom(atom) = &rule.body[*li] else {
+                            unreachable!()
+                        };
+                        if !eff.is_all_free() {
+                            let id = ix.id(&atom.pred).expect("indexed");
+                            let m_head = Atom {
+                                pred: magic_names[&(id, (*eff).clone())].clone(),
+                                terms: atom
+                                    .terms
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(j, _)| eff.0[*j])
+                                    .map(|(_, t)| t.clone())
+                                    .collect(),
+                            };
+                            // Skip the degenerate self-loop `m :- m`.
+                            if !(prefix.is_empty() && m_head == guard) {
+                                let mut m_body = vec![Literal::Atom(guard.clone())];
+                                m_body.extend(prefix.iter().cloned());
+                                out.rules.push(Rule {
+                                    head: vec![m_head],
+                                    body: m_body,
+                                    vars: rule.vars.clone(),
+                                    span: rule.span,
+                                });
+                            }
+                        }
+                        prefix.push(Literal::Atom(rename(*li, atom)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Verbatim rules of unrestricted predicates.
+    for &ri in &copied {
+        out.rules.push(program.rules[ri].clone());
+    }
+
+    // The goal's answers live in its adorned variant; callers read it
+    // directly so aggregate post-compaction behaves exactly as in full
+    // evaluation (a copy rule into the original name would re-derive
+    // uncompacted intermediate aggregate rows).
+    let result_pred = vname(goal_id, &goal_adornment);
+
+    // Directives: the goal variant is the single output; @input/@post
+    // carry over for predicates the rewritten program still mentions.
+    let mentioned: HashSet<&str> = out
+        .rules
+        .iter()
+        .flat_map(|r| {
+            r.head
+                .iter()
+                .map(|h| h.pred.as_str())
+                .chain(r.body.iter().filter_map(|l| match l {
+                    Literal::Atom(a) | Literal::Negated(a) => Some(a.pred.as_str()),
+                    _ => None,
+                }))
+        })
+        .collect();
+    out.directives.push(Directive::Output(result_pred.clone()));
+    out.directive_spans.push(Span::default());
+    for d in &program.directives {
+        let keep = match d {
+            Directive::Input(p) => mentioned.contains(p.as_str()),
+            Directive::Post(p, _) => mentioned.contains(p.as_str()),
+            Directive::Output(_) => false,
+        };
+        if keep {
+            out.directives.push(d.clone());
+            out.directive_spans.push(Span::default());
+        }
+    }
+
+    // --- validation --------------------------------------------------------
+    // The rewrite must never hand the engine a program the analyzer
+    // rejects: re-run the full pipeline and fall back on any error.
+    let analysis = analyze_with(&out, &AnalysisConfig::default());
+    if analysis.has_errors() {
+        let why: Vec<String> = analysis.errors().map(|d| d.to_string()).collect();
+        return Ok(fallback(
+            format!("rewritten program failed re-analysis: {}", why.join("; ")),
+            report,
+        ));
+    }
+
+    Ok(MagicRewrite {
+        program: out,
+        goal: query.clone(),
+        result_pred,
+        magic_preds,
+        demanded: true,
+        fallback_reason: None,
+        report,
+    })
+}
+
+/// The original program plus an `@output` directive for the goal — the
+/// fallback shape when demand restriction is not possible.
+fn with_goal_output(program: &Program, goal_pred: &str) -> Program {
+    let mut out = program.clone();
+    if !out.outputs().any(|p| p == goal_pred) {
+        while out.directive_spans.len() < out.directives.len() {
+            out.directive_spans.push(Span::default());
+        }
+        out.directives.push(Directive::Output(goal_pred.to_owned()));
+        out.directive_spans.push(Span::default());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Query {
+        Query::parse(src).unwrap()
+    }
+
+    fn p(src: &str) -> Program {
+        Program::parse(src).unwrap()
+    }
+
+    const TC: &str = "@output(\"t\").\nt(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).";
+
+    #[test]
+    fn adornment_renders_classically() {
+        let a = Adornment(vec![true, false]);
+        assert_eq!(a.to_string(), "bf");
+        assert!(!a.is_all_free());
+        assert!(Adornment::all_free(3).is_all_free());
+        assert_eq!(a.meet(&Adornment(vec![false, false])).to_string(), "ff");
+    }
+
+    #[test]
+    fn bound_first_argument_demands_a_bf_variant() {
+        let rw = rewrite(&p(TC), &q("t(\"a\", X)?")).unwrap();
+        assert!(rw.demanded, "{:?}", rw.fallback_reason);
+        assert!(rw.report.adornments.contains(&("t".into(), "bf".into())));
+        let text = rw.program.to_string();
+        assert!(text.contains("magic_t_bf(\"a\")"), "{text}");
+        // The recursive call keeps the bf pattern — one variant, one
+        // demand predicate — and the answers live in the variant.
+        assert_eq!(rw.magic_preds, vec!["magic_t_bf".to_string()]);
+        assert_eq!(rw.result_pred, "t_bf");
+        assert!(
+            text.contains("t_bf(X, Y) :- magic_t_bf(X), e(X, Y)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn all_free_goal_falls_back_to_full_evaluation() {
+        let rw = rewrite(&p(TC), &q("t(X, Y)?")).unwrap();
+        assert!(!rw.demanded);
+        assert!(rw.fallback_reason.is_some());
+        assert_eq!(rw.program.rules.len(), 2);
+    }
+
+    #[test]
+    fn second_argument_binding_gives_fb_variant() {
+        let rw = rewrite(&p(TC), &q("t(X, \"b\")?")).unwrap();
+        assert!(rw.demanded);
+        assert!(rw.report.adornments.contains(&("t".into(), "fb".into())));
+    }
+
+    #[test]
+    fn negated_predicates_stay_unrestricted() {
+        let src = "@output(\"s\").\ns(X) :- c(X), not bad(X).\nbad(X) :- e(X, X).";
+        let rw = rewrite(&p(src), &q("s(\"a\")?")).unwrap();
+        assert!(rw.demanded);
+        // `bad` is never adorned — negation needs its full extension —
+        // and its defining rule is copied verbatim.
+        assert!(!rw.report.adornments.iter().any(|(p, _)| p == "bad"));
+        assert!(rw.program.to_string().contains("bad(X) :- e(X, X)"));
+    }
+
+    #[test]
+    fn existential_head_positions_are_not_bound() {
+        // Z is existential: binding position 0 would change semantics, so
+        // it weakens to free and the effective adornment is fb.
+        let src = "@output(\"h\").\nh(Z, X) :- e(X, Y).";
+        let rw = rewrite(&p(src), &q("h(\"z\", \"x\")?")).unwrap();
+        assert!(rw.demanded, "{:?}", rw.fallback_reason);
+        assert!(rw.report.adornments.contains(&("h".into(), "fb".into())));
+    }
+
+    #[test]
+    fn goal_on_pure_data_predicate_falls_back() {
+        let rw = rewrite(&p(TC), &q("e(\"a\", X)?")).unwrap();
+        assert!(!rw.demanded);
+        assert!(rw.fallback_reason.unwrap().contains("extensional"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        assert!(rewrite(&p(TC), &q("t(\"a\")?")).is_err());
+    }
+
+    #[test]
+    fn unknown_predicate_falls_back_gracefully() {
+        let rw = rewrite(&p(TC), &q("ghost(\"a\")?")).unwrap();
+        assert!(!rw.demanded);
+    }
+
+    #[test]
+    fn rewritten_program_passes_the_analyzer() {
+        for goal in ["t(\"a\", X)?", "t(X, \"b\")?", "t(\"a\", \"b\")?"] {
+            let rw = rewrite(&p(TC), &q(goal)).unwrap();
+            let analysis = analyze_with(&rw.program, &AnalysisConfig::default());
+            assert!(analysis.is_clean(), "{goal}: {:?}", analysis.diagnostics);
+        }
+    }
+
+    #[test]
+    fn greedy_sip_routes_bindings_through_the_cheap_atom() {
+        // Left-to-right SIP would reach g(X, Y) with nothing bound; the
+        // greedy order picks node(X, NX) first because NX is bound.
+        let src = "@output(\"gc\").\n\
+                   gc(NX, NY) :- g(X, Y), node(X, NX), node(Y, NY).\n\
+                   g(X, Y) :- e(X, Y).\n\
+                   node(X, X) :- c(X).";
+        let rw = rewrite(&p(src), &q("gc(\"n1\", Y)?")).unwrap();
+        assert!(rw.demanded, "{:?}", rw.fallback_reason);
+        // node is demanded with its second argument bound...
+        assert!(
+            rw.report.adornments.contains(&("node".into(), "fb".into())),
+            "{:?}",
+            rw.report
+        );
+        // ...and the binding reaches g through node's first column.
+        assert!(
+            rw.report.adornments.contains(&("g".into(), "bf".into())),
+            "{:?}",
+            rw.report
+        );
+    }
+
+    #[test]
+    fn multi_head_rules_force_full_evaluation_of_their_predicates() {
+        let src = "@output(\"a\").\na(X), b(X) :- c(X).";
+        let rw = rewrite(&p(src), &q("a(\"x\")?")).unwrap();
+        assert!(!rw.demanded);
+        assert!(rw.fallback_reason.unwrap().contains("multi-head"));
+    }
+
+    #[test]
+    fn aggregate_result_positions_weaken_to_free() {
+        // V holds an aggregate result: binding it through a guard would
+        // filter contributions, so only X remains bound.
+        let src = "@output(\"s\").\ns(X, V) :- e(X, W), V = msum(W, <X>).";
+        let rw = rewrite(&p(src), &q("s(\"a\", 3)?")).unwrap();
+        assert!(rw.demanded, "{:?}", rw.fallback_reason);
+        assert!(
+            rw.report.adornments.contains(&("s".into(), "bf".into())),
+            "{:?}",
+            rw.report
+        );
+    }
+}

@@ -1,0 +1,597 @@
+//! Constant and value-kind propagation: an abstract interpretation of the
+//! program over a small per-argument lattice, surfacing rules that can be
+//! proven dead at compile time (V017–V020).
+//!
+//! For every predicate argument position the pass computes
+//!
+//! * a **constant set** — `Top` (unbounded) or the at-most-[`MAX_CONSTS`]
+//!   constants that can ever occur there, and
+//! * a **kind set** — which value kinds (symbol, int, float, bool,
+//!   labelled null) can occur there,
+//!
+//! by iterating the rules to fixpoint from `Bottom` for derived
+//! predicates. Predicates with no defining rules are extensional: their
+//! content is unknown at analysis time, so they start at `Top`. Within a
+//! rule the inferred position facts intersect at shared variables, which
+//! is where contradictions become visible:
+//!
+//! * **V018** — a ground (or provably-constant) comparison evaluates to
+//!   `false`: the rule never fires.
+//! * **V019** — a join variable's constant sets are disjoint, or a
+//!   constant argument cannot occur at its position: the join is empty.
+//! * **V020** — a join variable's kind sets are disjoint (e.g. a column
+//!   proven integer-only joined against a column proven symbol-only).
+//! * **V017** — a rule body reads a *derived* predicate all of whose
+//!   defining rules are statically dead, so the predicate is provably
+//!   empty under the closed-world reading (extensional predicates are
+//!   exempt — their facts come from the database).
+//!
+//! All four are warnings: the engine will happily evaluate such programs,
+//! deriving nothing from the dead rules. Like every lint pass this one is
+//! gated by [`super::AnalysisConfig::lints`].
+
+use std::collections::BTreeSet;
+
+use crate::analysis::diagnostics::{DiagCode, Diagnostic, Severity};
+use crate::analysis::{AnalysisConfig, ProgramIndex};
+use crate::ast::{CmpOp, Expr, Lit, Literal, Term};
+
+/// Constant sets wider than this collapse to `Top`.
+const MAX_CONSTS: usize = 8;
+
+/// Value kinds as a bitmask.
+const K_SYM: u8 = 1;
+const K_INT: u8 = 2;
+const K_FLOAT: u8 = 4;
+const K_BOOL: u8 = 8;
+const K_NULL: u8 = 16;
+const K_ALL: u8 = K_SYM | K_INT | K_FLOAT | K_BOOL | K_NULL;
+const K_NUM: u8 = K_INT | K_FLOAT;
+
+/// A constant as an orderable, hashable key (floats by bit pattern).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum CKey {
+    Str(String),
+    Int(i64),
+    Float(u64),
+    Bool(bool),
+}
+
+impl CKey {
+    fn of(l: &Lit) -> CKey {
+        match l {
+            Lit::Str(s) => CKey::Str(s.clone()),
+            Lit::Int(i) => CKey::Int(*i),
+            Lit::Float(f) => CKey::Float(f.to_bits()),
+            Lit::Bool(b) => CKey::Bool(*b),
+        }
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            CKey::Str(_) => K_SYM,
+            CKey::Int(_) => K_INT,
+            CKey::Float(_) => K_FLOAT,
+            CKey::Bool(_) => K_BOOL,
+        }
+    }
+}
+
+/// Abstract value of one argument position or rule variable.
+#[derive(Debug, Clone, PartialEq)]
+struct Info {
+    /// `None` = Top (unbounded); `Some(set)` = at most these constants.
+    consts: Option<BTreeSet<CKey>>,
+    /// Bitmask of possible value kinds.
+    kinds: u8,
+}
+
+impl Info {
+    fn bottom() -> Info {
+        Info {
+            consts: Some(BTreeSet::new()),
+            kinds: 0,
+        }
+    }
+
+    fn top() -> Info {
+        Info {
+            consts: None,
+            kinds: K_ALL,
+        }
+    }
+
+    fn single(l: &Lit) -> Info {
+        let k = CKey::of(l);
+        let kinds = k.kind();
+        let mut s = BTreeSet::new();
+        s.insert(k);
+        Info {
+            consts: Some(s),
+            kinds,
+        }
+    }
+
+    /// True when nothing can ever flow here.
+    fn is_empty(&self) -> bool {
+        self.kinds == 0 || self.consts.as_ref().is_some_and(|s| s.is_empty())
+    }
+
+    /// Least upper bound (possible values from either source).
+    fn join(&mut self, other: &Info) {
+        self.kinds |= other.kinds;
+        self.consts = match (self.consts.take(), &other.consts) {
+            (Some(mut a), Some(b)) => {
+                a.extend(b.iter().cloned());
+                if a.len() > MAX_CONSTS {
+                    None
+                } else {
+                    Some(a)
+                }
+            }
+            _ => None,
+        };
+    }
+
+    /// Greatest lower bound (a value must satisfy both descriptions).
+    fn meet(&self, other: &Info) -> Info {
+        let consts = match (&self.consts, &other.consts) {
+            (Some(a), Some(b)) => Some(a.intersection(b).cloned().collect()),
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        Info {
+            consts,
+            kinds: self.kinds & other.kinds,
+        }
+    }
+
+    /// The single constant this abstract value denotes, if it is one.
+    fn singleton(&self) -> Option<&CKey> {
+        match &self.consts {
+            Some(s) if s.len() == 1 => s.iter().next(),
+            _ => None,
+        }
+    }
+}
+
+/// Constant-folds an expression to a key, given per-variable singletons.
+fn fold(e: &Expr, env: &dyn Fn(u32) -> Option<CKey>) -> Option<CKey> {
+    match e {
+        Expr::Lit(l) => Some(CKey::of(l)),
+        Expr::Var(v) => env(*v),
+        Expr::Binary(op, a, b) => {
+            use crate::ast::BinOp;
+            let (a, b) = (fold(a, env)?, fold(b, env)?);
+            let (x, y) = (num(&a)?, num(&b)?);
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return None;
+                    }
+                    x / y
+                }
+            };
+            // Preserve integerness when both inputs were integers and the
+            // result is exact, matching the evaluator's coercion.
+            if let (CKey::Int(_), CKey::Int(_)) = (&a, &b) {
+                if r.fract() == 0.0 && r.abs() < i64::MAX as f64 {
+                    return Some(CKey::Int(r as i64));
+                }
+            }
+            Some(CKey::Float(r.to_bits()))
+        }
+        Expr::Cmp(op, a, b) => {
+            let v = fold_cmp(*op, a, b, env)?;
+            Some(CKey::Bool(v))
+        }
+        Expr::Call(_, _) => None,
+    }
+}
+
+fn num(k: &CKey) -> Option<f64> {
+    match k {
+        CKey::Int(i) => Some(*i as f64),
+        CKey::Float(f) => Some(f64::from_bits(*f)),
+        _ => None,
+    }
+}
+
+/// Folds a comparison to its truth value when both sides are known.
+fn fold_cmp(op: CmpOp, a: &Expr, b: &Expr, env: &dyn Fn(u32) -> Option<CKey>) -> Option<bool> {
+    let (a, b) = (fold(a, env)?, fold(b, env)?);
+    // Numeric comparison when both sides are numeric; otherwise only
+    // (in)equality on identical kinds is decidable.
+    if let (Some(x), Some(y)) = (num(&a), num(&b)) {
+        return Some(match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        });
+    }
+    match op {
+        CmpOp::Eq => Some(a == b),
+        CmpOp::Ne => Some(a != b),
+        _ => None,
+    }
+}
+
+/// Kind of an expression's result, given per-variable kinds.
+fn expr_kinds(e: &Expr, env: &dyn Fn(u32) -> u8) -> u8 {
+    match e {
+        Expr::Lit(l) => CKey::of(l).kind(),
+        Expr::Var(v) => env(*v),
+        Expr::Binary(_, _, _) => K_NUM,
+        Expr::Cmp(_, _, _) => K_BOOL,
+        Expr::Call(_, _) => K_SYM | K_NUM | K_BOOL,
+    }
+}
+
+/// Why a rule is statically dead, for the diagnostic message.
+enum Dead {
+    FalseCond,
+    DisjointConsts(u32),
+    ConstMismatch(String, usize),
+    DisjointKinds(u32),
+    EmptyRead,
+}
+
+/// Per-rule evaluation against the current predicate table: the variable
+/// environment and the first reason (if any) the rule cannot fire.
+fn eval_rule(ix: &ProgramIndex<'_>, ri: usize, table: &[Vec<Info>]) -> (Vec<Info>, Option<Dead>) {
+    let rule = &ix.program.rules[ri];
+    let mut env: Vec<Info> = (0..rule.vars.len()).map(|_| Info::top()).collect();
+    let mut dead: Option<Dead> = None;
+    let note = |d: Dead, dead: &mut Option<Dead>| {
+        if dead.is_none() {
+            *dead = Some(d);
+        }
+    };
+    // Positive atoms: meet each variable with its positions' facts; flag
+    // contradictions only when both sides are themselves satisfiable, so
+    // an upstream-empty predicate surfaces as V017, not as a V019 echo.
+    for lit in &rule.body {
+        let Literal::Atom(a) = lit else { continue };
+        let Some(pid) = ix.id(&a.pred) else { continue };
+        let positions = &table[pid as usize];
+        for (j, t) in a.terms.iter().enumerate() {
+            let Some(pos) = positions.get(j) else {
+                continue;
+            };
+            if pos.is_empty() {
+                note(Dead::EmptyRead, &mut dead);
+                continue;
+            }
+            match t {
+                Term::Var(v) => {
+                    let prev = env[*v as usize].clone();
+                    let met = prev.meet(pos);
+                    if met.is_empty() && !prev.is_empty() {
+                        if prev.kinds & pos.kinds == 0 {
+                            note(Dead::DisjointKinds(*v), &mut dead);
+                        } else {
+                            note(Dead::DisjointConsts(*v), &mut dead);
+                        }
+                    }
+                    env[*v as usize] = met;
+                }
+                Term::Lit(l) => {
+                    let lit_info = Info::single(l);
+                    if lit_info.meet(pos).is_empty() {
+                        note(Dead::ConstMismatch(l.to_string(), j), &mut dead);
+                    }
+                }
+                Term::Skolem { .. } => {}
+            }
+        }
+    }
+    // Bindings refine their target variable; conditions fold when ground.
+    let singles = |env: &[Info]| {
+        let env = env.to_vec();
+        move |v: u32| -> Option<CKey> { env.get(v as usize)?.singleton().cloned() }
+    };
+    for lit in &rule.body {
+        match lit {
+            Literal::Let(v, e) => {
+                let f = singles(&env);
+                let kinds_env = env.clone();
+                let info = match fold(e, &f) {
+                    Some(k) => {
+                        let mut s = BTreeSet::new();
+                        let kinds = k.kind();
+                        s.insert(k);
+                        Info {
+                            consts: Some(s),
+                            kinds,
+                        }
+                    }
+                    None => Info {
+                        consts: None,
+                        kinds: expr_kinds(e, &|v| {
+                            kinds_env.get(v as usize).map_or(K_ALL, |i| i.kinds)
+                        }),
+                    },
+                };
+                env[*v as usize] = info;
+            }
+            Literal::LetAgg(v, agg) => {
+                let kinds = if agg.func == crate::ast::AggFunc::Count {
+                    K_INT
+                } else {
+                    K_NUM
+                };
+                env[*v as usize] = Info {
+                    consts: None,
+                    kinds,
+                };
+            }
+            Literal::Cond(Expr::Cmp(op, a, b)) => {
+                let f = singles(&env);
+                if fold_cmp(*op, a, b, &f) == Some(false) {
+                    note(Dead::FalseCond, &mut dead);
+                }
+            }
+            _ => {}
+        }
+    }
+    (env, dead)
+}
+
+/// Runs the pass: fixpoint over the predicate table, then one diagnostic
+/// sweep per rule.
+pub fn run(ix: &ProgramIndex<'_>, _cfg: &AnalysisConfig, out: &mut Vec<Diagnostic>) {
+    let program = ix.program;
+    let n = ix.len();
+    let mut has_rules = vec![false; n];
+    let mut arity = vec![0usize; n];
+    for rule in &program.rules {
+        for h in &rule.head {
+            let id = ix.id(&h.pred).expect("indexed") as usize;
+            has_rules[id] = true;
+            arity[id] = arity[id].max(h.terms.len());
+        }
+        for lit in &rule.body {
+            if let Literal::Atom(a) | Literal::Negated(a) = lit {
+                let id = ix.id(&a.pred).expect("indexed") as usize;
+                arity[id] = arity[id].max(a.terms.len());
+            }
+        }
+    }
+    // Derived predicates start at Bottom and grow; extensional ones are
+    // unknown data (Top).
+    let mut table: Vec<Vec<Info>> = (0..n)
+        .map(|p| {
+            let init = if has_rules[p] {
+                Info::bottom()
+            } else {
+                Info::top()
+            };
+            vec![init; arity[p]]
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let (env, dead) = eval_rule(ix, ri, &table);
+            if dead.is_some() {
+                continue;
+            }
+            for h in &rule.head {
+                let pid = ix.id(&h.pred).expect("indexed") as usize;
+                for (j, t) in h.terms.iter().enumerate() {
+                    let contrib = match t {
+                        Term::Lit(l) => Info::single(l),
+                        Term::Var(v) => {
+                            let i = env[*v as usize].clone();
+                            if i.is_empty() {
+                                // Variable untouched by any position but
+                                // provably valueless cannot happen for a
+                                // live rule; existential vars stay Top.
+                                i
+                            } else if rule_binds(rule, *v) {
+                                i
+                            } else {
+                                // Existential: Skolemized to a labelled null.
+                                Info {
+                                    consts: None,
+                                    kinds: K_NULL,
+                                }
+                            }
+                        }
+                        Term::Skolem { .. } => Info {
+                            consts: None,
+                            kinds: K_NULL,
+                        },
+                    };
+                    if let Some(slot) = table[pid].get_mut(j) {
+                        let before = slot.clone();
+                        slot.join(&contrib);
+                        if *slot != before {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Diagnostic sweep at fixpoint.
+    let empty_pred: Vec<bool> = (0..n)
+        .map(|p| has_rules[p] && table[p].iter().any(|i| i.is_empty()))
+        .collect();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let (_, dead) = eval_rule(ix, ri, &table);
+        let mut push = |code: DiagCode, message: String| {
+            out.push(Diagnostic {
+                code,
+                severity: Severity::Warning,
+                rule: Some(ri),
+                span: Some(rule.span),
+                message,
+            });
+        };
+        match dead {
+            Some(Dead::FalseCond) => push(
+                DiagCode::V018,
+                "condition statically evaluates to false; the rule never fires".into(),
+            ),
+            Some(Dead::DisjointConsts(v)) => push(
+                DiagCode::V019,
+                format!(
+                    "join variable {} ranges over disjoint constant sets; the rule never fires",
+                    rule.vars.get(v as usize).map(String::as_str).unwrap_or("?")
+                ),
+            ),
+            Some(Dead::ConstMismatch(l, j)) => push(
+                DiagCode::V019,
+                format!("constant {l} can never occur at argument {j}; the rule never fires"),
+            ),
+            Some(Dead::DisjointKinds(v)) => push(
+                DiagCode::V020,
+                format!(
+                    "join variable {} ranges over incompatible value kinds; the rule never fires",
+                    rule.vars.get(v as usize).map(String::as_str).unwrap_or("?")
+                ),
+            ),
+            Some(Dead::EmptyRead) | None => {}
+        }
+        for lit in &rule.body {
+            if let Literal::Atom(a) = lit {
+                if let Some(pid) = ix.id(&a.pred) {
+                    if empty_pred[pid as usize] {
+                        push(
+                            DiagCode::V017,
+                            format!(
+                                "body reads `{}`, which is statically empty (every defining rule \
+                                 is dead)",
+                                a.pred
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// True when the body binds `v` through an atom, binding or aggregate.
+fn rule_binds(rule: &crate::ast::Rule, v: u32) -> bool {
+    use crate::analysis::term_vars;
+    for lit in &rule.body {
+        match lit {
+            Literal::Atom(a) => {
+                let mut vs = Vec::new();
+                for t in &a.terms {
+                    term_vars(t, &mut vs);
+                }
+                if vs.contains(&v) {
+                    return true;
+                }
+            }
+            Literal::Let(t, _) | Literal::LetAgg(t, _) if *t == v => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_with, DiagCode};
+    use crate::ast::Program;
+
+    fn codes(src: &str) -> Vec<DiagCode> {
+        let p = Program::parse(src).unwrap();
+        analyze_with(&p, &AnalysisConfig::default())
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn ground_false_condition_is_v018() {
+        let cs = codes("@output(\"p\").\np(X) :- e(X), 3 > 5.");
+        assert!(cs.contains(&DiagCode::V018), "{cs:?}");
+    }
+
+    #[test]
+    fn folded_false_condition_through_constants_is_v018() {
+        // q's first column is provably always 1, so X = 1 and X > 2 is
+        // statically false.
+        let cs = codes("@output(\"p\").\nq(1) :- e(_).\np(X) :- q(X), X > 2.");
+        assert!(cs.contains(&DiagCode::V018), "{cs:?}");
+    }
+
+    #[test]
+    fn disjoint_constant_join_is_v019() {
+        let cs = codes("@output(\"p\").\na(1) :- e(_).\nb(2) :- e(_).\np(X) :- a(X), b(X).");
+        assert!(cs.contains(&DiagCode::V019), "{cs:?}");
+    }
+
+    #[test]
+    fn impossible_constant_argument_is_v019() {
+        let cs = codes("@output(\"p\").\na(1) :- e(_).\np(X) :- a(2), e(X).");
+        assert!(cs.contains(&DiagCode::V019), "{cs:?}");
+    }
+
+    #[test]
+    fn kind_conflict_join_is_v020() {
+        let cs = codes("@output(\"p\").\na(1) :- e(_).\nb(\"x\") :- e(_).\np(X) :- a(X), b(X).");
+        assert!(cs.contains(&DiagCode::V020), "{cs:?}");
+    }
+
+    #[test]
+    fn reading_a_statically_empty_predicate_is_v017() {
+        let cs = codes("@output(\"p\").\ndead(X) :- e(X), 1 > 2.\np(X) :- dead(X), e(X).");
+        assert!(cs.contains(&DiagCode::V017), "{cs:?}");
+        assert!(cs.contains(&DiagCode::V018), "{cs:?}");
+    }
+
+    #[test]
+    fn extensional_predicates_are_never_statically_empty() {
+        let cs = codes("@output(\"p\").\np(X) :- e(X, Y), q(Y).");
+        assert!(!cs.contains(&DiagCode::V017), "{cs:?}");
+        assert!(!cs.contains(&DiagCode::V019), "{cs:?}");
+        assert!(!cs.contains(&DiagCode::V020), "{cs:?}");
+    }
+
+    #[test]
+    fn recursion_with_a_base_case_is_clean() {
+        let cs = codes("@output(\"t\").\nt(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).");
+        for c in [
+            DiagCode::V017,
+            DiagCode::V018,
+            DiagCode::V019,
+            DiagCode::V020,
+        ] {
+            assert!(!cs.contains(&c), "{cs:?}");
+        }
+    }
+
+    #[test]
+    fn mutual_recursion_without_base_case_is_statically_empty() {
+        let cs = codes("@output(\"p\").\na(X) :- b(X).\nb(X) :- a(X).\np(X) :- a(X), e(X).");
+        assert!(cs.contains(&DiagCode::V017), "{cs:?}");
+    }
+
+    #[test]
+    fn arithmetic_folding_keeps_sets_finite() {
+        // V = X + 1 over recursion would enumerate unboundedly; the cap
+        // collapses to Top instead of diverging.
+        let cs = codes("@output(\"c\").\nc(0) :- e(_).\nc(V) :- c(X), V = X + 1, X < 100.");
+        for c in [DiagCode::V018, DiagCode::V019, DiagCode::V020] {
+            assert!(!cs.contains(&c), "{cs:?}");
+        }
+    }
+}

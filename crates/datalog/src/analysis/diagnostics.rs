@@ -32,6 +32,10 @@ use crate::ast::Span;
 /// | V014 | error    | aggregate misuse (placement, head shape, rebinding) |
 /// | V015 | error    | Skolem term in a body atom |
 /// | V016 | info     | monotonic aggregate participates in recursion (allowed) |
+/// | V017 | warning  | rule body reads a statically-empty derived predicate |
+/// | V018 | warning  | condition statically evaluates to false |
+/// | V019 | warning  | join over disjoint constant sets (rule never fires) |
+/// | V020 | warning  | join over incompatible value kinds (rule never fires) |
 ///
 /// ¹ V002 escalates to an error under [`super::AnalysisConfig::strict`]
 /// — the mode `vadalink check` runs in — because implicit existentials
@@ -55,6 +59,10 @@ pub enum DiagCode {
     V014,
     V015,
     V016,
+    V017,
+    V018,
+    V019,
+    V020,
 }
 
 impl DiagCode {
@@ -77,6 +85,10 @@ impl DiagCode {
             DiagCode::V014 => "V014",
             DiagCode::V015 => "V015",
             DiagCode::V016 => "V016",
+            DiagCode::V017 => "V017",
+            DiagCode::V018 => "V018",
+            DiagCode::V019 => "V019",
+            DiagCode::V020 => "V020",
         }
     }
 
@@ -99,6 +111,10 @@ impl DiagCode {
             DiagCode::V014 => "aggregate misuse",
             DiagCode::V015 => "Skolem term in body atom",
             DiagCode::V016 => "recursive monotonic aggregation",
+            DiagCode::V017 => "reads a statically-empty predicate",
+            DiagCode::V018 => "condition is always false",
+            DiagCode::V019 => "join over disjoint constant sets",
+            DiagCode::V020 => "join over incompatible value kinds",
         }
     }
 }

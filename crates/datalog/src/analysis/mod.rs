@@ -24,6 +24,8 @@
 //! Predicate names are interned once into a [`ProgramIndex`] shared by all
 //! passes, so no pass clones name strings in its inner loops.
 
+pub mod adorn;
+pub mod constprop;
 pub mod diagnostics;
 pub mod lints;
 pub mod reachability;
@@ -36,6 +38,7 @@ use std::collections::HashMap;
 
 use crate::ast::{Expr, Literal, Program, Term, VarId};
 
+pub use adorn::{Adornment, BindingReport, MagicRewrite};
 pub use diagnostics::{DiagCode, Diagnostic, Severity};
 
 /// Collects the variables of a term (flattening Skolem arguments).
@@ -270,6 +273,7 @@ pub fn analyze_with(program: &Program, cfg: &AnalysisConfig) -> Analysis {
         reachability::run(&ix, cfg, &mut out);
         lints::run(&ix, cfg, &mut out);
         warded::run(&ix, cfg, &mut out);
+        constprop::run(&ix, cfg, &mut out);
     }
     out.sort_by(|a, b| {
         (a.rule, a.code, a.severity, &a.message).cmp(&(b.rule, b.code, b.severity, &b.message))

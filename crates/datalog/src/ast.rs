@@ -296,6 +296,61 @@ impl Program {
     }
 }
 
+/// A query goal `pred(t1, ..., tn)?` — the entry point of goal-directed
+/// evaluation. Each argument is either a ground constant (a *bound*
+/// position, written as a literal) or a variable (a *free* position whose
+/// values the query asks for). The binding pattern of the goal is the
+/// adornment the magic-sets rewrite ([`crate::analysis::adorn`]) starts
+/// from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Queried predicate name.
+    pub pred: String,
+    /// One entry per argument: `Some(lit)` for a bound constant, `None`
+    /// for a free (answer) position.
+    pub args: Vec<Option<Lit>>,
+    /// Variable names of the free positions, parallel to `args`
+    /// (`None` at bound positions).
+    pub var_names: Vec<Option<String>>,
+}
+
+impl Query {
+    /// Parses a goal from its textual form, e.g. `control(c123, X)?`
+    /// (the trailing `?` is optional).
+    pub fn parse(src: &str) -> Result<Query> {
+        parser::parse_query(src)
+    }
+
+    /// The goal's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The bound/free binding pattern, `true` = bound.
+    pub fn pattern(&self) -> Vec<bool> {
+        self.args.iter().map(|a| a.is_some()).collect()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match a {
+                Some(lit) => write!(f, "{lit}")?,
+                None => match &self.var_names[i] {
+                    Some(v) => write!(f, "{v}")?,
+                    None => write!(f, "_")?,
+                },
+            }
+        }
+        write!(f, ")?")
+    }
+}
+
 impl Rule {
     /// Iterates over all positive body atoms.
     pub fn positive_atoms(&self) -> impl Iterator<Item = &Atom> {

@@ -7,16 +7,21 @@
 //! on the column subsets the compiled rule plans need.
 
 use std::collections::hash_map::Entry;
+use std::sync::Arc;
 
 use crate::error::{DatalogError, Result};
 use crate::fx::FxHashMap;
 use crate::value::{Const, Tuple};
 
 /// Interner for string constants.
+///
+/// Entries are shared `Arc<str>` allocations, so cloning the table — which
+/// [`Engine::query`](crate::Engine::query) does for every scratch copy —
+/// bumps refcounts instead of reallocating every interned string.
 #[derive(Default, Debug, Clone)]
 pub struct SymbolTable {
-    names: Vec<String>,
-    index: FxHashMap<String, u32>,
+    names: Vec<Arc<str>>,
+    index: FxHashMap<Arc<str>, u32>,
 }
 
 impl SymbolTable {
@@ -26,14 +31,20 @@ impl SymbolTable {
             return id;
         }
         let id = self.names.len() as u32;
-        self.names.push(s.to_owned());
-        self.index.insert(s.to_owned(), id);
+        let shared: Arc<str> = Arc::from(s);
+        self.names.push(shared.clone());
+        self.index.insert(shared, id);
         id
     }
 
     /// Resolves a symbol id to its string.
     pub fn resolve(&self, id: u32) -> &str {
         &self.names[id as usize]
+    }
+
+    /// Id of an already-interned string, without interning it.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
     }
 
     /// Looks up a string without interning it.
@@ -268,7 +279,7 @@ pub(crate) fn key_of(tuple: &[Const], mask: u64) -> Tuple {
             key.push(*c);
         }
     }
-    key.into_boxed_slice()
+    key.into()
 }
 
 /// The fact store: predicates, relations, symbols and Skolem OIDs.
@@ -288,9 +299,48 @@ impl Database {
         Self::default()
     }
 
+    /// A scratch copy for goal-directed evaluation: the symbol, Skolem and
+    /// predicate tables are copied in full (ids stay aligned, canonical
+    /// rendering works), but only the relations named in `keep` carry
+    /// their rows — every other relation becomes an empty shell.
+    ///
+    /// Sound for evaluating any program whose mentioned predicates are
+    /// all in `keep`: a fixpoint can only read or write relations its
+    /// rules and directives mention, so the shells are never observed.
+    /// Wide extensional relations outside the goal's cone (e.g. attribute
+    /// tables) are what this skips — for point lookups they often
+    /// dominate the cost of a full [`Clone`].
+    pub(crate) fn scratch_for(&self, keep: &crate::fx::FxHashSet<String>) -> Database {
+        Database {
+            symbols: self.symbols.clone(),
+            skolems: self.skolems.clone(),
+            pred_ids: self.pred_ids.clone(),
+            pred_names: self.pred_names.clone(),
+            arities: self.arities.clone(),
+            relations: self
+                .relations
+                .iter()
+                .zip(&self.pred_names)
+                .map(|(r, name)| {
+                    if keep.contains(name) {
+                        r.clone()
+                    } else {
+                        Relation::default()
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Interns a string constant and returns it as a [`Const`].
     pub fn sym(&mut self, s: &str) -> Const {
         Const::Sym(self.symbols.intern(s))
+    }
+
+    /// Looks up an interned string constant without interning it —
+    /// `None` means the string occurs nowhere in the database.
+    pub fn find_sym(&self, s: &str) -> Option<Const> {
+        self.symbols.lookup(s).map(Const::Sym)
     }
 
     /// Resolves a symbol constant back to its string.

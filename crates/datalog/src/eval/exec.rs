@@ -150,6 +150,15 @@ pub(crate) fn driver_rows(
                 KeyOp::Var(_) => return None,
             }
         }
+        if step.full_key() {
+            // Fully ground atom: membership via the dedup map, no index.
+            return Some(
+                rel.find(&key)
+                    .into_iter()
+                    .filter(|&r| delta_start.is_none_or(|start| r >= start))
+                    .collect(),
+            );
+        }
         let rows = rel.probe(step.mask, &key);
         Some(match delta_start {
             Some(start) => rows.iter().copied().filter(|&r| r >= start).collect(),
@@ -260,6 +269,9 @@ impl<'a, 'c> Evaluator<'a, 'c> {
             /// Pre-enumerated (and pre-filtered) by the parallel scheduler.
             Driver(&'r [u32]),
             Probe(&'r [u32]),
+            /// Full-key membership test answered by the dedup map — no
+            /// registered index involved.
+            Find(Option<u32>),
             Scan(std::ops::Range<u32>),
         }
         let driver = if si == 0 { self.driver } else { None };
@@ -277,7 +289,12 @@ impl<'a, 'c> Evaluator<'a, 'c> {
             }
             // The probe key is consumed before descending, so reusing
             // `key_buf` across recursion levels is safe.
-            Rows::Probe(rel.probe(step.mask, &self.key_buf))
+            if step.full_key() {
+                // In mask-bit order a full key IS the tuple.
+                Rows::Find(rel.find(&self.key_buf))
+            } else {
+                Rows::Probe(rel.probe(step.mask, &self.key_buf))
+            }
         } else {
             let start = delta_start.unwrap_or(0);
             Rows::Scan(start..rel.len() as u32)
@@ -329,6 +346,13 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                         }
                     }
                     visit(self, row)?;
+                }
+            }
+            Rows::Find(found) => {
+                if let Some(row) = found {
+                    if delta_start.is_none_or(|start| row >= start) {
+                        visit(self, row)?;
+                    }
                 }
             }
             Rows::Scan(range) => {

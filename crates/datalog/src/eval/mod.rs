@@ -37,12 +37,13 @@ pub(crate) mod resolve;
 
 use std::time::{Duration, Instant};
 
-use crate::analysis::{analyze_with, AnalysisConfig};
-use crate::ast::{Directive, PostOp, Program};
+use crate::analysis::{adorn, analyze_with, AnalysisConfig};
+use crate::ast::{Directive, Lit, PostOp, Program, Query};
 use crate::builtins::FunctionRegistry;
 use crate::db::{Database, Relation, SkolemTable, SymbolTable};
 use crate::error::{DatalogError, Result};
-use crate::value::Tuple;
+use crate::fx::FxHashSet;
+use crate::value::{Const, Tuple};
 
 use agg::AggStore;
 use exec::{driver_rows, eval_rule, eval_rule_chunk, Derived, RunCtx, Workspace};
@@ -83,6 +84,12 @@ pub struct EngineOptions {
     /// planning on or off; this switch exists for benchmarking and
     /// differential testing.
     pub plan: bool,
+    /// Predicates the cost planner should assume are small before any
+    /// statistics exist — the demand (`magic_*`) relations of a
+    /// goal-directed rewrite, whose extent is bounded by the query's
+    /// bindings rather than the database. Set by [`Engine::query`];
+    /// harmless (and useless) for ordinary programs.
+    pub demand_hints: Vec<String>,
 }
 
 impl Default for EngineOptions {
@@ -96,6 +103,7 @@ impl Default for EngineOptions {
             analysis: AnalysisConfig::default(),
             threads: 0,
             plan: true,
+            demand_hints: Vec::new(),
         }
     }
 }
@@ -227,47 +235,215 @@ impl Engine {
 
     /// Runs the program to fixpoint over `db`.
     pub fn run(&self, db: &mut Database) -> Result<RunStats> {
-        let start = Instant::now();
-        let rules = resolve_rules(&self.program, db)?;
-        if self.options.provenance {
-            for rel in &mut db.relations {
-                rel.set_track_prov(true);
-            }
-        }
-        let threads = par::resolve(self.options.threads);
-        let mut stats = RunStats::default();
-        let mut agg = AggStore::default();
-        let mut ws = Workspace::default();
+        run_compiled(
+            &self.program,
+            &self.compiled,
+            &self.registry,
+            &self.options,
+            db,
+        )
+    }
 
-        for stratum in &self.compiled.strata {
-            stats.strata += 1;
-            run_stratum(
-                &rules,
-                stratum,
-                stats.strata - 1,
-                db,
-                &self.registry,
-                &self.options,
-                threads,
-                &mut agg,
-                &mut ws,
-                &mut stats,
-            )?;
-        }
-
-        if self.options.apply_post {
-            for (pred, op) in &self.compiled.auto_post {
-                apply_post(db, pred, op);
-            }
-            for d in &self.program.directives {
-                if let Directive::Post(pred, op) = d {
-                    apply_post(db, pred, op);
+    /// Evaluates a single goal, e.g. `control("c1", X)?`, goal-directed.
+    ///
+    /// The goal is parsed ([`Query::parse`]), the program is rewritten by
+    /// the demand (magic-sets) transformation
+    /// ([`crate::analysis::adorn::rewrite`]) so only facts relevant to
+    /// the goal's bound constants are derived, and the rewritten program
+    /// is planned and evaluated on a scratch copy of `db` — the caller's
+    /// database is never mutated. When the goal cannot be
+    /// demand-restricted (all-free pattern, extensional predicate,
+    /// negation in the cone, or re-analysis rejected the rewrite), the
+    /// engine transparently falls back to full bottom-up evaluation; the
+    /// answer is identical either way, only the work differs
+    /// ([`QueryAnswer::demanded`] tells which path ran).
+    pub fn query(&self, db: &Database, goal: &str) -> Result<QueryAnswer> {
+        let q = Query::parse(goal)?;
+        let rw = adorn::rewrite(&self.program, &q)?;
+        let mut demanded = rw.demanded;
+        let mut fallback_reason = rw.fallback_reason.clone();
+        let mut result_pred = rw.result_pred.clone();
+        let mut work;
+        let stats = if demanded {
+            match resolve::compile(&rw.program) {
+                Ok(compiled) => {
+                    let mut options = self.options.clone();
+                    options.demand_hints = rw.magic_preds.clone();
+                    // The rewrite already re-ran the analyzer.
+                    options.analysis = AnalysisConfig::permissive();
+                    // The scratch copy carries rows only for relations the
+                    // rewritten program can observe — the goal's cone plus
+                    // the answer relation. Attribute tables outside the
+                    // cone stay behind, which for point lookups is most of
+                    // the copying work.
+                    let mut keep = mentioned_preds(&rw.program);
+                    keep.insert(result_pred.clone());
+                    work = db.scratch_for(&keep);
+                    run_compiled(&rw.program, &compiled, &self.registry, &options, &mut work)?
+                }
+                Err(e) => {
+                    demanded = false;
+                    fallback_reason = Some(format!("rewritten program failed to compile: {e}"));
+                    result_pred = q.pred.clone();
+                    work = db.clone();
+                    self.run(&mut work)?
                 }
             }
-        }
-        stats.duration = start.elapsed();
-        Ok(stats)
+        } else {
+            work = db.clone();
+            self.run(&mut work)?
+        };
+        let rows = goal_matches_in(&work, &result_pred, &q);
+        Ok(QueryAnswer {
+            goal: q,
+            rows,
+            demanded,
+            fallback_reason,
+            report: rw.report,
+            stats,
+        })
     }
+}
+
+/// The result of a goal-directed [`Engine::query`].
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The parsed goal.
+    pub goal: Query,
+    /// Matching facts, canonically rendered as `pred(c1, ..., cn)` with
+    /// labelled nulls in structural Skolem form, sorted. This is the
+    /// byte-equivalence contract: identical to rendering the goal
+    /// predicate's matching facts after full bottom-up evaluation.
+    pub rows: Vec<String>,
+    /// True when the demand rewrite restricted evaluation to the goal.
+    pub demanded: bool,
+    /// Why evaluation fell back to the full program, when it did.
+    pub fallback_reason: Option<String>,
+    /// The adornment dataflow summary of the rewrite.
+    pub report: adorn::BindingReport,
+    /// Statistics of the run that produced the answer.
+    pub stats: RunStats,
+}
+
+/// Canonically renders the facts of `goal`'s predicate that match its
+/// bound constants, sorted — the extraction/comparison lens of
+/// [`Engine::query`] and the query differential tests.
+pub fn goal_matches(db: &Database, goal: &Query) -> Vec<String> {
+    goal_matches_in(db, &goal.pred, goal)
+}
+
+/// As [`goal_matches`], reading relation `pred` but rendering rows under
+/// the goal's predicate name (the demand rewrite stores answers in the
+/// goal's adorned variant).
+fn goal_matches_in(db: &Database, pred: &str, goal: &Query) -> Vec<String> {
+    let mut pattern: Vec<Option<Const>> = Vec::with_capacity(goal.args.len());
+    for a in &goal.args {
+        pattern.push(match a {
+            None => None,
+            Some(Lit::Str(s)) => match db.find_sym(s) {
+                Some(c) => Some(c),
+                // The constant was never interned: nothing can match.
+                None => return Vec::new(),
+            },
+            Some(Lit::Int(i)) => Some(Const::Int(*i)),
+            Some(Lit::Float(f)) => Some(Const::float(*f)),
+            Some(Lit::Bool(b)) => Some(Const::Bool(*b)),
+        });
+    }
+    let mut out: Vec<String> = db
+        .query(pred, &pattern)
+        .into_iter()
+        .map(|row| {
+            let parts: Vec<String> = row.iter().map(|c| db.canonical(*c)).collect();
+            format!("{}({})", goal.pred, parts.join(", "))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Every predicate a program's rules and directives mention — the set of
+/// relations a fixpoint over the program can read or write.
+fn mentioned_preds(program: &Program) -> FxHashSet<String> {
+    use crate::ast::Literal;
+    let mut preds = FxHashSet::default();
+    for rule in &program.rules {
+        for atom in &rule.head {
+            preds.insert(atom.pred.clone());
+        }
+        for lit in &rule.body {
+            if let Literal::Atom(a) | Literal::Negated(a) = lit {
+                preds.insert(a.pred.clone());
+            }
+        }
+    }
+    for d in &program.directives {
+        match d {
+            Directive::Input(p) | Directive::Output(p) | Directive::Post(p, _) => {
+                preds.insert(p.clone());
+            }
+        }
+    }
+    preds
+}
+
+/// Runs a compiled program to fixpoint over `db` — the shared body of
+/// [`Engine::run`] and the goal-directed path of [`Engine::query`], which
+/// evaluates a rewritten program with the engine's own registry and
+/// options without constructing a second engine.
+pub(crate) fn run_compiled(
+    program: &Program,
+    compiled: &CompiledProgram,
+    registry: &FunctionRegistry,
+    options: &EngineOptions,
+    db: &mut Database,
+) -> Result<RunStats> {
+    let start = Instant::now();
+    let rules = resolve_rules(program, db)?;
+    if options.provenance {
+        for rel in &mut db.relations {
+            rel.set_track_prov(true);
+        }
+    }
+    let demand: FxHashSet<u32> = options
+        .demand_hints
+        .iter()
+        .filter_map(|name| db.find_pred(name))
+        .collect();
+    let threads = par::resolve(options.threads);
+    let mut stats = RunStats::default();
+    let mut agg = AggStore::default();
+    let mut ws = Workspace::default();
+
+    for stratum in &compiled.strata {
+        stats.strata += 1;
+        run_stratum(
+            &rules,
+            stratum,
+            stats.strata - 1,
+            db,
+            registry,
+            options,
+            &demand,
+            threads,
+            &mut agg,
+            &mut ws,
+            &mut stats,
+        )?;
+    }
+
+    if options.apply_post {
+        for (pred, op) in &compiled.auto_post {
+            apply_post(db, pred, op);
+        }
+        for d in &program.directives {
+            if let Directive::Post(pred, op) = d {
+                apply_post(db, pred, op);
+            }
+        }
+    }
+    stats.duration = start.elapsed();
+    Ok(stats)
 }
 
 /// Runs one stratum's semi-naive fixpoint over `db`: round 0 evaluates
@@ -285,6 +461,7 @@ pub(crate) fn run_stratum(
     db: &mut Database,
     registry: &FunctionRegistry,
     options: &EngineOptions,
+    demand: &FxHashSet<u32>,
     threads: usize,
     agg: &mut AggStore,
     ws: &mut Workspace,
@@ -312,18 +489,32 @@ pub(crate) fn run_stratum(
         // both grew and feed a cost-planned join.
         let mut stats_cache = crate::fx::FxHashMap::default();
         let enable = options.plan;
+        let sample_cap = if demand.is_empty() {
+            plan::DISTINCT_SAMPLE
+        } else {
+            plan::DEMAND_SAMPLE
+        };
         let mut plan_round = |db: &mut Database| {
-            let stratum_stats = if enable {
-                StratumStats::collect_reorderable(rules, stratum, &db.relations, &mut stats_cache)
+            let mut stratum_stats = if enable {
+                StratumStats::collect_reorderable(
+                    rules,
+                    stratum,
+                    &db.relations,
+                    &mut stats_cache,
+                    sample_cap,
+                )
             } else {
                 StratumStats::default()
             };
+            stratum_stats.demand = demand.clone();
             let plans = plan_stratum(rules, stratum, &stratum_stats, enable);
             for rp in plans.iter().flatten() {
                 for p in std::iter::once(&rp.naive).chain(rp.delta.iter()) {
                     for step in &p.steps {
                         if let Step::Atom(a) = step {
-                            if a.mask != 0 {
+                            // Full-key probes go through the dedup map
+                            // instead of a registered index.
+                            if a.mask != 0 && !a.full_key() {
                                 db.relation_mut(a.pred).register_index(a.mask);
                             }
                         }

@@ -63,7 +63,7 @@ impl PredDelta {
         let mut d = PredDelta::default();
         for row in rel.rows() {
             if !old_set.contains(row) {
-                d.push_ins(Box::from(row));
+                d.push_ins(Tuple::from(row));
             }
         }
         for t in old_rows {

@@ -168,7 +168,7 @@ impl IncrementalEngine {
             if rel.is_empty() {
                 continue;
             }
-            let rows: Vec<Tuple> = rel.rows().map(Box::from).collect();
+            let rows: Vec<Tuple> = rel.rows().map(Tuple::from).collect();
             for t in &rows {
                 seeds.insert((p, t.clone()));
             }
@@ -537,7 +537,7 @@ impl IncrementalEngine {
             .map(|&p| {
                 let rows = self.db.relations[p as usize]
                     .rows()
-                    .map(Box::from)
+                    .map(Tuple::from)
                     .collect();
                 (p, rows)
             })
@@ -556,6 +556,7 @@ impl IncrementalEngine {
             &mut self.db,
             self.engine.registry(),
             self.engine.options(),
+            &FxHashSet::default(),
             self.threads,
             &mut agg,
             &mut ws,
@@ -1008,7 +1009,7 @@ impl IncrementalEngine {
             .map(|&p| {
                 let rows = self.db.relations[p as usize]
                     .rows()
-                    .map(Box::from)
+                    .map(Tuple::from)
                     .collect();
                 (p, rows)
             })

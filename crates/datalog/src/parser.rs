@@ -204,6 +204,7 @@ fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
                         '-' => "-",
                         '*' => "*",
                         '/' => "/",
+                        '?' => "?",
                         _ => {
                             // Decode the full (possibly multi-byte) char
                             // for the error message.
@@ -683,6 +684,105 @@ fn parse_post_op(s: &str) -> Option<PostOp> {
         "min" => Some(PostOp::MinBy(idx)),
         _ => None,
     }
+}
+
+/// Parses a query goal `pred(t1, ..., tn)?` — constants at bound
+/// positions, variables (or `_`) at free positions; the trailing `?` is
+/// optional. Skolem terms and expressions are not goal syntax.
+pub fn parse_query(src: &str) -> Result<Query> {
+    let toks = tokenize(src)?;
+    let mut p = Parser::new(&toks);
+    let pred = match p.next() {
+        Some(Tok::Ident(name)) => name,
+        other => {
+            return Err(err(
+                p.line(),
+                format!("expected goal predicate, found {other:?}"),
+            ))
+        }
+    };
+    p.expect_punct("(")?;
+    let mut args = Vec::new();
+    let mut var_names = Vec::new();
+    if !p.eat_punct(")") {
+        loop {
+            match p.next() {
+                Some(Tok::Var(v)) => {
+                    args.push(None);
+                    var_names.push(if v == "_" { None } else { Some(v) });
+                }
+                Some(Tok::Ident(id)) => {
+                    let lit = match id.as_str() {
+                        "true" => Lit::Bool(true),
+                        "false" => Lit::Bool(false),
+                        _ => Lit::Str(id),
+                    };
+                    args.push(Some(lit));
+                    var_names.push(None);
+                }
+                Some(Tok::Str(s)) => {
+                    args.push(Some(Lit::Str(s)));
+                    var_names.push(None);
+                }
+                Some(Tok::Int(i)) => {
+                    args.push(Some(Lit::Int(i)));
+                    var_names.push(None);
+                }
+                Some(Tok::Float(f)) => {
+                    args.push(Some(Lit::Float(f)));
+                    var_names.push(None);
+                }
+                Some(Tok::Punct("-")) => {
+                    let lit = match p.next() {
+                        Some(Tok::Int(i)) => Lit::Int(-i),
+                        Some(Tok::Float(f)) => Lit::Float(-f),
+                        other => {
+                            return Err(err(
+                                p.line(),
+                                format!("expected number after '-', found {other:?}"),
+                            ))
+                        }
+                    };
+                    args.push(Some(lit));
+                    var_names.push(None);
+                }
+                other => {
+                    return Err(err(
+                        p.line(),
+                        format!("expected goal argument (constant or variable), found {other:?}"),
+                    ))
+                }
+            }
+            if !p.eat_punct(",") {
+                break;
+            }
+        }
+        p.expect_punct(")")?;
+    }
+    p.eat_punct("?");
+    if p.peek().is_some() {
+        return Err(err(
+            p.line(),
+            format!("trailing tokens after goal, found {:?}", p.peek()),
+        ));
+    }
+    // Repeated variable names in a goal would silently drop the implied
+    // equality constraint — reject them instead.
+    let mut seen: Vec<&str> = Vec::new();
+    for name in var_names.iter().flatten() {
+        if seen.contains(&name.as_str()) {
+            return Err(err(
+                1,
+                format!("repeated goal variable {name}; use distinct names"),
+            ));
+        }
+        seen.push(name);
+    }
+    Ok(Query {
+        pred,
+        args,
+        var_names,
+    })
 }
 
 /// Parses a full program.
