@@ -1,7 +1,7 @@
 //! Reproduction driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations|incr|magic]
+//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations|incr|magic|serve]
 //!       [--scale small|full] [--threads N] [--bench-json [PATH]]
 //! ```
 //!
@@ -17,10 +17,13 @@
 //! sizes (`BENCH_incr.json`, schema `vadalink-bench-incr/1`); with
 //! `--exp magic` it benchmarks goal-directed point lookups vs full
 //! evaluation (`BENCH_magic.json`, schema `vadalink-bench-magic/1`, whose
-//! validator demands an integer-factor wall-clock win per lookup). All
-//! documents are validated in-process before they are written, so a
-//! malformed artifact fails loudly — CI smokes every path in release
-//! mode.
+//! validator demands an integer-factor wall-clock win per lookup); with
+//! `--exp serve` it drives a live `vadalink serve` instance over TCP with
+//! a closed-loop zipfian reader workload across reader/writer mixes
+//! (`BENCH_serve.json`, schema `vadalink-bench-serve/1`: sustained qps,
+//! p50/p99 latency, epoch-swap stall). All documents are validated
+//! in-process before they are written, so a malformed artifact fails
+//! loudly — CI smokes every path in release mode.
 //!
 //! `--exp incr` without `--bench-json` prints the same sweep as a table:
 //! per batch size, incremental update latency, full-recompute time, the
@@ -30,6 +33,9 @@ use bench::bench_json::{render_bench_json, run_datalog_bench, validate_bench_jso
 use bench::experiments::*;
 use bench::incr_bench::{render_incr_json, run_incr_bench, validate_incr_json, IncrConfig};
 use bench::magic_bench::{render_magic_json, run_magic_bench, validate_magic_json, MagicConfig};
+use bench::serve_bench::{
+    render_serve_json, run_serve_bench, validate_serve_json, Mix, ServeBenchConfig, Workload,
+};
 
 struct Args {
     exp: String,
@@ -243,6 +249,81 @@ fn run_magic(json_path: Option<&str>, full: bool) {
     }
 }
 
+/// Runs the serving-throughput sweep against a live `vadalink serve`
+/// instance; optionally writes + validates the `BENCH_serve.json`
+/// artifact. Exits non-zero on schema failure.
+fn run_serve(json_path: Option<&str>, full: bool) {
+    let cfg = ServeBenchConfig {
+        persons: if full { 2_000 } else { 600 },
+        seed: SEED,
+        threads: 1,
+        ops_per_reader: if full { 2_000 } else { 400 },
+        zipf_s: 1.1,
+        workload: Workload::Closed,
+        mixes: vec![
+            Mix {
+                readers: 1,
+                writers: 0,
+            },
+            Mix {
+                readers: 4,
+                writers: 0,
+            },
+            Mix {
+                readers: 4,
+                writers: 1,
+            },
+            Mix {
+                readers: 8,
+                writers: 2,
+            },
+        ],
+    };
+    println!(
+        "Serving bench: closed-loop zipfian lookups over TCP against one \
+         epoch-swapping server ({} persons, {} ops/reader, zipf s={})",
+        cfg.persons, cfg.ops_per_reader, cfg.zipf_s
+    );
+    let rows = run_serve_bench(&cfg);
+    println!(
+        "{:>8} {:>8} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>12}",
+        "readers", "writers", "ops", "qps", "p50_us", "p99_us", "updates", "epochs", "stall_max_ns"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>8} {:>8} {:>10.0} {:>10.1} {:>10.1} {:>8} {:>8} {:>12}",
+            r.readers,
+            r.writers,
+            r.ops,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.updates,
+            r.epochs_committed,
+            r.swap_stall_max_ns
+        );
+    }
+    println!(
+        "acceptance: every mix sustains positive qps with ordered percentiles; \
+         writer mixes commit epochs without stalling readers out (EXPERIMENTS.md)."
+    );
+    if let Some(path) = json_path {
+        let text = render_serve_json(&cfg, &rows);
+        if let Err(e) = validate_serve_json(&text) {
+            eprintln!("generated benchmark JSON failed schema validation: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\nwrote {path} (schema {} — validated)",
+            bench::serve_bench::SERVE_SCHEMA
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.bench_json {
@@ -252,6 +333,9 @@ fn main() {
         } else if args.exp == "magic" {
             let path = path.as_deref().unwrap_or("BENCH_magic.json");
             run_magic(Some(path), args.full);
+        } else if args.exp == "serve" {
+            let path = path.as_deref().unwrap_or("BENCH_serve.json");
+            run_serve(Some(path), args.full);
         } else {
             let path = path.as_deref().unwrap_or("BENCH_datalog.json");
             run_bench_json(path, args.full);
@@ -382,6 +466,11 @@ fn main() {
 
     if args.exp == "magic" {
         run_magic(None, args.full);
+        println!();
+    }
+
+    if args.exp == "serve" {
+        run_serve(None, args.full);
         println!();
     }
 }

@@ -8,6 +8,7 @@
 //! vadalink demo      [--out DIR]      # writes the Figure 1 graph as CSV
 //! vadalink check     PROGRAM [--lax] [--json]  # static analysis of a Vadalog file
 //! vadalink query     PROGRAM 'control("n0", X)?' --nodes N.csv --edges E.csv
+//! vadalink serve     PROGRAM --nodes N.csv --edges E.csv [--addr 127.0.0.1:0] [--threshold 0.2]
 //! ```
 //!
 //! Node files: `id,label[,k=v;k=v...]` with dense integer ids; edge files:
@@ -48,6 +49,15 @@
 //! one of the bundled shortcuts `control` / `closelink` (the latter seeds
 //! `th(--threshold)`).
 //!
+//! `serve` loads the graph, runs the program to fixpoint and keeps the
+//! result resident behind a line-delimited-JSON TCP endpoint (protocol
+//! `vadalink-serve/1`): point lookups and derivation-tree explanations
+//! run against immutable epoch snapshots while signed-fact update batches
+//! commit new epochs through the incremental session — see DESIGN.md §12.
+//! The bound address is printed to stdout (use `--addr 127.0.0.1:0` for
+//! an ephemeral port); the process exits 0 when a client sends the
+//! `shutdown` op.
+//!
 //! All usage errors (unknown flags or subcommands, missing values) exit 2
 //! and print the usage summary to stderr; `--help`/`-h` prints it to
 //! stdout and exits 0.
@@ -81,6 +91,11 @@ subcommands:
             GOAL is a single goal such as 'control(\"n0\", X)?';
             PROGRAM is a Vadalog file or a bundled shortcut
             (control | closelink)
+  serve     PROGRAM --nodes N.csv --edges E.csv [--addr 127.0.0.1:0]
+            [--threshold 0.2]
+            serves point lookups, explanations and updates over
+            line-delimited JSON on TCP; prints the bound address to
+            stdout and exits 0 on a client 'shutdown' op
 
 global options:
   --threads N   pin the worker-thread count
@@ -100,6 +115,7 @@ struct Opts {
     update: Option<String>,
     lax: bool,
     json: bool,
+    addr: String,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -117,6 +133,7 @@ fn parse_opts() -> Result<Opts, String> {
         update: None,
         lax: false,
         json: false,
+        addr: "127.0.0.1:0".to_owned(),
     };
     let mut i = 1;
     while i < argv.len() {
@@ -145,6 +162,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--explain-plan" => opts.explain_plan = true,
             "--out" => opts.out = next(&mut i)?,
             "--update" => opts.update = Some(next(&mut i)?),
+            "--addr" => opts.addr = next(&mut i)?,
             "--lax" => opts.lax = true,
             "--json" => opts.json = true,
             "--threads" => {
@@ -383,6 +401,53 @@ fn run_update(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Implements `vadalink serve`: run the program to fixpoint over the
+/// graph, keep the result resident behind an epoch registry, and answer
+/// lookups/explanations/updates over line-delimited JSON on TCP until a
+/// client sends the `shutdown` op.
+fn run_serve_cmd(opts: &Opts) -> Result<ExitCode, String> {
+    use std::sync::Arc;
+
+    let spec = opts
+        .file
+        .as_deref()
+        .ok_or("serve needs a PROGRAM (a .vada file, control, or closelink)")?;
+    let src = match spec {
+        "control" => CONTROL_PROGRAM.to_owned(),
+        "closelink" => CLOSELINK_PROGRAM.to_owned(),
+        path => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+    };
+    let g = load_graph(opts)?;
+    let program = datalog::Program::parse(&src).map_err(|e| format!("{spec}: {e}"))?;
+    let mut db = datalog::Database::new();
+    load_facts(&g, &mut db);
+    db.assert_fact("th", &[datalog::Const::float(opts.threshold)])
+        .map_err(|e| e.to_string())?;
+    let svc = serve::GraphService::new(
+        &program,
+        db,
+        serve::ServiceConfig {
+            name: spec.to_owned(),
+            threads: 0,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let server = serve::Server::spawn(Arc::new(svc), &opts.addr)
+        .map_err(|e| format!("{}: {e}", opts.addr))?;
+    // The bound address goes to stdout (and is flushed) so scripted
+    // clients piping our output learn the ephemeral port immediately.
+    println!("{}", server.addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "vadalink: serving {spec} on {} (protocol {}); \
+         send {{\"op\":\"shutdown\"}} to stop",
+        server.addr(),
+        serve::PROTOCOL_VERSION
+    );
+    server.wait();
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run() -> Result<ExitCode, String> {
     let opts = parse_opts()?;
     match opts.cmd.as_str() {
@@ -437,9 +502,10 @@ fn run() -> Result<ExitCode, String> {
         "check" => return run_check(&opts),
         "query" => return run_query(&opts),
         "update" => return run_update(&opts),
+        "serve" => return run_serve_cmd(&opts),
         other => {
             return Err(format!(
-                "unknown subcommand {other} (stats|control|closelink|update|demo|check|query)"
+                "unknown subcommand {other} (stats|control|closelink|update|demo|check|query|serve)"
             ))
         }
     }

@@ -20,4 +20,5 @@ pub mod bench_json;
 pub mod experiments;
 pub mod incr_bench;
 pub mod magic_bench;
+pub mod serve_bench;
 pub mod synth;

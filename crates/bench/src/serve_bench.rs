@@ -1,0 +1,557 @@
+//! Serving-throughput benchmark: a closed-loop load harness against a
+//! live `vadalink serve` instance.
+//!
+//! The harness boots a real TCP server ([`serve::Server`]) over a
+//! generated ownership graph running the paper's control program, then
+//! drives it with a configurable reader/writer mix:
+//!
+//! * **readers** run a closed loop (next request leaves when the
+//!   previous response lands) or an open loop (requests paced at a fixed
+//!   arrival rate regardless of response times). Goal keys follow a
+//!   zipfian popularity distribution — a few hot companies absorb most
+//!   lookups, as in the paper's analyst workload;
+//! * **writers** stream signed-fact `own`-edge batches through the
+//!   single-writer update path, committing a new epoch per batch.
+//!
+//! Per mix the harness reports sustained throughput (qps), latency
+//! percentiles (p50/p99) and the epoch-swap stall (the commit critical
+//! section every reader shares). `repro --exp serve --bench-json` renders
+//! the result as `BENCH_serve.json` (schema `vadalink-bench-serve/1`),
+//! validated in-process before it is written.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use datalog::{Database, Program};
+use gen::company::{generate, CompanyGraphConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{Client, GraphService, Server, ServiceConfig};
+use vada_link::mapping::load_facts;
+use vada_link::model::CompanyGraph;
+use vada_link::programs::CONTROL_PROGRAM;
+
+use crate::bench_json::{esc, num, parse_json, want_num, JVal};
+
+/// Schema tag of the serving benchmark document.
+pub const SERVE_SCHEMA: &str = "vadalink-bench-serve/1";
+
+/// Reader arrival model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Next request leaves when the previous response lands.
+    Closed,
+    /// Requests paced at a fixed per-reader arrival rate (Hz). Latency
+    /// then includes queueing delay when the server falls behind.
+    Open { rate_hz: f64 },
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Closed => "closed",
+            Workload::Open { .. } => "open",
+        }
+    }
+}
+
+/// One reader/writer mix to drive.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Concurrent reader connections.
+    pub readers: usize,
+    /// Concurrent writer connections (0 = read-only).
+    pub writers: usize,
+}
+
+/// Workload knobs.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Person nodes in the generated company graph (companies = half).
+    pub persons: usize,
+    /// Generator and workload seed.
+    pub seed: u64,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Lookups each reader issues per mix.
+    pub ops_per_reader: usize,
+    /// Zipf exponent of the goal-key popularity distribution.
+    pub zipf_s: f64,
+    /// Arrival model.
+    pub workload: Workload,
+    /// Reader/writer mixes to sweep.
+    pub mixes: Vec<Mix>,
+}
+
+/// Measurements for one mix.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    pub readers: usize,
+    pub writers: usize,
+    /// Total lookups answered.
+    pub ops: usize,
+    /// Wall time of the mix, seconds.
+    pub wall_secs: f64,
+    /// Sustained lookups per second.
+    pub qps: f64,
+    /// Median lookup latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile lookup latency, microseconds.
+    pub p99_us: f64,
+    /// Update batches committed while the mix ran.
+    pub updates: usize,
+    /// Epochs committed over the server's lifetime so far.
+    pub epochs_committed: u64,
+    /// Longest single epoch-swap critical section, nanoseconds.
+    pub swap_stall_max_ns: u64,
+}
+
+/// Zipfian sampler over ranks `0..n` via an explicit CDF (the `gen`
+/// crate keeps its own zipf helper private, and the serving workload
+/// wants an exponent knob anyway).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 1..=n {
+            total += 1.0 / (r as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Maps a uniform draw in `[0, 1)` to a rank.
+    pub fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Exactly representable decimal weights: a delete's re-parse must land
+/// on the identical f64 the insert produced.
+const WRITER_WEIGHTS: [&str; 4] = ["0.05", "0.1", "0.15", "0.25"];
+
+fn writer_delta(
+    rng: &mut StdRng,
+    names: &[String],
+    inserted: &mut Vec<(String, String, &'static str)>,
+) -> String {
+    let mut lines = Vec::new();
+    for _ in 0..rng.random_range(1..4usize) {
+        let a = names[rng.random_range(0..names.len())].clone();
+        let b = names[rng.random_range(0..names.len())].clone();
+        let w = WRITER_WEIGHTS[rng.random_range(0..WRITER_WEIGHTS.len())];
+        lines.push(format!("+own({a},{b},{w})"));
+        inserted.push((a, b, w));
+    }
+    while !inserted.is_empty() && rng.random_bool(0.4) {
+        let i = rng.random_range(0..inserted.len());
+        let (a, b, w) = inserted.swap_remove(i);
+        lines.push(format!("-own({a},{b},{w})"));
+    }
+    lines.join("\n")
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Runs the sweep: one server per call, one row per mix. The server (and
+/// its maintained session) persists across mixes, so later mixes run on
+/// the database the earlier writers produced — epoch ids keep rising.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> Vec<ServeBench> {
+    let out = generate(&CompanyGraphConfig {
+        persons: cfg.persons,
+        companies: cfg.persons / 2,
+        seed: cfg.seed,
+        ..Default::default()
+    });
+    // Zipf ranks index this list: generation order, persons first.
+    let names: Arc<Vec<String>> = Arc::new(
+        out.persons
+            .iter()
+            .chain(out.companies.iter())
+            .map(|n| format!("n{}", n.index()))
+            .collect(),
+    );
+    let g = CompanyGraph::new(out.graph);
+    let mut db = Database::new();
+    load_facts(&g, &mut db);
+    let program = Program::parse(CONTROL_PROGRAM).expect("bundled program parses");
+    let svc = Arc::new(
+        GraphService::new(
+            &program,
+            db,
+            ServiceConfig {
+                name: "control".into(),
+                threads: cfg.threads,
+            },
+        )
+        .expect("service opens"),
+    );
+    let server = Server::spawn(svc.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let mut rows = Vec::new();
+    for (mix_no, mix) in cfg.mixes.iter().enumerate() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let pace_ns = match cfg.workload {
+            Workload::Closed => None,
+            Workload::Open { rate_hz } => Some((1e9 / rate_hz) as u64),
+        };
+
+        let writers: Vec<_> = (0..mix.writers)
+            .map(|w| {
+                let stop = stop.clone();
+                let names = names.clone();
+                let seed = cfg.seed ^ (0xA11CE << 8) ^ (mix_no as u64) << 4 ^ w as u64;
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("writer connects");
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut inserted = Vec::new();
+                    let mut batches = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let delta = writer_delta(&mut rng, &names, &mut inserted);
+                        if delta.is_empty() {
+                            continue;
+                        }
+                        client.update(&delta).expect("writer batch applies");
+                        batches += 1;
+                    }
+                    batches
+                })
+            })
+            .collect();
+
+        let start = Instant::now();
+        let readers: Vec<_> = (0..mix.readers)
+            .map(|r| {
+                let names = names.clone();
+                let ops = cfg.ops_per_reader;
+                let zipf_s = cfg.zipf_s;
+                let seed = cfg.seed ^ 0xB0B ^ ((mix_no as u64) << 16) ^ r as u64;
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("reader connects");
+                    let zipf = Zipf::new(names.len(), zipf_s);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut lat_ns = Vec::with_capacity(ops);
+                    let began = Instant::now();
+                    for i in 0..ops {
+                        if let Some(p) = pace_ns {
+                            // Open loop: wait for this request's arrival
+                            // slot (busy-wait; slots are microseconds).
+                            let due = p * i as u64;
+                            while (began.elapsed().as_nanos() as u64) < due {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let key = &names[zipf.sample(rng.random_range(0.0..1.0))];
+                        let goal = format!("control(\"{key}\", X)?");
+                        let t = Instant::now();
+                        let (_, _rows) = client.query(&goal).expect("lookup");
+                        lat_ns.push(t.elapsed().as_nanos() as u64);
+                    }
+                    lat_ns
+                })
+            })
+            .collect();
+
+        let mut lat_ns: Vec<u64> = Vec::with_capacity(mix.readers * cfg.ops_per_reader);
+        for r in readers {
+            lat_ns.extend(r.join().expect("reader thread"));
+        }
+        let wall_secs = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        let updates: usize = writers
+            .into_iter()
+            .map(|w| w.join().expect("writer thread"))
+            .sum();
+
+        lat_ns.sort_unstable();
+        let stats = svc.registry().snapshot_stats();
+        let ops = lat_ns.len();
+        rows.push(ServeBench {
+            readers: mix.readers,
+            writers: mix.writers,
+            ops,
+            wall_secs,
+            qps: ops as f64 / wall_secs.max(1e-9),
+            p50_us: percentile_us(&lat_ns, 0.50),
+            p99_us: percentile_us(&lat_ns, 0.99),
+            updates,
+            epochs_committed: stats.committed,
+            swap_stall_max_ns: stats.swap_stall_max_ns,
+        });
+    }
+    server.join();
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Writer + validator
+// ---------------------------------------------------------------------------
+
+/// Renders the serving benchmark document.
+pub fn render_serve_json(cfg: &ServeBenchConfig, rows: &[ServeBench]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{}\",\n", esc(SERVE_SCHEMA)));
+    s.push_str(&format!("  \"persons\": {},\n", cfg.persons));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    s.push_str(&format!("  \"ops_per_reader\": {},\n", cfg.ops_per_reader));
+    s.push_str(&format!("  \"zipf_s\": {},\n", num(cfg.zipf_s)));
+    s.push_str(&format!(
+        "  \"workload\": \"{}\",\n",
+        esc(cfg.workload.name())
+    ));
+    s.push_str("  \"mixes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"readers\": {},\n", r.readers));
+        s.push_str(&format!("      \"writers\": {},\n", r.writers));
+        s.push_str(&format!("      \"ops\": {},\n", r.ops));
+        s.push_str(&format!("      \"wall_secs\": {},\n", num(r.wall_secs)));
+        s.push_str(&format!("      \"qps\": {},\n", num(r.qps)));
+        s.push_str(&format!("      \"p50_us\": {},\n", num(r.p50_us)));
+        s.push_str(&format!("      \"p99_us\": {},\n", num(r.p99_us)));
+        s.push_str(&format!("      \"updates\": {},\n", r.updates));
+        s.push_str(&format!(
+            "      \"epochs_committed\": {},\n",
+            r.epochs_committed
+        ));
+        s.push_str(&format!(
+            "      \"swap_stall_max_ns\": {}\n",
+            r.swap_stall_max_ns
+        ));
+        s.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Validates a `BENCH_serve.json` document against the
+/// `vadalink-bench-serve/1` schema: field presence, types, at least two
+/// reader/writer mixes, positive throughput and ordered percentiles.
+pub fn validate_serve_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema") {
+        Some(JVal::Str(s)) if s == SERVE_SCHEMA => {}
+        Some(JVal::Str(s)) => return Err(format!("unknown schema '{s}'")),
+        _ => return Err("missing string field 'schema'".into()),
+    }
+    for field in ["persons", "seed", "threads", "ops_per_reader"] {
+        let v = want_num(&doc, field)?;
+        if v < 1.0 {
+            return Err(format!("field '{field}' must be >= 1"));
+        }
+    }
+    let z = want_num(&doc, "zipf_s")?;
+    if !(0.0..=10.0).contains(&z) {
+        return Err("field 'zipf_s' out of range".into());
+    }
+    match doc.get("workload") {
+        Some(JVal::Str(s)) if s == "closed" || s == "open" => {}
+        _ => return Err("field 'workload' must be \"closed\" or \"open\"".into()),
+    }
+    let mixes = match doc.get("mixes") {
+        Some(JVal::Arr(items)) => items,
+        Some(_) => return Err("field 'mixes' must be an array".into()),
+        None => return Err("missing field 'mixes'".into()),
+    };
+    if mixes.len() < 2 {
+        return Err("'mixes' must hold at least two reader/writer mixes".into());
+    }
+    let mut saw_writer_mix = false;
+    for (i, m) in mixes.iter().enumerate() {
+        let ctx = |msg: String| format!("mixes[{i}]: {msg}");
+        let readers = want_num(m, "readers").map_err(&ctx)?;
+        if readers < 1.0 || readers.fract() != 0.0 {
+            return Err(ctx("'readers' must be a positive integer".into()));
+        }
+        let writers = want_num(m, "writers").map_err(&ctx)?;
+        if writers < 0.0 || writers.fract() != 0.0 {
+            return Err(ctx("'writers' must be a non-negative integer".into()));
+        }
+        saw_writer_mix |= writers > 0.0;
+        for field in ["ops", "wall_secs", "qps"] {
+            let v = want_num(m, field).map_err(&ctx)?;
+            if v <= 0.0 || v.is_nan() {
+                return Err(ctx(format!("field '{field}' must be > 0")));
+            }
+        }
+        let p50 = want_num(m, "p50_us").map_err(&ctx)?;
+        let p99 = want_num(m, "p99_us").map_err(&ctx)?;
+        if p50 <= 0.0 || p99 < p50 {
+            return Err(ctx(format!(
+                "latency percentiles must satisfy 0 < p50 <= p99 (p50={p50}, p99={p99})"
+            )));
+        }
+        for field in ["updates", "epochs_committed", "swap_stall_max_ns"] {
+            let v = want_num(m, field).map_err(&ctx)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(ctx(format!(
+                    "field '{field}' must be a non-negative integer"
+                )));
+            }
+        }
+        let updates = want_num(m, "updates").map_err(&ctx)?;
+        if writers > 0.0 && updates < 1.0 {
+            return Err(ctx("a writer mix must commit at least one update".into()));
+        }
+    }
+    if !saw_writer_mix {
+        return Err("at least one mix must include writers".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ServeBenchConfig {
+        ServeBenchConfig {
+            persons: 40,
+            seed: 0xEDB7,
+            threads: 1,
+            ops_per_reader: 25,
+            zipf_s: 1.1,
+            workload: Workload::Closed,
+            mixes: vec![
+                Mix {
+                    readers: 2,
+                    writers: 0,
+                },
+                Mix {
+                    readers: 2,
+                    writers: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks_and_covers_the_domain() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(rng.random_range(0.0..1.0))] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+        assert!(counts[0] > 2_000, "rank 0 must be hot: {}", counts[0]);
+        // Edge draws stay in range.
+        assert_eq!(z.sample(0.0), 0);
+        assert_eq!(z.sample(0.999_999_9), 99);
+    }
+
+    #[test]
+    fn serve_bench_runs_end_to_end_on_a_tiny_graph() {
+        let cfg = tiny_cfg();
+        let rows = run_serve_bench(&cfg);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].ops, 50);
+        assert!(rows[0].qps > 0.0);
+        assert!(rows[0].p50_us > 0.0 && rows[0].p50_us <= rows[0].p99_us);
+        assert_eq!(rows[0].updates, 0, "read-only mix commits nothing");
+        assert!(rows[1].updates >= 1, "writer mix must commit");
+        assert!(rows[1].epochs_committed > rows[0].epochs_committed);
+        let text = render_serve_json(&cfg, &rows);
+        validate_serve_json(&text).expect("real bench output must validate");
+    }
+
+    #[test]
+    fn open_loop_paces_requests() {
+        let cfg = ServeBenchConfig {
+            ops_per_reader: 10,
+            workload: Workload::Open { rate_hz: 200.0 },
+            mixes: vec![
+                Mix {
+                    readers: 1,
+                    writers: 0,
+                },
+                Mix {
+                    readers: 1,
+                    writers: 1,
+                },
+            ],
+            ..tiny_cfg()
+        };
+        let rows = run_serve_bench(&cfg);
+        // 10 ops at 200 Hz = at least ~45 ms of pacing per mix.
+        assert!(
+            rows[0].wall_secs >= 0.04,
+            "open loop finished too fast: {}s",
+            rows[0].wall_secs
+        );
+        // Open-loop throughput cannot exceed the offered rate by much.
+        assert!(
+            rows[0].qps <= 260.0,
+            "qps {} above offered rate",
+            rows[0].qps
+        );
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let cfg = tiny_cfg();
+        let rows = vec![
+            ServeBench {
+                readers: 2,
+                writers: 0,
+                ops: 50,
+                wall_secs: 0.5,
+                qps: 100.0,
+                p50_us: 80.0,
+                p99_us: 900.0,
+                updates: 0,
+                epochs_committed: 1,
+                swap_stall_max_ns: 0,
+            },
+            ServeBench {
+                readers: 2,
+                writers: 1,
+                ops: 50,
+                wall_secs: 0.5,
+                qps: 100.0,
+                p50_us: 90.0,
+                p99_us: 1500.0,
+                updates: 12,
+                epochs_committed: 13,
+                swap_stall_max_ns: 4000,
+            },
+        ];
+        let good = render_serve_json(&cfg, &rows);
+        validate_serve_json(&good).expect("fixture must validate");
+        assert!(validate_serve_json("not json").is_err());
+        assert!(validate_serve_json(&good.replace(SERVE_SCHEMA, "x/9")).is_err());
+        assert!(validate_serve_json(&good.replace("\"qps\"", "\"q\"")).is_err());
+        // Percentile ordering is enforced.
+        let bad = good.replace("\"p99_us\": 900.000000", "\"p99_us\": 1.000000");
+        assert!(validate_serve_json(&bad).is_err());
+        // A single mix is not a sweep.
+        let single = render_serve_json(&cfg, &rows[1..]);
+        assert!(validate_serve_json(&single).is_err());
+        // Writer mixes must actually commit.
+        let bad = good.replace("\"updates\": 12", "\"updates\": 0");
+        assert!(validate_serve_json(&bad).is_err());
+    }
+}

@@ -1,10 +1,12 @@
 //! End-to-end tests of the `vadalink` binary: exit-code conventions
-//! (0 clean, 1 analyzer errors, 2 usage/parse errors with usage text) and
-//! the `update` subcommand's incremental diff output.
+//! (0 clean, 1 analyzer errors, 2 usage/parse errors with usage text),
+//! the `update` subcommand's incremental diff output, and the `serve`
+//! subcommand's bind/round-trip/shutdown lifecycle.
 
 use std::fs;
-use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
 
 fn vadalink(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_vadalink"))
@@ -157,5 +159,121 @@ fn update_applies_an_incremental_diff_to_the_demo_graph() {
         bad.to_str().unwrap(),
     ]);
     assert_eq!(code(&out), 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Writes the Figure 1 demo CSVs into a scratch dir; returns (dir, nodes,
+/// edges) paths for serve tests.
+fn demo_graph(name: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = scratch(name);
+    let out = vadalink(&["demo", "--out", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    let nodes = dir.join("figure1_nodes.csv");
+    let edges = dir.join("figure1_edges.csv");
+    (dir, nodes, edges)
+}
+
+/// Boots `vadalink serve` on an ephemeral port and reads the bound
+/// address off the child's stdout.
+fn spawn_serve(nodes: &Path, edges: &Path) -> (std::process::Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vadalink"))
+        .args([
+            "serve",
+            "control",
+            "--nodes",
+            nodes.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("vadalink serve spawns");
+    let mut addr = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut addr)
+        .expect("server prints its bound address");
+    (child, addr.trim().to_owned())
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    // No PROGRAM / no graph files: usage errors with the usage text.
+    for args in [
+        &["serve"][..],
+        &["serve", "control"][..],
+        &["serve", "control", "--frobnicate"][..],
+    ] {
+        let out = vadalink(args);
+        assert_eq!(code(&out), 2, "args: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("usage: vadalink"),
+            "args: {args:?}, stderr: {err}"
+        );
+    }
+    // --help mentions the subcommand.
+    let out = vadalink(&["--help"]);
+    assert_eq!(code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("serve"));
+}
+
+#[test]
+fn serve_binds_an_ephemeral_port_and_shuts_down_cleanly() {
+    let (dir, nodes, edges) = demo_graph("serve-smoke");
+    let (mut child, addr) = spawn_serve(&nodes, &edges);
+    assert!(
+        addr.starts_with("127.0.0.1:") && !addr.ends_with(":0"),
+        "bound address: {addr}"
+    );
+    let mut client = serve::Client::connect(addr.as_str()).expect("connect");
+    client.ping().expect("ping");
+    client.shutdown().expect("shutdown acknowledged");
+    let status = child.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "clean exit after shutdown op");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_answers_an_end_to_end_client_round_trip() {
+    let (dir, nodes, edges) = demo_graph("serve-roundtrip");
+    let (mut child, addr) = spawn_serve(&nodes, &edges);
+    let mut client = serve::Client::connect(addr.as_str()).expect("connect");
+
+    // Figure 1: P1 (n0) controls C (n2), D (n3), E (n4) and F (n5).
+    let (epoch, rows) = client.query("control(\"n0\", X)?").expect("lookup");
+    assert_eq!(epoch, 0, "first epoch serves the loaded graph");
+    assert_eq!(
+        rows,
+        [
+            "control(n0, n0)",
+            "control(n0, n2)",
+            "control(n0, n3)",
+            "control(n0, n4)",
+            "control(n0, n5)"
+        ]
+    );
+
+    // An update commits a fresh epoch and later lookups see it: weakening
+    // P1's direct stake in C below the majority retracts control(n0, n2).
+    let (epoch, _ins, del) = client
+        .update("-own(n0,n2,0.8)\n+own(n0,n2,0.3)")
+        .expect("update applies");
+    assert_eq!(epoch, 1, "first commit after the initial epoch");
+    assert!(
+        del.iter().any(|f| f == "control(n0,n2)"),
+        "deleted: {del:?}"
+    );
+    let (epoch, rows) = client.query("control(\"n0\", X)?").expect("re-lookup");
+    assert_eq!(epoch, 1);
+    assert!(
+        !rows.iter().any(|r| r == "control(n0, n2)"),
+        "rows: {rows:?}"
+    );
+
+    client.shutdown().expect("shutdown");
+    assert_eq!(child.wait().expect("exit").code(), Some(0));
     let _ = fs::remove_dir_all(&dir);
 }

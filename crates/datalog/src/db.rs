@@ -332,6 +332,18 @@ impl Database {
         }
     }
 
+    /// Public projection lens over [`Database::scratch_for`]: a copy of
+    /// the database whose interning tables are shared in full but whose
+    /// relations carry rows only for the predicates named in `keep`.
+    /// The serving layer uses this to strip derived relations off an
+    /// epoch snapshot before re-running a provenance-enabled engine for
+    /// derivation-tree explanations.
+    pub fn project(&self, keep: impl IntoIterator<Item = impl AsRef<str>>) -> Database {
+        let set: crate::fx::FxHashSet<String> =
+            keep.into_iter().map(|s| s.as_ref().to_owned()).collect();
+        self.scratch_for(&set)
+    }
+
     /// Interns a string constant and returns it as a [`Const`].
     pub fn sym(&mut self, s: &str) -> Const {
         Const::Sym(self.symbols.intern(s))

@@ -1,0 +1,188 @@
+//! Concurrency differential: readers versus a live writer.
+//!
+//! N reader threads issue point lookups against a [`GraphService`] while
+//! one writer thread applies randomized insert/delete batches of `own`
+//! edges. Every reader answer must be **byte-identical** to running the
+//! goal-directed reference ([`datalog::Engine::query`]) against the same
+//! pinned epoch snapshot — under snapshot isolation a concurrent commit
+//! must never bleed into an in-flight read. Each goal is also re-read on
+//! the same pin, so a snapshot that shifted mid-request would betray
+//! itself twice over.
+//!
+//! The suite runs the paper's control and close-link programs at reader
+//! counts 1, 2 and 8.
+
+use std::sync::Arc;
+
+use datalog::{Const, Database, Program};
+use gen::company::{generate, CompanyGraphConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{GraphService, ServiceConfig};
+use vada_link::mapping::load_facts;
+use vada_link::model::CompanyGraph;
+use vada_link::programs::{CLOSELINK_PROGRAM, CONTROL_PROGRAM};
+
+const THRESHOLD: f64 = 0.2;
+
+/// Builds a service over a generated ownership graph; returns it plus
+/// the node names (`n<i>`) goals are drawn from.
+fn service_for(src: &str, with_threshold: bool, seed: u64) -> (Arc<GraphService>, Vec<String>) {
+    let out = generate(&CompanyGraphConfig {
+        persons: 40,
+        companies: 24,
+        seed,
+        ..Default::default()
+    });
+    let names: Vec<String> = out
+        .persons
+        .iter()
+        .chain(out.companies.iter())
+        .map(|n| format!("n{}", n.index()))
+        .collect();
+    let g = CompanyGraph::new(out.graph);
+    let mut db = Database::new();
+    load_facts(&g, &mut db);
+    if with_threshold {
+        db.assert_fact("th", &[Const::float(THRESHOLD)])
+            .expect("arity");
+    }
+    let program = Program::parse(src).expect("bundled program parses");
+    let svc = GraphService::new(&program, db, ServiceConfig::default()).expect("service opens");
+    (Arc::new(svc), names)
+}
+
+/// One random goal over the served program's predicates: first-bound,
+/// second-bound or fully bound, over the output predicate or the `own`
+/// base relation.
+fn random_goal(rng: &mut StdRng, names: &[String], output_pred: &str) -> String {
+    let a = &names[rng.random_range(0..names.len())];
+    let b = &names[rng.random_range(0..names.len())];
+    match rng.random_range(0..5u32) {
+        0 => format!("{output_pred}(\"{a}\", X)?"),
+        1 => format!("{output_pred}(X, \"{b}\")?"),
+        2 => format!("{output_pred}(\"{a}\", \"{b}\")?"),
+        3 => format!("own(\"{a}\", X, W)?"),
+        _ => format!("own(\"{a}\", \"{b}\", W)?"),
+    }
+}
+
+/// A randomized signed-fact batch: inserts fresh `own` edges with exactly
+/// representable decimal weights (so a later delete's parse lands on the
+/// identical f64) and deletes a few edges inserted earlier.
+fn random_delta(
+    rng: &mut StdRng,
+    names: &[String],
+    inserted: &mut Vec<(String, String, &'static str)>,
+) -> String {
+    const WEIGHTS: [&str; 4] = ["0.05", "0.1", "0.15", "0.25"];
+    let mut lines = vec!["% randomized writer batch".to_owned()];
+    for _ in 0..rng.random_range(1..4usize) {
+        let a = names[rng.random_range(0..names.len())].clone();
+        let b = names[rng.random_range(0..names.len())].clone();
+        let w = WEIGHTS[rng.random_range(0..WEIGHTS.len())];
+        lines.push(format!("+own({a},{b},{w})"));
+        inserted.push((a, b, w));
+    }
+    while !inserted.is_empty() && rng.random_bool(0.4) {
+        let i = rng.random_range(0..inserted.len());
+        let (a, b, w) = inserted.swap_remove(i);
+        lines.push(format!("-own({a},{b},{w})"));
+    }
+    lines.join("\n")
+}
+
+/// Spins up `readers` lookup threads against one writer applying
+/// `batches` randomized updates; every answer is checked byte-for-byte
+/// against the goal-directed reference on the reader's pinned snapshot.
+fn run_differential(src: &str, with_threshold: bool, output_pred: &'static str, readers: usize) {
+    let (svc, names) = service_for(src, with_threshold, 0xD1FF ^ readers as u64);
+    let names = Arc::new(names);
+
+    let writer = {
+        let svc = svc.clone();
+        let names = names.clone();
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(WRITER_SEED);
+            let mut inserted = Vec::new();
+            for _ in 0..24 {
+                let delta = random_delta(&mut rng, &names, &mut inserted);
+                svc.apply_delta(&delta).expect("writer batch applies");
+            }
+        })
+    };
+
+    let reader_threads: Vec<_> = (0..readers)
+        .map(|t| {
+            let svc = svc.clone();
+            let names = names.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBEEF + t as u64);
+                for i in 0..40 {
+                    let goal = random_goal(&mut rng, &names, output_pred);
+                    let pin = svc.pin();
+                    let direct = svc.lookup_on(&pin, &goal).expect("lookup");
+                    let reference = svc.query_on(pin.db(), &goal).expect("reference query").rows;
+                    assert_eq!(
+                        direct,
+                        reference,
+                        "reader {t} iteration {i}: lookup diverged from \
+                         Engine::query on pinned epoch {} for {goal}",
+                        pin.id()
+                    );
+                    // Snapshot stability: the same pin answers the same.
+                    let again = svc.lookup_on(&pin, &goal).expect("re-read");
+                    assert_eq!(direct, again, "pinned epoch shifted under reader {t}");
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer thread");
+    for r in reader_threads {
+        r.join().expect("reader thread");
+    }
+
+    // All pins released; exactly the writer's batches were committed and
+    // the final epoch still answers consistently.
+    let stats = svc.registry().snapshot_stats();
+    assert_eq!(stats.pinned_now, 0, "leaked pins");
+    assert_eq!(stats.committed, 25, "initial epoch + 24 writer batches");
+    let pin = svc.pin();
+    let goal = format!("{output_pred}(X, Y)?");
+    let direct = svc.lookup_on(&pin, &goal).expect("final lookup");
+    let reference = svc.query_on(pin.db(), &goal).expect("final reference").rows;
+    assert_eq!(direct, reference, "final epoch differential");
+}
+
+const WRITER_SEED: u64 = 0x5EED_1207;
+
+#[test]
+fn control_differential_1_reader() {
+    run_differential(CONTROL_PROGRAM, false, "control", 1);
+}
+
+#[test]
+fn control_differential_2_readers() {
+    run_differential(CONTROL_PROGRAM, false, "control", 2);
+}
+
+#[test]
+fn control_differential_8_readers() {
+    run_differential(CONTROL_PROGRAM, false, "control", 8);
+}
+
+#[test]
+fn closelink_differential_1_reader() {
+    run_differential(CLOSELINK_PROGRAM, true, "close_link", 1);
+}
+
+#[test]
+fn closelink_differential_2_readers() {
+    run_differential(CLOSELINK_PROGRAM, true, "close_link", 2);
+}
+
+#[test]
+fn closelink_differential_8_readers() {
+    run_differential(CLOSELINK_PROGRAM, true, "close_link", 8);
+}

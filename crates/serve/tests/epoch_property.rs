@@ -1,0 +1,250 @@
+//! Epoch-lifecycle model checking.
+//!
+//! Random pin/commit/release interleavings are replayed against a
+//! reference state machine (plain maps and counters, no sharing). After
+//! every step the real [`EpochRegistry`] must agree with the model:
+//!
+//! * a pinned epoch is never freed — its id stays in `live_epochs()` and
+//!   its database still answers with the contents recorded at pin time;
+//! * the latest committed epoch is always reachable (`current_id` and a
+//!   fresh pin land on it);
+//! * two writers can never be active at once (`try_begin_write` fails
+//!   exactly while a guard is held);
+//! * the freed/committed/pin counters match the model's.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use serve::epoch::{EpochRegistry, PinnedEpoch};
+
+/// Builds an epoch database with a recognizable payload.
+fn marked_db(mark: i64) -> datalog::Database {
+    let mut db = datalog::Database::new();
+    db.assert_fact("epoch_mark", &[datalog::Const::Int(mark)])
+        .unwrap();
+    for i in 0..=mark {
+        db.assert_fact("seen", &[datalog::Const::Int(i)]).unwrap();
+    }
+    db
+}
+
+fn mark_of(db: &datalog::Database) -> i64 {
+    let rows = db.query("epoch_mark", &[None]);
+    assert_eq!(rows.len(), 1, "exactly one mark per epoch");
+    match rows[0][0] {
+        datalog::Const::Int(i) => i,
+        ref c => panic!("unexpected mark {c:?}"),
+    }
+}
+
+/// The reference state machine.
+#[derive(Debug, Default)]
+struct Model {
+    current: u64,
+    /// Pin counts per epoch id.
+    pins: BTreeMap<u64, usize>,
+    /// Retired epochs still pinned.
+    retired: Vec<u64>,
+    committed: u64,
+    freed: u64,
+    pins_taken: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            committed: 1,
+            ..Model::default()
+        }
+    }
+
+    fn pin(&mut self) -> u64 {
+        *self.pins.entry(self.current).or_insert(0) += 1;
+        self.pins_taken += 1;
+        self.current
+    }
+
+    fn release(&mut self, id: u64) {
+        let n = self.pins.get_mut(&id).expect("releasing a pinned epoch");
+        *n -= 1;
+        if *n == 0 {
+            self.pins.remove(&id);
+            if let Some(i) = self.retired.iter().position(|&r| r == id) {
+                self.retired.remove(i);
+                self.freed += 1;
+            }
+        }
+    }
+
+    fn commit(&mut self, new_id: u64) {
+        let old = self.current;
+        if self.pins.get(&old).copied().unwrap_or(0) > 0 {
+            self.retired.push(old);
+        }
+        self.current = new_id;
+        self.committed += 1;
+    }
+
+    fn live(&self) -> Vec<u64> {
+        let mut ids = self.retired.clone();
+        ids.push(self.current);
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// One held pin plus the epoch payload recorded when it was taken.
+struct HeldPin {
+    pin: PinnedEpoch,
+    mark: i64,
+    facts: usize,
+}
+
+fn check_agreement(reg: &EpochRegistry, model: &Model, held: &[HeldPin]) {
+    assert_eq!(reg.current_id(), model.current, "current epoch");
+    assert_eq!(reg.live_epochs(), model.live(), "live epoch set");
+    let stats = reg.snapshot_stats();
+    assert_eq!(stats.current, model.current);
+    assert_eq!(stats.committed, model.committed);
+    assert_eq!(stats.freed, model.freed, "release-driven frees");
+    assert_eq!(stats.pins_taken, model.pins_taken);
+    assert_eq!(
+        stats.pinned_now,
+        model.pins.values().sum::<usize>(),
+        "outstanding pins"
+    );
+    assert_eq!(stats.retired_live, model.retired.len());
+    for (&id, &n) in &model.pins {
+        assert_eq!(reg.pin_count(id), n, "pin count of epoch {id}");
+    }
+    // Every held pin still reads the exact snapshot it pinned: same
+    // payload mark, same total fact count — a freed or mutated epoch
+    // would betray itself here.
+    for h in held {
+        assert_eq!(mark_of(h.pin.db()), h.mark, "pinned epoch payload");
+        assert_eq!(h.pin.db().total_facts(), h.facts, "pinned epoch size");
+        assert!(
+            model.live().contains(&h.pin.id()),
+            "pinned epoch {} must be live",
+            h.pin.id()
+        );
+    }
+}
+
+proptest! {
+    /// Random pin/release/commit sequences, model-checked step by step.
+    /// Ops: 0 = pin, 1 = release (choice picks which held pin), 2 =
+    /// commit through a fresh writer guard, 3 = writer-exclusivity probe.
+    #[test]
+    fn lifecycle_matches_reference_model(
+        ops in prop::collection::vec((0u8..4, 0usize..8), 1..80),
+    ) {
+        let reg = EpochRegistry::new(marked_db(0));
+        let mut model = Model::new();
+        let mut held: Vec<HeldPin> = Vec::new();
+        let mut next_mark: i64 = 1;
+        for (op, choice) in ops {
+            match op {
+                0 => {
+                    let pin = reg.pin();
+                    let id = model.pin();
+                    prop_assert_eq!(pin.id(), id, "pin lands on the current epoch");
+                    let mark = mark_of(pin.db());
+                    let facts = pin.db().total_facts();
+                    held.push(HeldPin { pin, mark, facts });
+                }
+                1 => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    let i = choice % held.len();
+                    let h = held.swap_remove(i);
+                    model.release(h.pin.id());
+                    drop(h);
+                }
+                2 => {
+                    let w = reg.begin_write();
+                    // Writer exclusivity: no second writer while held.
+                    prop_assert!(reg.try_begin_write().is_none());
+                    let id = w.commit(Arc::new(marked_db(next_mark)));
+                    model.commit(id);
+                    next_mark += 1;
+                    drop(w);
+                }
+                _ => {
+                    // No writer active between steps.
+                    let w = reg.try_begin_write();
+                    prop_assert!(w.is_some());
+                    drop(w);
+                }
+            }
+            check_agreement(&reg, &model, &held);
+        }
+        // The latest committed epoch is always reachable at the end.
+        let last = reg.pin();
+        prop_assert_eq!(last.id(), model.current);
+        prop_assert_eq!(mark_of(last.db()), next_mark - 1);
+    }
+
+    /// Pins taken across many epochs all stay readable until dropped,
+    /// and dropping them in arbitrary order frees every retired epoch.
+    #[test]
+    fn drop_order_always_drains_retired_epochs(
+        commits in 1usize..12,
+        drop_order in prop::collection::vec(0usize..32, 0..32),
+    ) {
+        let reg = EpochRegistry::new(marked_db(0));
+        let mut held = Vec::new();
+        for mark in 1..=commits as i64 {
+            held.push(reg.pin());
+            let w = reg.begin_write();
+            w.commit(Arc::new(marked_db(mark)));
+        }
+        // Release in the generated (arbitrary) order.
+        let mut order = drop_order;
+        while !held.is_empty() {
+            let i = order.pop().unwrap_or(0) % held.len();
+            held.swap_remove(i);
+        }
+        // Nothing retired survives once every pin is gone.
+        let stats = reg.snapshot_stats();
+        prop_assert_eq!(stats.retired_live, 0);
+        prop_assert_eq!(stats.pinned_now, 0);
+        prop_assert_eq!(reg.live_epochs(), vec![commits as u64]);
+    }
+}
+
+/// Writer exclusivity under real contention: two threads hammer
+/// begin_write/commit; a shared "in critical section" flag must never
+/// witness both inside at once.
+#[test]
+fn concurrent_writers_serialize() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let reg = EpochRegistry::new(marked_db(0));
+    let in_cs = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..2)
+        .map(|t| {
+            let reg = reg.clone();
+            let in_cs = in_cs.clone();
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let w = reg.begin_write();
+                    assert!(
+                        !in_cs.swap(true, Ordering::SeqCst),
+                        "two writers in the critical section"
+                    );
+                    let id = w.commit(Arc::new(marked_db((t * 1000 + i) as i64)));
+                    assert!(id > 0);
+                    in_cs.store(false, Ordering::SeqCst);
+                    drop(w);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(reg.snapshot_stats().committed, 101);
+}
