@@ -1,0 +1,101 @@
+//! Microbenchmarks of the linkage distance kernels against their scalar
+//! references: the Fig. 4a inner loop is dominated by Levenshtein and
+//! Jaro-Winkler over short person/company names, so the bit-parallel and
+//! stack-bitmask fast paths are measured head-to-head with the
+//! per-code-point implementations they replaced, on the same name-pair
+//! corpus the `repro --exp compile` artifact uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use linkage::distance;
+
+/// SplitMix64-driven syllable names, mirroring `bench::compile_bench`.
+fn corpus(pairs: usize) -> Vec<(String, String)> {
+    const SYL: &[&str] = &[
+        "ros", "si", "bian", "chi", "fer", "ra", "ri", "esposi", "to", "rus", "so", "roma", "no",
+        "co", "lom", "bo", "mar", "i", "ni", "gal", "lo",
+    ];
+    fn next(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    fn name(s: &mut u64) -> String {
+        let mut out = String::new();
+        let syllables = 2 + next(s) % 3;
+        for _ in 0..syllables {
+            out.push_str(SYL[(next(s) % SYL.len() as u64) as usize]);
+        }
+        out
+    }
+    let mut s = 0xEDB7u64;
+    (0..pairs)
+        .map(|_| {
+            let a = name(&mut s);
+            let b = name(&mut s);
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let pairs = corpus(2_000);
+    let mut group = c.benchmark_group("levenshtein");
+    group.bench_with_input(BenchmarkId::new("kernel", pairs.len()), &pairs, |b, ps| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (x, y) in ps {
+                acc += distance::levenshtein(black_box(x), black_box(y));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("reference", pairs.len()),
+        &pairs,
+        |b, ps| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (x, y) in ps {
+                    acc += distance::reference::levenshtein(black_box(x), black_box(y));
+                }
+                black_box(acc)
+            });
+        },
+    );
+    group.finish();
+}
+
+fn bench_jaro_winkler(c: &mut Criterion) {
+    let pairs = corpus(2_000);
+    let mut group = c.benchmark_group("jaro_winkler");
+    group.bench_with_input(BenchmarkId::new("kernel", pairs.len()), &pairs, |b, ps| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (x, y) in ps {
+                acc += distance::jaro_winkler(black_box(x), black_box(y));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("reference", pairs.len()),
+        &pairs,
+        |b, ps| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for (x, y) in ps {
+                    acc += distance::reference::jaro_winkler(black_box(x), black_box(y));
+                }
+                black_box(acc)
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_levenshtein, bench_jaro_winkler);
+criterion_main!(benches);

@@ -51,6 +51,11 @@ pub struct ProgramBench {
     /// Whether the planned and unplanned runs produced identical
     /// databases (every relation, every tuple).
     pub outputs_match: bool,
+    /// True when planning made the run *slower* (`speedup < 1.0`). The
+    /// validator accepts such documents but warns loudly, so a planner
+    /// regression is visible in CI logs and in the committed artifact
+    /// instead of hiding inside a raw float.
+    pub regression: bool,
 }
 
 /// Benchmark workload knobs.
@@ -76,7 +81,7 @@ fn programs() -> [(&'static str, &'static str, Option<f64>); 3] {
     ]
 }
 
-fn fresh_db(g: &CompanyGraph, threshold: Option<f64>) -> Database {
+pub(crate) fn fresh_db(g: &CompanyGraph, threshold: Option<f64>) -> Database {
     let mut db = Database::new();
     load_facts(g, &mut db);
     if let Some(t) = threshold {
@@ -88,7 +93,7 @@ fn fresh_db(g: &CompanyGraph, threshold: Option<f64>) -> Database {
 
 /// Full-database dump: every predicate's sorted tuples, sorted by name.
 /// Used to assert the planned and unplanned runs are indistinguishable.
-fn db_snapshot(db: &Database) -> Vec<(String, Vec<String>)> {
+pub(crate) fn db_snapshot(db: &Database) -> Vec<(String, Vec<String>)> {
     let mut snap: Vec<(String, Vec<String>)> = (0..db.pred_count() as u32)
         .map(|p| {
             let name = db.pred_name(p).to_owned();
@@ -131,7 +136,7 @@ fn one_run(
 /// `(best_a, best_b, stats, db_a, db_b)`; stats and databases come from
 /// the last repeat (identical across repeats — the engine is
 /// deterministic).
-fn timed_pair(
+pub(crate) fn timed_pair(
     a: &Engine,
     b: &Engine,
     g: &CompanyGraph,
@@ -179,16 +184,18 @@ pub fn run_datalog_bench(cfg: &BenchConfig) -> Vec<ProgramBench> {
 
         let outputs_match = db_snapshot(&db_on) == db_snapshot(&db_off);
         let (peak_relation_rows, total_facts) = relation_profile(&db_on);
+        let speedup = plan_off_secs / plan_on_secs.max(1e-12);
         rows.push(ProgramBench {
             name,
             plan_on_secs,
             plan_off_secs,
-            speedup: plan_off_secs / plan_on_secs.max(1e-12),
+            speedup,
             facts_derived: stats.derived,
             rounds: stats.rounds,
             peak_relation_rows,
             total_facts,
             outputs_match,
+            regression: speedup < 1.0,
         });
     }
     rows
@@ -240,7 +247,8 @@ pub fn render_bench_json(cfg: &BenchConfig, rows: &[ProgramBench]) -> String {
             r.peak_relation_rows
         ));
         s.push_str(&format!("      \"total_facts\": {},\n", r.total_facts));
-        s.push_str(&format!("      \"outputs_match\": {}\n", r.outputs_match));
+        s.push_str(&format!("      \"outputs_match\": {},\n", r.outputs_match));
+        s.push_str(&format!("      \"regression\": {}\n", r.regression));
         s.push_str(if i + 1 == rows.len() {
             "    }\n"
         } else {
@@ -330,6 +338,31 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             }
             _ => return Err(ctx("missing boolean field 'outputs_match'".into())),
         }
+        // A regression is legitimate data, not a schema violation — the
+        // flag exists so the slowdown is visible rather than buried in a
+        // float. Warn loudly, accept the document.
+        match p.get("regression") {
+            Some(JVal::Bool(flagged)) => {
+                let speedup = want_num(p, "speedup").map_err(&ctx)?;
+                if *flagged != (speedup < 1.0) {
+                    return Err(ctx(format!(
+                        "field 'regression' ({flagged}) disagrees with speedup {speedup}"
+                    )));
+                }
+                if *flagged {
+                    let name = match p.get("name") {
+                        Some(JVal::Str(s)) => s.clone(),
+                        _ => format!("programs[{i}]"),
+                    };
+                    eprintln!(
+                        "warning: {name}: planning made the run slower \
+                         (speedup {speedup:.3} < 1.0) — regression flagged"
+                    );
+                }
+            }
+            Some(_) => return Err(ctx("field 'regression' must be a boolean".into())),
+            None => return Err(ctx("missing boolean field 'regression'".into())),
+        }
     }
     Ok(())
 }
@@ -349,6 +382,7 @@ mod tests {
             peak_relation_rows: 99,
             total_facts: 400,
             outputs_match: true,
+            regression: false,
         }]
     }
 
@@ -386,6 +420,26 @@ mod tests {
         rows.clear();
         let bad = render_bench_json(&sample_cfg(), &rows);
         assert!(validate_bench_json(&bad).is_err());
+    }
+
+    #[test]
+    fn regression_flag_warns_but_validates() {
+        // A slower-with-planning row is data, not corruption: the
+        // document must validate as long as the flag agrees with the
+        // measured speedup.
+        let mut rows = sample_rows();
+        rows[0].plan_on_secs = 1.0;
+        rows[0].plan_off_secs = 0.9;
+        rows[0].speedup = 0.9;
+        rows[0].regression = true;
+        let text = render_bench_json(&sample_cfg(), &rows);
+        validate_bench_json(&text).expect("regression documents are valid");
+        // But the flag may not contradict the float.
+        let lying = text.replace("\"regression\": true", "\"regression\": false");
+        assert!(validate_bench_json(&lying).is_err());
+        let missing = text.replace("      \"regression\": true\n", "");
+        let missing = missing.replace("\"outputs_match\": true,", "\"outputs_match\": true");
+        assert!(validate_bench_json(&missing).is_err());
     }
 
     #[test]

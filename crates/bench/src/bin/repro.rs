@@ -1,8 +1,8 @@
 //! Reproduction driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations|incr|magic|serve]
-//!       [--scale small|full] [--threads N] [--bench-json [PATH]]
+//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations|incr|magic|serve|compile]
+//!       [--scale small|full] [--threads N] [--bench-json [PATH]] [--no-compile]
 //! ```
 //!
 //! `small` (default) finishes in a few minutes; `full` pushes the sweeps
@@ -21,15 +21,26 @@
 //! `--exp serve` it drives a live `vadalink serve` instance over TCP with
 //! a closed-loop zipfian reader workload across reader/writer mixes
 //! (`BENCH_serve.json`, schema `vadalink-bench-serve/1`: sustained qps,
-//! p50/p99 latency, epoch-swap stall). All documents are validated
-//! in-process before they are written, so a malformed artifact fails
-//! loudly — CI smokes every path in release mode.
+//! p50/p99 latency, epoch-swap stall); with `--exp compile` it benchmarks
+//! closure-chain compiled execution vs the interpreted step machine plus
+//! the linkage distance kernels vs their scalar references
+//! (`BENCH_compile.json`, schema `vadalink-bench-compile/1`). All
+//! documents are validated in-process before they are written, so a
+//! malformed artifact fails loudly — CI smokes every path in release
+//! mode.
+//!
+//! `--no-compile` disables closure-chain compiled execution process-wide
+//! (every engine this run constructs falls back to the interpreted step
+//! machine) — the escape hatch if a compiled-execution bug is suspected.
 //!
 //! `--exp incr` without `--bench-json` prints the same sweep as a table:
 //! per batch size, incremental update latency, full-recompute time, the
 //! speedup, and the number of changed facts.
 
 use bench::bench_json::{render_bench_json, run_datalog_bench, validate_bench_json, BenchConfig};
+use bench::compile_bench::{
+    render_compile_json, run_compile_bench, run_kernel_bench, validate_compile_json, CompileConfig,
+};
 use bench::experiments::*;
 use bench::incr_bench::{render_incr_json, run_incr_bench, validate_incr_json, IncrConfig};
 use bench::magic_bench::{render_magic_json, run_magic_bench, validate_magic_json, MagicConfig};
@@ -79,6 +90,9 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
                 par::set_threads(n);
+            }
+            "--no-compile" => {
+                datalog::set_compile_default(false);
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -324,6 +338,76 @@ fn run_serve(json_path: Option<&str>, full: bool) {
     }
 }
 
+/// Runs the compiled-vs-interpreted sweep (programs + linkage kernels);
+/// optionally writes + validates the `BENCH_compile.json` artifact. Exits
+/// non-zero on schema or identity failure.
+fn run_compile(json_path: Option<&str>, full: bool) {
+    // Full scale sits in the join-dominated regime where the per-tuple
+    // dispatch savings dominate shared costs (generation, canonical sort,
+    // insertion); the quick scale is a CI-friendly smoke of the same sweep.
+    let cfg = CompileConfig {
+        persons: if full { 15_000 } else { 1_500 },
+        seed: SEED,
+        threads: 1,
+        repeats: 5,
+        kernel_pairs: if full { 200_000 } else { 50_000 },
+    };
+    println!(
+        "Compiled execution bench: bundled programs, closure-chain compiled vs \
+         interpreted ({} persons, {} repeats, 1 thread; planning on in both modes)",
+        cfg.persons, cfg.repeats
+    );
+    let programs = run_compile_bench(&cfg);
+    println!(
+        "{:>18} {:>12} {:>14} {:>9} {:>9} {:>8}",
+        "program", "compiled_s", "interpreted_s", "speedup", "derived", "rounds"
+    );
+    for r in &programs {
+        println!(
+            "{:>18} {:>12.4} {:>14.4} {:>8.2}x {:>9} {:>8}",
+            r.name, r.compiled_secs, r.interpreted_secs, r.speedup, r.facts_derived, r.rounds
+        );
+        assert!(r.outputs_match, "{}: compiled run diverged", r.name);
+    }
+    println!(
+        "\nLinkage kernel bench: blocked/bit-parallel distance kernels vs scalar \
+         references ({} name pairs)",
+        cfg.kernel_pairs
+    );
+    let kernels = run_kernel_bench(&cfg);
+    println!(
+        "{:>14} {:>12} {:>15} {:>9} {:>9}",
+        "kernel", "kernel_ns", "reference_ns", "speedup", "pairs"
+    );
+    for k in &kernels {
+        println!(
+            "{:>14} {:>12.1} {:>15.1} {:>8.2}x {:>9}",
+            k.name, k.kernel_ns_per_pair, k.reference_ns_per_pair, k.speedup, k.pairs
+        );
+        assert!(
+            k.outputs_match,
+            "{}: kernel diverged from reference",
+            k.name
+        );
+    }
+    println!("acceptance: close_link >= 1.5x compiled, kernels beat references (EXPERIMENTS.md).");
+    if let Some(path) = json_path {
+        let text = render_compile_json(&cfg, &programs, &kernels);
+        if let Err(e) = validate_compile_json(&text) {
+            eprintln!("generated benchmark JSON failed schema validation: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\nwrote {path} (schema {} — validated)",
+            bench::compile_bench::COMPILE_SCHEMA
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.bench_json {
@@ -336,6 +420,9 @@ fn main() {
         } else if args.exp == "serve" {
             let path = path.as_deref().unwrap_or("BENCH_serve.json");
             run_serve(Some(path), args.full);
+        } else if args.exp == "compile" {
+            let path = path.as_deref().unwrap_or("BENCH_compile.json");
+            run_compile(Some(path), args.full);
         } else {
             let path = path.as_deref().unwrap_or("BENCH_datalog.json");
             run_bench_json(path, args.full);
@@ -471,6 +558,11 @@ fn main() {
 
     if args.exp == "serve" {
         run_serve(None, args.full);
+        println!();
+    }
+
+    if args.exp == "compile" {
+        run_compile(None, args.full);
         println!();
     }
 }

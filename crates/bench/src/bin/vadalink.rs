@@ -99,6 +99,8 @@ subcommands:
 
 global options:
   --threads N   pin the worker-thread count
+  --no-compile  disable closure-chain compiled execution (interpreted
+                step machine; escape hatch — results are identical)
   -h, --help    print this help and exit
 ";
 
@@ -174,6 +176,7 @@ fn parse_opts() -> Result<Opts, String> {
                 }
                 par::set_threads(n);
             }
+            "--no-compile" => datalog::set_compile_default(false),
             other if !other.starts_with('-') || other == "-" => {
                 // Positionals in order: PROGRAM first, then (for `query`)
                 // the goal.

@@ -1,0 +1,539 @@
+//! Compiled-execution benchmark: `repro --exp compile`.
+//!
+//! Two families of measurements back the compiled-execution claim, and
+//! both land in one `BENCH_compile.json` artifact (schema
+//! [`COMPILE_SCHEMA`]):
+//!
+//! * **Programs** — the bundled Vadalog programs run over a generated
+//!   company graph twice per program, closure-chain compilation on and
+//!   off (cost planning stays on in both, so the delta isolates the
+//!   executor). The harness re-uses the plan benchmark's interleaved
+//!   `timed_pair` discipline and asserts the two database images are
+//!   identical before reporting a speedup.
+//! * **Kernels** — the `linkage::distance` hot functions timed against
+//!   their scalar [`linkage::distance::reference`] twins over a fixed
+//!   corpus of generated name pairs (the Fig. 4a inner loop), reported
+//!   as ns/pair. Equality of every output is checked while timing.
+//!
+//! The validator enforces the schema and internal consistency (matched
+//! outputs, flags agreeing with floats); like the plan benchmark it
+//! *warns* on regressions rather than failing, so a slow machine cannot
+//! turn a measurement into a build break.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use datalog::{Engine, Program};
+use gen::company::{generate, CompanyGraphConfig};
+use linkage::distance;
+use vada_link::model::CompanyGraph;
+use vada_link::programs::{CLOSELINK_PROGRAM, CONTROL_PROGRAM, GENERIC_PIPELINE_PROGRAM};
+
+use crate::bench_json::{db_snapshot, esc, num, parse_json, timed_pair, want_num, JVal};
+
+/// Schema tag written into — and demanded from — every compile-bench
+/// document.
+pub const COMPILE_SCHEMA: &str = "vadalink-bench-compile/1";
+
+/// Close-link threshold used for the benchmark run (the paper's default).
+const CLOSELINK_THRESHOLD: f64 = 0.2;
+
+/// Measurements for one bundled program, compiled vs interpreted.
+#[derive(Debug, Clone)]
+pub struct CompileProgramBench {
+    /// Program name (`control`, `close_link`, `generic_pipeline`).
+    pub name: &'static str,
+    /// Best-of-`repeats` fixpoint wall time with closure-chain compiled
+    /// execution (planning on in both modes).
+    pub compiled_secs: f64,
+    /// Best-of-`repeats` fixpoint wall time with the interpreted step
+    /// machine.
+    pub interpreted_secs: f64,
+    /// `interpreted_secs / compiled_secs` — how much compilation buys.
+    pub speedup: f64,
+    /// Facts derived by the fixpoint (identical across modes).
+    pub facts_derived: usize,
+    /// Semi-naive rounds across strata (identical across modes).
+    pub rounds: usize,
+    /// Whether the compiled and interpreted runs produced identical
+    /// databases (every relation, every tuple).
+    pub outputs_match: bool,
+    /// True when compilation made the run slower (`speedup < 1.0`).
+    pub regression: bool,
+}
+
+/// Measurements for one linkage distance kernel, fast path vs scalar
+/// reference, over the same pair corpus.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// Kernel name (`levenshtein`, `jaro_winkler`).
+    pub name: &'static str,
+    /// Best-of-`repeats` nanoseconds per pair for the public kernel.
+    pub kernel_ns_per_pair: f64,
+    /// Best-of-`repeats` nanoseconds per pair for the scalar reference.
+    pub reference_ns_per_pair: f64,
+    /// `reference_ns_per_pair / kernel_ns_per_pair`.
+    pub speedup: f64,
+    /// Pairs in the corpus.
+    pub pairs: usize,
+    /// Whether kernel and reference produced identical outputs on every
+    /// pair (checked exactly, bit-level for floats).
+    pub outputs_match: bool,
+    /// True when the kernel was slower than the reference.
+    pub regression: bool,
+}
+
+/// Benchmark workload knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileConfig {
+    /// Person nodes in the generated company graph (companies = half).
+    pub persons: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Engine worker threads (1 = sequential reference path).
+    pub threads: usize,
+    /// Timing repeats per mode; the minimum is reported.
+    pub repeats: usize,
+    /// Name pairs in the kernel corpus.
+    pub kernel_pairs: usize,
+}
+
+/// The bundled programs the benchmark exercises, close-link with its
+/// threshold fact.
+fn programs() -> [(&'static str, &'static str, Option<f64>); 3] {
+    [
+        ("control", CONTROL_PROGRAM, None),
+        ("close_link", CLOSELINK_PROGRAM, Some(CLOSELINK_THRESHOLD)),
+        ("generic_pipeline", GENERIC_PIPELINE_PROGRAM, None),
+    ]
+}
+
+/// Runs every bundled program with compilation on and off (planning on in
+/// both modes) at `cfg.threads`, returning one row per program.
+pub fn run_compile_bench(cfg: &CompileConfig) -> Vec<CompileProgramBench> {
+    let out = generate(&CompanyGraphConfig {
+        persons: cfg.persons,
+        companies: cfg.persons / 2,
+        seed: cfg.seed,
+        ..Default::default()
+    });
+    let g = CompanyGraph::new(out.graph);
+
+    let mut rows = Vec::new();
+    for (name, src, threshold) in programs() {
+        let program = Program::parse(src).expect("bundled program parses");
+        let mut compiled = Engine::new(&program).expect("bundled program compiles");
+        compiled.options_mut().threads = cfg.threads;
+        compiled.options_mut().compile = true;
+        let mut interpreted = Engine::new(&program).expect("bundled program compiles");
+        interpreted.options_mut().threads = cfg.threads;
+        interpreted.options_mut().compile = false;
+
+        let (compiled_secs, interpreted_secs, stats, db_c, db_i) =
+            timed_pair(&compiled, &interpreted, &g, threshold, cfg.repeats);
+
+        let outputs_match = db_snapshot(&db_c) == db_snapshot(&db_i);
+        let speedup = interpreted_secs / compiled_secs.max(1e-12);
+        rows.push(CompileProgramBench {
+            name,
+            compiled_secs,
+            interpreted_secs,
+            speedup,
+            facts_derived: stats.derived,
+            rounds: stats.rounds,
+            outputs_match,
+            regression: speedup < 1.0,
+        });
+    }
+    rows
+}
+
+/// Deterministic name-pair corpus shaped like the record-linkage inner
+/// loop: short, low-alphabet-entropy person/company names where most
+/// pairs share characters (the regime the blocked kernels target).
+fn kernel_corpus(seed: u64, pairs: usize) -> Vec<(String, String)> {
+    const SYL: &[&str] = &[
+        "ros", "si", "bian", "chi", "fer", "ra", "ri", "esposi", "to", "rus", "so", "roma", "no",
+        "co", "lom", "bo", "mar", "i", "ni", "gal", "lo",
+    ];
+    fn next(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    fn name(s: &mut u64) -> String {
+        let mut out = String::new();
+        let syllables = 2 + next(s) % 3;
+        for _ in 0..syllables {
+            out.push_str(SYL[(next(s) % SYL.len() as u64) as usize]);
+        }
+        out
+    }
+    let mut s = seed;
+    (0..pairs)
+        .map(|_| {
+            let a = name(&mut s);
+            // Half the pairs are near-duplicates (one edit), half
+            // independent — linkage scoring sees both.
+            let b = if next(&mut s).is_multiple_of(2) {
+                let mut b: Vec<u8> = a.bytes().collect();
+                let i = (next(&mut s) % b.len() as u64) as usize;
+                b[i] = b"aeiou"[(next(&mut s) % 5) as usize];
+                String::from_utf8(b).expect("ascii edit")
+            } else {
+                name(&mut s)
+            };
+            (a, b)
+        })
+        .collect()
+}
+
+/// Times one function over the corpus: `repeats` passes, best ns/pair,
+/// folding every output into a checksum so the work cannot be elided.
+fn time_over<F: Fn(&str, &str) -> f64>(
+    corpus: &[(String, String)],
+    repeats: usize,
+    f: F,
+) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0f64;
+    for _ in 0..repeats.max(1) {
+        sum = 0.0;
+        let start = Instant::now();
+        for (a, b) in corpus {
+            sum += f(black_box(a), black_box(b));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / corpus.len().max(1) as f64;
+        best = best.min(ns);
+    }
+    (best, sum)
+}
+
+/// Benchmarks the linkage distance kernels against their scalar
+/// references over a generated name-pair corpus.
+pub fn run_kernel_bench(cfg: &CompileConfig) -> Vec<KernelBench> {
+    let corpus = kernel_corpus(cfg.seed ^ 0x5EED, cfg.kernel_pairs);
+    // Exact-equality sweep first, independent of timing.
+    let lev_match = corpus.iter().all(|(a, b)| {
+        distance::levenshtein(a, b) == distance::reference::levenshtein(a, b)
+            && distance::normalized_levenshtein(a, b).to_bits()
+                == distance::reference::normalized_levenshtein(a, b).to_bits()
+    });
+    let jw_match = corpus.iter().all(|(a, b)| {
+        distance::jaro_winkler(a, b).to_bits() == distance::reference::jaro_winkler(a, b).to_bits()
+    });
+
+    let mut rows = Vec::new();
+    for (name, matched, kernel, reference) in [
+        (
+            "levenshtein",
+            lev_match,
+            (|a: &str, b: &str| distance::levenshtein(a, b) as f64) as fn(&str, &str) -> f64,
+            (|a: &str, b: &str| distance::reference::levenshtein(a, b) as f64)
+                as fn(&str, &str) -> f64,
+        ),
+        (
+            "jaro_winkler",
+            jw_match,
+            distance::jaro_winkler as fn(&str, &str) -> f64,
+            distance::reference::jaro_winkler as fn(&str, &str) -> f64,
+        ),
+    ] {
+        // Warm both paths, then interleave timed passes.
+        let _ = time_over(&corpus, 1, kernel);
+        let _ = time_over(&corpus, 1, reference);
+        let (kernel_ns, ksum) = time_over(&corpus, cfg.repeats, kernel);
+        let (reference_ns, rsum) = time_over(&corpus, cfg.repeats, reference);
+        let speedup = reference_ns / kernel_ns.max(1e-9);
+        rows.push(KernelBench {
+            name,
+            kernel_ns_per_pair: kernel_ns,
+            reference_ns_per_pair: reference_ns,
+            speedup,
+            pairs: corpus.len(),
+            outputs_match: matched && ksum.to_bits() == rsum.to_bits(),
+            regression: speedup < 1.0,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Renders the compile benchmark document.
+pub fn render_compile_json(
+    cfg: &CompileConfig,
+    programs: &[CompileProgramBench],
+    kernels: &[KernelBench],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{}\",\n", esc(COMPILE_SCHEMA)));
+    s.push_str(&format!("  \"persons\": {},\n", cfg.persons));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    s.push_str(&format!("  \"repeats\": {},\n", cfg.repeats));
+    s.push_str(&format!("  \"kernel_pairs\": {},\n", cfg.kernel_pairs));
+    s.push_str("  \"programs\": [\n");
+    for (i, r) in programs.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", esc(r.name)));
+        s.push_str(&format!(
+            "      \"compiled_secs\": {},\n",
+            num(r.compiled_secs)
+        ));
+        s.push_str(&format!(
+            "      \"interpreted_secs\": {},\n",
+            num(r.interpreted_secs)
+        ));
+        s.push_str(&format!("      \"speedup\": {},\n", num(r.speedup)));
+        s.push_str(&format!("      \"facts_derived\": {},\n", r.facts_derived));
+        s.push_str(&format!("      \"rounds\": {},\n", r.rounds));
+        s.push_str(&format!("      \"outputs_match\": {},\n", r.outputs_match));
+        s.push_str(&format!("      \"regression\": {}\n", r.regression));
+        s.push_str(if i + 1 == programs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", esc(k.name)));
+        s.push_str(&format!(
+            "      \"kernel_ns_per_pair\": {},\n",
+            num(k.kernel_ns_per_pair)
+        ));
+        s.push_str(&format!(
+            "      \"reference_ns_per_pair\": {},\n",
+            num(k.reference_ns_per_pair)
+        ));
+        s.push_str(&format!("      \"speedup\": {},\n", num(k.speedup)));
+        s.push_str(&format!("      \"pairs\": {},\n", k.pairs));
+        s.push_str(&format!("      \"outputs_match\": {},\n", k.outputs_match));
+        s.push_str(&format!("      \"regression\": {}\n", k.regression));
+        s.push_str(if i + 1 == kernels.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+/// Shared row checks: positive timings, matched outputs, regression flag
+/// agreeing with the measured speedup (warn when genuinely flagged).
+fn check_row(
+    p: &JVal,
+    ctx: &dyn Fn(String) -> String,
+    time_fields: [&str; 2],
+) -> Result<(), String> {
+    let name = match p.get("name") {
+        Some(JVal::Str(s)) if !s.is_empty() => s.clone(),
+        _ => return Err(ctx("missing non-empty string field 'name'".into())),
+    };
+    for field in [time_fields[0], time_fields[1], "speedup"] {
+        let v = want_num(p, field).map_err(ctx)?;
+        if v <= 0.0 || v.is_nan() {
+            return Err(ctx(format!("field '{field}' must be > 0")));
+        }
+    }
+    match p.get("outputs_match") {
+        Some(JVal::Bool(true)) => {}
+        Some(JVal::Bool(false)) => {
+            return Err(ctx(format!(
+                "{name}: outputs_match is false — compiled path changed the result"
+            )))
+        }
+        _ => return Err(ctx("missing boolean field 'outputs_match'".into())),
+    }
+    match p.get("regression") {
+        Some(JVal::Bool(flagged)) => {
+            let speedup = want_num(p, "speedup").map_err(ctx)?;
+            if *flagged != (speedup < 1.0) {
+                return Err(ctx(format!(
+                    "field 'regression' ({flagged}) disagrees with speedup {speedup}"
+                )));
+            }
+            if *flagged {
+                eprintln!(
+                    "warning: {name}: compiled path slower than baseline \
+                     (speedup {speedup:.3} < 1.0) — regression flagged"
+                );
+            }
+        }
+        _ => return Err(ctx("missing boolean field 'regression'".into())),
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_compile.json` document against the
+/// `vadalink-bench-compile/1` schema.
+pub fn validate_compile_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema") {
+        Some(JVal::Str(s)) if s == COMPILE_SCHEMA => {}
+        Some(JVal::Str(s)) => return Err(format!("unknown schema '{s}'")),
+        _ => return Err("missing string field 'schema'".into()),
+    }
+    for field in ["persons", "seed", "threads", "repeats", "kernel_pairs"] {
+        let v = want_num(&doc, field)?;
+        if v < 1.0 {
+            return Err(format!("field '{field}' must be >= 1"));
+        }
+    }
+    let programs = match doc.get("programs") {
+        Some(JVal::Arr(items)) => items,
+        Some(_) => return Err("field 'programs' must be an array".into()),
+        None => return Err("missing field 'programs'".into()),
+    };
+    if programs.is_empty() {
+        return Err("'programs' must not be empty".into());
+    }
+    for (i, p) in programs.iter().enumerate() {
+        let ctx = |msg: String| format!("programs[{i}]: {msg}");
+        check_row(p, &ctx, ["compiled_secs", "interpreted_secs"])?;
+        for field in ["facts_derived", "rounds"] {
+            let v = want_num(p, field).map_err(ctx)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(ctx(format!(
+                    "field '{field}' must be a non-negative integer"
+                )));
+            }
+        }
+    }
+    let kernels = match doc.get("kernels") {
+        Some(JVal::Arr(items)) => items,
+        Some(_) => return Err("field 'kernels' must be an array".into()),
+        None => return Err("missing field 'kernels'".into()),
+    };
+    if kernels.is_empty() {
+        return Err("'kernels' must not be empty".into());
+    }
+    for (i, k) in kernels.iter().enumerate() {
+        let ctx = |msg: String| format!("kernels[{i}]: {msg}");
+        check_row(k, &ctx, ["kernel_ns_per_pair", "reference_ns_per_pair"])?;
+        let pairs = want_num(k, "pairs").map_err(ctx)?;
+        if pairs < 1.0 || pairs.fract() != 0.0 {
+            return Err(ctx("field 'pairs' must be a positive integer".into()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cfg() -> CompileConfig {
+        CompileConfig {
+            persons: 100,
+            seed: 1,
+            threads: 1,
+            repeats: 1,
+            kernel_pairs: 50,
+        }
+    }
+
+    fn sample_programs() -> Vec<CompileProgramBench> {
+        vec![CompileProgramBench {
+            name: "close_link",
+            compiled_secs: 0.5,
+            interpreted_secs: 1.0,
+            speedup: 2.0,
+            facts_derived: 123,
+            rounds: 7,
+            outputs_match: true,
+            regression: false,
+        }]
+    }
+
+    fn sample_kernels() -> Vec<KernelBench> {
+        vec![KernelBench {
+            name: "levenshtein",
+            kernel_ns_per_pair: 40.0,
+            reference_ns_per_pair: 200.0,
+            speedup: 5.0,
+            pairs: 50,
+            outputs_match: true,
+            regression: false,
+        }]
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let text = render_compile_json(&sample_cfg(), &sample_programs(), &sample_kernels());
+        validate_compile_json(&text).expect("writer output must satisfy the schema");
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let good = render_compile_json(&sample_cfg(), &sample_programs(), &sample_kernels());
+        assert!(validate_compile_json("not json").is_err());
+        let bad = good.replace(COMPILE_SCHEMA, "something-else/9");
+        assert!(validate_compile_json(&bad).is_err());
+        let bad = good.replace("\"compiled_secs\"", "\"compile_secs\"");
+        assert!(validate_compile_json(&bad).is_err());
+        // A divergent compiled run is a hard failure, program or kernel.
+        let bad = good.replacen("\"outputs_match\": true", "\"outputs_match\": false", 1);
+        assert!(validate_compile_json(&bad).is_err());
+        // Regression flag contradicting the speedup is a hard failure.
+        let bad = good.replacen("\"regression\": false", "\"regression\": true", 1);
+        assert!(validate_compile_json(&bad).is_err());
+        // Empty sections are schema violations.
+        let bad = render_compile_json(&sample_cfg(), &[], &sample_kernels());
+        assert!(validate_compile_json(&bad).is_err());
+        let bad = render_compile_json(&sample_cfg(), &sample_programs(), &[]);
+        assert!(validate_compile_json(&bad).is_err());
+    }
+
+    #[test]
+    fn kernel_bench_outputs_match_on_the_corpus() {
+        let cfg = CompileConfig {
+            kernel_pairs: 400,
+            ..sample_cfg()
+        };
+        let rows = run_kernel_bench(&cfg);
+        assert_eq!(rows.len(), 2);
+        for k in &rows {
+            assert!(
+                k.outputs_match,
+                "{}: kernel diverged from reference",
+                k.name
+            );
+            assert!(k.kernel_ns_per_pair > 0.0 && k.reference_ns_per_pair > 0.0);
+        }
+    }
+
+    #[test]
+    fn compile_bench_runs_end_to_end_on_a_tiny_graph() {
+        let cfg = CompileConfig {
+            persons: 60,
+            seed: 0xEDB7,
+            threads: 1,
+            repeats: 1,
+            kernel_pairs: 50,
+        };
+        let programs = run_compile_bench(&cfg);
+        assert_eq!(programs.len(), 3);
+        for r in &programs {
+            assert!(r.outputs_match, "{}: compiled diverged", r.name);
+            assert!(r.compiled_secs > 0.0 && r.interpreted_secs > 0.0);
+        }
+        let kernels = run_kernel_bench(&cfg);
+        let text = render_compile_json(&cfg, &programs, &kernels);
+        validate_compile_json(&text).expect("real bench output must validate");
+    }
+}

@@ -17,6 +17,7 @@
 //! benches in `benches/` wrap representative points of each series.
 
 pub mod bench_json;
+pub mod compile_bench;
 pub mod experiments;
 pub mod incr_bench;
 pub mod magic_bench;

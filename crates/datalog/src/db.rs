@@ -121,6 +121,74 @@ pub struct ProvEntry {
     pub parents: Vec<(u32, u32)>,
 }
 
+/// Frozen column-major image of a relation: one contiguous strip per
+/// column, plus CSR-style adjacency lists for the single-column probe
+/// keys the compiled plans use. Built by [`Relation::freeze_columnar`]
+/// for relations that are *stable* during a stratum (no rule head writes
+/// them), shared by `Arc` so cloning a database stays a refcount bump,
+/// and invalidated by any mutation.
+#[derive(Debug)]
+pub(crate) struct Columnar {
+    /// `cols[c][row]` — per-column strips; scans touch only the columns
+    /// their unification ops actually read, over contiguous memory.
+    cols: Vec<Box<[Const]>>,
+    /// Single-column adjacency: mask (one bit set) → CSR over that column.
+    csr: FxHashMap<u64, Csr>,
+}
+
+impl Columnar {
+    /// The strip of column `c`.
+    pub(crate) fn col(&self, c: usize) -> &[Const] {
+        &self.cols[c]
+    }
+}
+
+/// Compressed sparse rows over one column: distinct keys (sorted by the
+/// total [`Const`] order), per-key offsets, and a flat row array grouped
+/// by key. Within a key, rows keep insertion order — the same enumeration
+/// order a hash index produces, which the byte-identity contract needs.
+#[derive(Debug)]
+pub(crate) struct Csr {
+    keys: Vec<Const>,
+    offsets: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl Csr {
+    fn build(col: &[Const]) -> Csr {
+        let mut pairs: Vec<(Const, u32)> = col.iter().copied().zip(0u32..).collect();
+        // Stable sort: rows arrive in increasing row id, so equal keys
+        // keep insertion order — identical to a hash index's push order.
+        pairs.sort_by_key(|&(key, _)| key);
+        let mut keys = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut rows = Vec::with_capacity(pairs.len());
+        for (key, row) in pairs {
+            if keys.last() != Some(&key) {
+                if !keys.is_empty() {
+                    offsets.push(rows.len() as u32);
+                }
+                keys.push(key);
+            }
+            rows.push(row);
+        }
+        offsets.push(rows.len() as u32);
+        Csr {
+            keys,
+            offsets,
+            rows,
+        }
+    }
+
+    /// Rows whose column value equals `key`, in insertion order.
+    pub(crate) fn rows_for(&self, key: Const) -> &[u32] {
+        match self.keys.binary_search(&key) {
+            Ok(i) => &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+}
+
 /// A single relation: deduplicated tuples plus hash indexes.
 #[derive(Default, Debug, Clone)]
 pub struct Relation {
@@ -130,6 +198,9 @@ pub struct Relation {
     seen: FxHashMap<Tuple, u32>,
     /// Registered indexes: column bitmask → key → rows.
     indexes: FxHashMap<u64, FxHashMap<Tuple, Vec<u32>>>,
+    /// Frozen columnar image (stable relations only); `None` after any
+    /// mutation. See [`Columnar`].
+    columnar: Option<Arc<Columnar>>,
     /// Optional provenance parallel to `tuples`.
     prov: Vec<Option<ProvEntry>>,
     /// Whether provenance is being recorded.
@@ -198,11 +269,61 @@ impl Relation {
             .unwrap_or(&EMPTY)
     }
 
+    /// Freezes a columnar image of the current contents: per-column
+    /// strips, plus a CSR adjacency list for every single-column mask in
+    /// `csr_masks`. Idempotent while the contents are unchanged and the
+    /// requested masks are covered; any mutation drops the image.
+    pub(crate) fn freeze_columnar(&mut self, csr_masks: &[u64]) {
+        if let Some(c) = &self.columnar {
+            if csr_masks.iter().all(|m| c.csr.contains_key(m)) {
+                return;
+            }
+        }
+        let arity = self.tuples.first().map_or(0, |t| t.len());
+        let mut cols: Vec<Box<[Const]>> = Vec::with_capacity(arity);
+        for c in 0..arity {
+            cols.push(self.tuples.iter().map(|t| t[c]).collect());
+        }
+        let mut csr = FxHashMap::default();
+        for &mask in csr_masks {
+            debug_assert_eq!(mask.count_ones(), 1, "CSR masks are single-column");
+            let c = mask.trailing_zeros() as usize;
+            // Out-of-range columns (empty relation) get an empty CSR so a
+            // requested mask always answers — the hash index it replaces
+            // may never have been registered.
+            let csr_for = cols
+                .get(c)
+                .map_or_else(|| Csr::build(&[]), |s| Csr::build(s));
+            csr.insert(mask, csr_for);
+        }
+        self.columnar = Some(Arc::new(Columnar { cols, csr }));
+    }
+
+    /// The frozen columnar image, if current.
+    pub(crate) fn columnar(&self) -> Option<&Columnar> {
+        self.columnar.as_deref()
+    }
+
+    /// Rows whose `mask`-projection equals `key`, preferring the frozen
+    /// CSR for single-column keys and falling back to the hash index
+    /// (which must then be registered).
+    pub(crate) fn lookup_rows(&self, mask: u64, key: &[Const]) -> &[u32] {
+        if key.len() == 1 {
+            if let Some(c) = &self.columnar {
+                if let Some(csr) = c.csr.get(&mask) {
+                    return csr.rows_for(key[0]);
+                }
+            }
+        }
+        self.probe(mask, key)
+    }
+
     /// Inserts a tuple; returns its row id and whether it was new.
     pub(crate) fn insert(&mut self, tuple: Tuple, prov: Option<ProvEntry>) -> (u32, bool) {
         if let Some(&row) = self.seen.get(&tuple) {
             return (row, false);
         }
+        self.columnar = None;
         let row = self.tuples.len() as u32;
         for (mask, index) in self.indexes.iter_mut() {
             index.entry(key_of(&tuple, *mask)).or_default().push(row);
@@ -224,6 +345,7 @@ impl Relation {
             return 0;
         }
         let masks: Vec<u64> = self.indexes.keys().copied().collect();
+        self.columnar = None;
         let old_tuples = std::mem::take(&mut self.tuples);
         let mut old_prov = std::mem::take(&mut self.prov);
         self.seen.clear();
@@ -252,6 +374,7 @@ impl Relation {
     /// the least fixpoint, not a derivation).
     pub(crate) fn replace_all(&mut self, rows: Vec<Tuple>) {
         let masks: Vec<u64> = self.indexes.keys().copied().collect();
+        self.columnar = None;
         self.tuples.clear();
         self.seen.clear();
         self.indexes.clear();
@@ -287,8 +410,11 @@ pub(crate) fn key_of(tuple: &[Const], mask: u64) -> Tuple {
 pub struct Database {
     pub(crate) symbols: SymbolTable,
     pub(crate) skolems: SkolemTable,
-    pred_ids: FxHashMap<String, u32>,
-    pred_names: Vec<String>,
+    // `Arc<str>` names: cloning the predicate tables (every scratch copy
+    // and serve-epoch snapshot) bumps refcounts instead of copying the
+    // string bytes. `Arc<str>: Borrow<str>` keeps `&str` lookups working.
+    pred_ids: FxHashMap<Arc<str>, u32>,
+    pred_names: Vec<Arc<str>>,
     arities: Vec<Option<usize>>,
     pub(crate) relations: Vec<Relation>,
 }
@@ -322,7 +448,7 @@ impl Database {
                 .iter()
                 .zip(&self.pred_names)
                 .map(|(r, name)| {
-                    if keep.contains(name) {
+                    if keep.contains(&**name) {
                         r.clone()
                     } else {
                         Relation::default()
@@ -380,8 +506,9 @@ impl Database {
             return id;
         }
         let id = self.pred_names.len() as u32;
-        self.pred_names.push(name.to_owned());
-        self.pred_ids.insert(name.to_owned(), id);
+        let name: Arc<str> = Arc::from(name);
+        self.pred_names.push(name.clone());
+        self.pred_ids.insert(name, id);
         self.arities.push(None);
         self.relations.push(Relation::default());
         id
@@ -775,6 +902,116 @@ mod tests {
         assert_eq!(db.canonical(a), "a");
         // Unknown null ids fall back to the numeric rendering.
         assert_eq!(db.canonical(Const::Null(99)), "_:99");
+    }
+
+    #[test]
+    fn csr_enumeration_matches_probe_enumeration() {
+        // The byte-identity contract: for any key, the frozen CSR must
+        // return exactly the rows the hash index would, in the same
+        // (insertion) order — including duplicate-key and absent-key
+        // shapes, and int/float keys that are Eq-equal via cmp.
+        let mut r = Relation::default();
+        r.register_index(0b01);
+        let rows = [
+            (3, 30),
+            (1, 10),
+            (3, 31),
+            (2, 20),
+            (1, 11),
+            (3, 32),
+            (2, 21),
+        ];
+        for (a, b) in rows {
+            r.insert(vec![Const::Int(a), Const::Int(b)].into(), None);
+        }
+        r.freeze_columnar(&[0b01]);
+        assert!(r.columnar().is_some());
+        for key in [0, 1, 2, 3, 4] {
+            let k = [Const::Int(key)];
+            assert_eq!(
+                r.lookup_rows(0b01, &k),
+                r.probe(0b01, &k),
+                "key {key}: CSR order diverged from hash-index order"
+            );
+        }
+        // Column strips expose the stored values positionally.
+        let col = r.columnar().unwrap().col(0);
+        assert_eq!(col[0], Const::Int(3));
+        assert_eq!(col[3], Const::Int(2));
+    }
+
+    #[test]
+    fn columnar_freeze_is_idempotent_and_extendable() {
+        let mut r = Relation::default();
+        r.register_index(0b01);
+        r.register_index(0b10);
+        r.insert(vec![Const::Int(1), Const::Int(2)].into(), None);
+        r.freeze_columnar(&[0b01]);
+        let first = r.columnar().unwrap() as *const Columnar;
+        // Re-freezing with covered masks keeps the same frozen image.
+        r.freeze_columnar(&[0b01]);
+        assert_eq!(r.columnar().unwrap() as *const Columnar, first);
+        // A new mask forces a rebuild that answers both.
+        r.freeze_columnar(&[0b10]);
+        assert_eq!(r.lookup_rows(0b01, &[Const::Int(1)]), &[0]);
+        assert_eq!(r.lookup_rows(0b10, &[Const::Int(2)]), &[0]);
+    }
+
+    #[test]
+    fn mutation_invalidates_columnar() {
+        let mut r = Relation::default();
+        r.register_index(0b01);
+        r.insert(vec![Const::Int(1), Const::Int(2)].into(), None);
+        r.freeze_columnar(&[0b01]);
+        assert!(r.columnar().is_some());
+        // Insert drops the frozen image; lookups fall back to the live
+        // hash index and see the new row.
+        r.insert(vec![Const::Int(1), Const::Int(3)].into(), None);
+        assert!(r.columnar().is_none());
+        assert_eq!(r.lookup_rows(0b01, &[Const::Int(1)]), &[0, 1]);
+        // remove_tuples and replace_all invalidate too.
+        r.freeze_columnar(&[0b01]);
+        let mut del = crate::fx::FxHashSet::default();
+        del.insert(Tuple::from(&[Const::Int(1), Const::Int(2)][..]));
+        r.remove_tuples(&del);
+        assert!(r.columnar().is_none());
+        r.freeze_columnar(&[0b01]);
+        r.replace_all(vec![vec![Const::Int(9), Const::Int(9)].into()]);
+        assert!(r.columnar().is_none());
+        assert_eq!(r.lookup_rows(0b01, &[Const::Int(9)]), &[0]);
+    }
+
+    #[test]
+    fn empty_relation_freeze_answers_requested_masks() {
+        // An empty relation has no arity yet; a requested CSR mask must
+        // still be answered (empty) rather than panicking through to an
+        // unregistered hash probe.
+        let mut r = Relation::default();
+        r.freeze_columnar(&[0b10]);
+        assert!(r.lookup_rows(0b10, &[Const::Int(1)]).is_empty());
+    }
+
+    #[test]
+    fn snapshots_share_predicate_name_allocations() {
+        // The serve read path clones the database per epoch snapshot;
+        // predicate names are Arc<str>, so the clone bumps refcounts
+        // instead of copying strings.
+        let mut db = Database::new();
+        db.fact("own").sym("a").sym("b").float(0.5).assert();
+        db.fact("company").sym("a").assert();
+        let snap = db.clone();
+        for p in 0..db.pred_count() as u32 {
+            assert!(
+                std::ptr::eq(db.pred_name(p), snap.pred_name(p)),
+                "pred {p}: name was deep-copied"
+            );
+        }
+        let mut keep = crate::fx::FxHashSet::default();
+        keep.insert("own".to_owned());
+        let scratch = db.scratch_for(&keep);
+        for p in 0..db.pred_count() as u32 {
+            assert!(std::ptr::eq(db.pred_name(p), scratch.pred_name(p)));
+        }
     }
 
     #[test]

@@ -30,14 +30,16 @@ use crate::ast::AggFunc;
 use crate::fx::FxHashMap;
 use crate::value::{Const, Tuple};
 
-/// Contributor key: (rule id, contributor-variable grounding).
-type ContribKey = (u32, Tuple);
-
 /// Running state of one aggregation group.
+///
+/// Contributor maxima are nested per rule id so the hot path can look a
+/// contributor up by `&[Const]` (via `Arc<[Const]>: Borrow<[Const]>`)
+/// without allocating a key tuple; a `Tuple` is only materialised the
+/// first time a contributor is seen.
 #[derive(Debug, Clone)]
 pub(crate) struct AggState {
     func: AggFunc,
-    contributions: FxHashMap<ContribKey, f64>,
+    contributions: FxHashMap<u32, FxHashMap<Tuple, f64>>,
     total: f64,
     /// Last value emitted as a head fact (for `V = m*(...)` rules).
     pub last_emitted: Option<f64>,
@@ -74,44 +76,81 @@ impl AggState {
 
     /// Applies a contribution; returns `true` if the group value changed by
     /// more than `epsilon`.
-    fn contribute(&mut self, key: ContribKey, value: f64, epsilon: f64) -> bool {
+    ///
+    /// The hit path (contributor already known) is a single slice-keyed
+    /// lookup; only a first-seen contributor allocates its key tuple.
+    fn contribute(&mut self, rule: u32, contributor: &[Const], value: f64, epsilon: f64) -> bool {
         let old_total = self.total;
+        let per_rule = self.contributions.entry(rule).or_default();
         match self.func {
             AggFunc::Sum => {
-                let slot = self.contributions.entry(key).or_insert(0.0);
-                if value > *slot {
-                    self.total += value - *slot;
-                    *slot = value;
+                if let Some(slot) = per_rule.get_mut(contributor) {
+                    if value > *slot {
+                        self.total += value - *slot;
+                        *slot = value;
+                    }
+                } else if value > 0.0 {
+                    per_rule.insert(contributor.into(), value);
+                    self.total += value;
+                } else {
+                    per_rule.insert(contributor.into(), 0.0);
                 }
             }
             AggFunc::Prod => {
-                let slot = self.contributions.entry(key).or_insert(f64::NEG_INFINITY);
-                if value > *slot {
-                    *slot = value;
+                let improved = if let Some(slot) = per_rule.get_mut(contributor) {
+                    if value > *slot {
+                        *slot = value;
+                        true
+                    } else {
+                        false
+                    }
+                } else if value > f64::NEG_INFINITY {
+                    per_rule.insert(contributor.into(), value);
+                    true
+                } else {
+                    per_rule.insert(contributor.into(), f64::NEG_INFINITY);
+                    false
+                };
+                if improved {
                     // Recompute: safe against zeros and float drift.
-                    self.total = self.contributions.values().product();
+                    self.total = self
+                        .contributions
+                        .values()
+                        .flat_map(|m| m.values())
+                        .product();
                 }
             }
             AggFunc::Max => {
-                let slot = self.contributions.entry(key).or_insert(f64::NEG_INFINITY);
-                if value > *slot {
-                    *slot = value;
+                if let Some(slot) = per_rule.get_mut(contributor) {
+                    if value > *slot {
+                        *slot = value;
+                    }
+                } else if value > f64::NEG_INFINITY {
+                    per_rule.insert(contributor.into(), value);
+                } else {
+                    per_rule.insert(contributor.into(), f64::NEG_INFINITY);
                 }
                 if value > self.total {
                     self.total = value;
                 }
             }
             AggFunc::Min => {
-                let slot = self.contributions.entry(key).or_insert(f64::INFINITY);
-                if value < *slot {
-                    *slot = value;
+                if let Some(slot) = per_rule.get_mut(contributor) {
+                    if value < *slot {
+                        *slot = value;
+                    }
+                } else if value < f64::INFINITY {
+                    per_rule.insert(contributor.into(), value);
+                } else {
+                    per_rule.insert(contributor.into(), f64::INFINITY);
                 }
                 if value < self.total {
                     self.total = value;
                 }
             }
             AggFunc::Count => {
-                if self.contributions.insert(key, 1.0).is_none() {
+                if !per_rule.contains_key(contributor) {
+                    per_rule.insert(contributor.into(), 1.0);
                     self.total += 1.0;
                 }
             }
@@ -121,9 +160,14 @@ impl AggState {
 }
 
 /// All aggregation groups of one engine run.
+///
+/// Groups are nested per head predicate so the group tuple can be looked
+/// up by `&[Const]` without allocating — the fixpoint inner loop calls
+/// `contribute` once per joined row, and in steady state every lookup
+/// hits an existing group.
 #[derive(Debug, Default)]
 pub(crate) struct AggStore {
-    groups: FxHashMap<(u32, Tuple), AggState>,
+    groups: FxHashMap<u32, FxHashMap<Tuple, AggState>>,
 }
 
 impl AggStore {
@@ -133,29 +177,30 @@ impl AggStore {
     pub fn contribute(
         &mut self,
         pred: u32,
-        group: Tuple,
+        group: &[Const],
         func: AggFunc,
         rule: u32,
-        contributor: Tuple,
+        contributor: &[Const],
         value: f64,
         epsilon: f64,
     ) -> (&mut AggState, bool) {
-        let state = self
-            .groups
-            .entry((pred, group))
-            .or_insert_with(|| AggState::new(func));
+        let per_pred = self.groups.entry(pred).or_default();
+        if !per_pred.contains_key(group) {
+            per_pred.insert(group.into(), AggState::new(func));
+        }
+        let state = per_pred.get_mut(group).expect("group state just ensured");
         debug_assert_eq!(
             state.func, func,
             "aggregate function mismatch for shared group state"
         );
-        let changed = state.contribute((rule, contributor), value, epsilon);
+        let changed = state.contribute(rule, contributor, value, epsilon);
         (state, changed)
     }
 
     /// Number of active groups.
     #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.groups.len()
+        self.groups.values().map(|m| m.len()).sum()
     }
 }
 
@@ -170,10 +215,10 @@ mod tests {
     #[test]
     fn msum_sums_distinct_contributors() {
         let mut store = AggStore::default();
-        let (s, c1) = store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[10]), 0.3, 1e-12);
+        let (s, c1) = store.contribute(0, &t(&[1]), AggFunc::Sum, 0, &t(&[10]), 0.3, 1e-12);
         assert!(c1);
         assert_eq!(s.total(), 0.3);
-        let (s, c2) = store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[11]), 0.4, 1e-12);
+        let (s, c2) = store.contribute(0, &t(&[1]), AggFunc::Sum, 0, &t(&[11]), 0.4, 1e-12);
         assert!(c2);
         assert!((s.total() - 0.7).abs() < 1e-12);
     }
@@ -181,14 +226,14 @@ mod tests {
     #[test]
     fn msum_takes_per_contributor_max_not_double_count() {
         let mut store = AggStore::default();
-        store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[10]), 0.3, 1e-12);
+        store.contribute(0, &t(&[1]), AggFunc::Sum, 0, &t(&[10]), 0.3, 1e-12);
         // Same contributor re-derived with a *larger* partial value
         // (recursive refinement): total moves to the new value, not the sum.
-        let (s, changed) = store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[10]), 0.5, 1e-12);
+        let (s, changed) = store.contribute(0, &t(&[1]), AggFunc::Sum, 0, &t(&[10]), 0.5, 1e-12);
         assert!(changed);
         assert!((s.total() - 0.5).abs() < 1e-12);
         // Smaller re-derivation is ignored (monotone).
-        let (s, changed) = store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[10]), 0.2, 1e-12);
+        let (s, changed) = store.contribute(0, &t(&[1]), AggFunc::Sum, 0, &t(&[10]), 0.2, 1e-12);
         assert!(!changed);
         assert!((s.total() - 0.5).abs() < 1e-12);
     }
@@ -198,8 +243,8 @@ mod tests {
         // Two rules contribute to the same (pred, group) total — the
         // Algorithm 8 semantics.
         let mut store = AggStore::default();
-        store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[7]), 0.3, 1e-12);
-        let (s, _) = store.contribute(0, t(&[1]), AggFunc::Sum, 1, t(&[7]), 0.4, 1e-12);
+        store.contribute(0, &t(&[1]), AggFunc::Sum, 0, &t(&[7]), 0.3, 1e-12);
+        let (s, _) = store.contribute(0, &t(&[1]), AggFunc::Sum, 1, &t(&[7]), 0.4, 1e-12);
         // Same contributor tuple under different rules: both count.
         assert!((s.total() - 0.7).abs() < 1e-12);
         assert_eq!(store.len(), 1);
@@ -208,8 +253,8 @@ mod tests {
     #[test]
     fn groups_are_independent() {
         let mut store = AggStore::default();
-        store.contribute(0, t(&[1]), AggFunc::Sum, 0, t(&[7]), 0.3, 1e-12);
-        let (s, _) = store.contribute(0, t(&[2]), AggFunc::Sum, 0, t(&[7]), 0.4, 1e-12);
+        store.contribute(0, &t(&[1]), AggFunc::Sum, 0, &t(&[7]), 0.3, 1e-12);
+        let (s, _) = store.contribute(0, &t(&[2]), AggFunc::Sum, 0, &t(&[7]), 0.4, 1e-12);
         assert!((s.total() - 0.4).abs() < 1e-12);
         assert_eq!(store.len(), 2);
     }
@@ -217,39 +262,40 @@ mod tests {
     #[test]
     fn mcount_counts_distinct() {
         let mut store = AggStore::default();
-        store.contribute(0, t(&[]), AggFunc::Count, 0, t(&[1]), 1.0, 1e-12);
-        store.contribute(0, t(&[]), AggFunc::Count, 0, t(&[1]), 1.0, 1e-12);
-        let (s, _) = store.contribute(0, t(&[]), AggFunc::Count, 0, t(&[2]), 1.0, 1e-12);
+        store.contribute(0, &t(&[]), AggFunc::Count, 0, &t(&[1]), 1.0, 1e-12);
+        store.contribute(0, &t(&[]), AggFunc::Count, 0, &t(&[1]), 1.0, 1e-12);
+        let (s, _) = store.contribute(0, &t(&[]), AggFunc::Count, 0, &t(&[2]), 1.0, 1e-12);
         assert_eq!(s.total_const(), Const::Int(2));
     }
 
     #[test]
     fn mmax_and_mmin_track_extrema() {
         let mut store = AggStore::default();
-        store.contribute(0, t(&[]), AggFunc::Max, 0, t(&[1]), 3.0, 1e-12);
-        let (s, _) = store.contribute(0, t(&[]), AggFunc::Max, 0, t(&[2]), 1.0, 1e-12);
+        store.contribute(0, &t(&[]), AggFunc::Max, 0, &t(&[1]), 3.0, 1e-12);
+        let (s, _) = store.contribute(0, &t(&[]), AggFunc::Max, 0, &t(&[2]), 1.0, 1e-12);
         assert_eq!(s.total(), 3.0);
-        store.contribute(1, t(&[]), AggFunc::Min, 0, t(&[1]), 3.0, 1e-12);
-        let (s, _) = store.contribute(1, t(&[]), AggFunc::Min, 0, t(&[2]), 1.0, 1e-12);
+        store.contribute(1, &t(&[]), AggFunc::Min, 0, &t(&[1]), 3.0, 1e-12);
+        let (s, _) = store.contribute(1, &t(&[]), AggFunc::Min, 0, &t(&[2]), 1.0, 1e-12);
         assert_eq!(s.total(), 1.0);
     }
 
     #[test]
     fn mprod_multiplies_contributor_maxima() {
         let mut store = AggStore::default();
-        store.contribute(0, t(&[]), AggFunc::Prod, 0, t(&[1]), 2.0, 1e-12);
-        let (s, _) = store.contribute(0, t(&[]), AggFunc::Prod, 0, t(&[2]), 3.0, 1e-12);
+        store.contribute(0, &t(&[]), AggFunc::Prod, 0, &t(&[1]), 2.0, 1e-12);
+        let (s, _) = store.contribute(0, &t(&[]), AggFunc::Prod, 0, &t(&[2]), 3.0, 1e-12);
         assert!((s.total() - 6.0).abs() < 1e-12);
-        let (s, _) = store.contribute(0, t(&[]), AggFunc::Prod, 0, t(&[1]), 5.0, 1e-12);
+        let (s, _) = store.contribute(0, &t(&[]), AggFunc::Prod, 0, &t(&[1]), 5.0, 1e-12);
         assert!((s.total() - 15.0).abs() < 1e-12);
     }
 
     #[test]
     fn epsilon_suppresses_jitter() {
         let mut store = AggStore::default();
-        let (s, _) = store.contribute(0, t(&[]), AggFunc::Sum, 0, t(&[1]), 1.0, 1e-6);
+        let (s, _) = store.contribute(0, &t(&[]), AggFunc::Sum, 0, &t(&[1]), 1.0, 1e-6);
         s.last_emitted = Some(1.0);
-        let (_, changed) = store.contribute(0, t(&[]), AggFunc::Sum, 0, t(&[1]), 1.0 + 1e-9, 1e-6);
+        let (_, changed) =
+            store.contribute(0, &t(&[]), AggFunc::Sum, 0, &t(&[1]), 1.0 + 1e-9, 1e-6);
         assert!(!changed);
     }
 }

@@ -1,6 +1,6 @@
 //! Rule evaluation: joins, conditions, aggregation, head emission.
 //!
-//! One [`eval_rule`] call enumerates all matches of a rule body against the
+//! One [`eval_rule_chunk`] call enumerates all matches of a rule body against the
 //! current relations — optionally restricting one positive atom to the
 //! semi-naive delta — and buffers the derived head facts. The body is
 //! walked in the order chosen by the cost-based planner
@@ -38,10 +38,22 @@ pub(crate) struct Derived {
 /// allocations until a genuinely new fact is emitted.
 #[derive(Default)]
 pub(crate) struct Workspace {
-    binding: Vec<Option<Const>>,
-    support: Vec<(u32, u32)>,
-    key_buf: Vec<Const>,
-    tuple_buf: Vec<Const>,
+    pub(crate) binding: Vec<Option<Const>>,
+    pub(crate) support: Vec<(u32, u32)>,
+    pub(crate) key_buf: Vec<Const>,
+    pub(crate) tuple_buf: Vec<Const>,
+    /// Aggregate group scratch (compiled path only; the interpreted
+    /// aggregate builds its group `Vec` inline).
+    pub(crate) group_buf: Vec<Const>,
+    /// Tuples this workspace has already pushed to `out`, per head
+    /// predicate — consulted only with provenance off, where any single
+    /// representative of an in-round duplicate is equivalent (the
+    /// canonical post-round dedup collapses them regardless of which
+    /// copies were pushed). Skipping the duplicates here avoids their
+    /// tuple allocations and their share of the post-round sort. Entries
+    /// are never stale: every recorded tuple is inserted into its
+    /// relation at the end of the round that pushed it.
+    pub(crate) emitted: crate::fx::FxHashMap<u32, crate::fx::FxHashSet<Tuple>>,
 }
 
 /// Mutable evaluation context shared across rules of a round.
@@ -56,21 +68,11 @@ pub(crate) struct RunCtx<'b> {
     pub provenance: bool,
 }
 
-/// Evaluates `rule` under `plan` against `relations`. If `delta` is
+/// Evaluates `rule` under `plan` against `relations`, optionally
+/// restricted to an explicit candidate-row list for the plan's
+/// first step (which must be a positive atom). If `delta` is
 /// `Some((li, start))`, the positive atom at *original body literal* `li`
-/// only matches rows `>= start`.
-pub(crate) fn eval_rule(
-    rule: &RRule,
-    plan: &RulePlan,
-    relations: &[Relation],
-    delta: Option<(usize, u32)>,
-    ctx: &mut RunCtx<'_>,
-) -> Result<()> {
-    eval_rule_chunk(rule, plan, relations, delta, None, ctx)
-}
-
-/// [`eval_rule`] restricted to an explicit candidate-row list for the plan's
-/// first step (which must be a positive atom). The rows must be an
+/// only matches rows `>= start`. The driver rows must be an
 /// in-order subsequence of what the unrestricted evaluation would
 /// enumerate — see [`driver_rows`] — so concatenating the outputs of a
 /// partition of chunks reproduces the sequential output exactly. This is
@@ -159,7 +161,7 @@ pub(crate) fn driver_rows(
                     .collect(),
             );
         }
-        let rows = rel.probe(step.mask, &key);
+        let rows = rel.lookup_rows(step.mask, &key);
         Some(match delta_start {
             Some(start) => rows.iter().copied().filter(|&r| r >= start).collect(),
             None => rows.to_vec(),
@@ -293,7 +295,7 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 // In mask-bit order a full key IS the tuple.
                 Rows::Find(rel.find(&self.key_buf))
             } else {
-                Rows::Probe(rel.probe(step.mask, &self.key_buf))
+                Rows::Probe(rel.lookup_rows(step.mask, &self.key_buf))
             }
         } else {
             let start = delta_start.unwrap_or(0);
@@ -409,6 +411,32 @@ impl<'a, 'c> Evaluator<'a, 'c> {
             {
                 continue;
             }
+            if !self.ctx.provenance {
+                // No provenance to arbitrate between in-round duplicates:
+                // one representative per workspace suffices.
+                if self
+                    .ctx
+                    .ws
+                    .emitted
+                    .get(&atom.pred)
+                    .is_some_and(|s| s.contains(self.tuple_buf.as_slice()))
+                {
+                    continue;
+                }
+                let tuple: Tuple = self.tuple_buf.as_slice().into();
+                self.ctx
+                    .ws
+                    .emitted
+                    .entry(atom.pred)
+                    .or_default()
+                    .insert(tuple.clone());
+                self.ctx.out.push(Derived {
+                    pred: atom.pred,
+                    tuple,
+                    prov: None,
+                });
+                continue;
+            }
             let prov = self.make_prov();
             self.ctx.out.push(Derived {
                 pred: atom.pred,
@@ -467,10 +495,10 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 }
                 let (state, _) = self.ctx.agg.contribute(
                     head_pred,
-                    group.clone().into(),
+                    &group,
                     agg.func,
                     self.rule.idx,
-                    contrib.into(),
+                    &contrib,
                     value,
                     self.ctx.epsilon,
                 );
@@ -510,10 +538,10 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 let rhs_val = eval_expr(rhs, &self.binding, self.ctx)?;
                 let (state, _) = self.ctx.agg.contribute(
                     head_pred,
-                    head_tuple.clone(),
+                    &head_tuple,
                     agg.func,
                     self.rule.idx,
-                    contrib.into(),
+                    &contrib,
                     value,
                     self.ctx.epsilon,
                 );
@@ -525,6 +553,18 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                         .find(&head_tuple)
                         .is_none()
                     {
+                        if !self.ctx.provenance {
+                            let seen = self.ctx.ws.emitted.entry(head_pred).or_default();
+                            if !seen.insert(head_tuple.clone()) {
+                                return Ok(());
+                            }
+                            self.ctx.out.push(Derived {
+                                pred: head_pred,
+                                tuple: head_tuple,
+                                prov: None,
+                            });
+                            return Ok(());
+                        }
                         let prov = self.make_prov();
                         self.ctx.out.push(Derived {
                             pred: head_pred,
@@ -621,7 +661,7 @@ pub(crate) fn eval_pure_expr(e: &RExpr, binding: &[Option<Const>]) -> Result<Con
     }
 }
 
-fn arith(op: BinOp, a: Const, b: Const) -> Result<Const> {
+pub(crate) fn arith(op: BinOp, a: Const, b: Const) -> Result<Const> {
     use Const::*;
     let err = || {
         DatalogError::Function(format!(

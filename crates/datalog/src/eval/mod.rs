@@ -31,10 +31,12 @@
 //! ids, provenance — are identical for every thread count.
 
 pub(crate) mod agg;
+pub(crate) mod compile;
 pub(crate) mod exec;
 pub(crate) mod plan;
 pub(crate) mod resolve;
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::analysis::{adorn, analyze_with, AnalysisConfig};
@@ -42,13 +44,32 @@ use crate::ast::{Directive, Lit, PostOp, Program, Query};
 use crate::builtins::FunctionRegistry;
 use crate::db::{Database, Relation, SkolemTable, SymbolTable};
 use crate::error::{DatalogError, Result};
-use crate::fx::FxHashSet;
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::value::{Const, Tuple};
 
 use agg::AggStore;
-use exec::{driver_rows, eval_rule, eval_rule_chunk, Derived, RunCtx, Workspace};
+use compile::{compile_stratum, eval_compiled_chunk, CompiledRule, CompiledRulePlans};
+use exec::{driver_rows, eval_rule_chunk, Derived, RunCtx, Workspace};
 use plan::{plan_stratum, RulePlan, RulePlans, Step, StratumStats};
 use resolve::{resolve_rules, CompiledProgram, RLiteral, RRule};
+
+/// Process-wide default for [`EngineOptions::compile`]. Engines are
+/// constructed deep inside the core/serve layers, so the CLI escape hatch
+/// (`--no-compile`) flips this global instead of threading a flag through
+/// every constructor — the same idiom as [`par::set_threads`].
+static COMPILE_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for compiled plan execution. Engines
+/// built afterwards (via [`EngineOptions::default`]) inherit the value;
+/// explicit `options.compile` assignments still win.
+pub fn set_compile_default(on: bool) {
+    COMPILE_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide compiled-execution default.
+pub fn compile_default() -> bool {
+    COMPILE_DEFAULT.load(Ordering::Relaxed)
+}
 
 /// Tunable evaluation options.
 #[derive(Debug, Clone)]
@@ -84,6 +105,14 @@ pub struct EngineOptions {
     /// planning on or off; this switch exists for benchmarking and
     /// differential testing.
     pub plan: bool,
+    /// Compiled plan execution: lower each planned rule into a chain of
+    /// specialized closures per stratum ([`compile`]) and freeze stable
+    /// relations to the columnar/CSR layout, so the fixpoint inner loop
+    /// skips per-tuple step interpretation. Byte-identical to interpreted
+    /// execution — the switch exists for benchmarking, differential
+    /// testing and debugging (`--no-compile`). Defaults to the
+    /// process-wide value set by [`set_compile_default`] (true).
+    pub compile: bool,
     /// Predicates the cost planner should assume are small before any
     /// statistics exist — the demand (`magic_*`) relations of a
     /// goal-directed rewrite, whose extent is bounded by the query's
@@ -103,6 +132,7 @@ impl Default for EngineOptions {
             analysis: AnalysisConfig::default(),
             threads: 0,
             plan: true,
+            compile: compile_default(),
             demand_hints: Vec::new(),
         }
     }
@@ -168,7 +198,9 @@ impl Engine {
     }
 
     /// Stratum index of a predicate (0 = lowest), if it occurs in the
-    /// program. Useful for inspecting how negation layered the rules.
+    /// program. Useful for inspecting how the dependency condensation
+    /// layered the rules: base relations sit at 0, and every
+    /// cross-component edge (positive or negated) adds a layer.
     pub fn stratum_of(&self, pred: &str) -> Option<usize> {
         self.compiled.pred_stratum.get(pred).copied()
     }
@@ -220,6 +252,15 @@ impl Engine {
         let mut db = db.clone();
         let rules = resolve_rules(&self.program, &mut db)?;
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "execution: {} plans",
+            if self.options.compile {
+                "compiled (closure-chain)"
+            } else {
+                "interpreted"
+            }
+        );
         for (si, stratum) in self.compiled.strata.iter().enumerate() {
             let _ = writeln!(out, "stratum {si}:");
             let stats = StratumStats::collect(&rules, stratum, &db.relations);
@@ -494,6 +535,8 @@ pub(crate) fn run_stratum(
         } else {
             plan::DEMAND_SAMPLE
         };
+        let compile_on = options.compile;
+        let stratum_preds_ref = &stratum_preds;
         let mut plan_round = |db: &mut Database| {
             let mut stratum_stats = if enable {
                 StratumStats::collect_reorderable(
@@ -508,10 +551,28 @@ pub(crate) fn run_stratum(
             };
             stratum_stats.demand = demand.clone();
             let plans = plan_stratum(rules, stratum, &stratum_stats, enable);
+            // Relations *stable for this stratum* — no stratum rule derives
+            // into them, so the round loop's inserts cannot invalidate a
+            // frozen image mid-stratum — are promoted to the columnar
+            // layout: per-column strips, plus CSR adjacency for the
+            // single-column probes the plans use (those skip the hash
+            // index entirely). Unstable (delta-side) relations keep the
+            // on-demand hash indexes.
+            let mut freeze: crate::fx::FxHashMap<u32, Vec<u64>> = crate::fx::FxHashMap::default();
             for rp in plans.iter().flatten() {
                 for p in std::iter::once(&rp.naive).chain(rp.delta.iter()) {
                     for step in &p.steps {
                         if let Step::Atom(a) = step {
+                            let stable = compile_on && !stratum_preds_ref.contains(&a.pred);
+                            if stable {
+                                let masks = freeze.entry(a.pred).or_default();
+                                if a.mask != 0 && !a.full_key() && a.mask.count_ones() == 1 {
+                                    if !masks.contains(&a.mask) {
+                                        masks.push(a.mask);
+                                    }
+                                    continue;
+                                }
+                            }
                             // Full-key probes go through the dedup map
                             // instead of a registered index.
                             if a.mask != 0 && !a.full_key() {
@@ -521,9 +582,17 @@ pub(crate) fn run_stratum(
                     }
                 }
             }
-            plans
+            for (pred, masks) in &freeze {
+                db.relation_mut(*pred).freeze_columnar(masks);
+            }
+            let compiled = if compile_on {
+                Some(compile_stratum(rules, &plans))
+            } else {
+                None
+            };
+            (plans, compiled)
         };
-        let mut plans = plan_round(db);
+        let (mut plans, mut compiled) = plan_round(db);
         // Replanning can only change an order for a cost-planned rule
         // with at least two joinable atoms whose body reads a predicate
         // this stratum is still deriving — anything else sees the same
@@ -575,13 +644,14 @@ pub(crate) fn run_stratum(
                     }
                 });
                 if grown {
-                    plans = plan_round(db);
+                    (plans, compiled) = plan_round(db);
                     for (i, &p) in watched.iter().enumerate() {
                         planned_len[i] = db.relations[p as usize].len();
                     }
                 }
             }
             let mut out: Vec<Derived> = Vec::new();
+            let fully_sequential;
             {
                 let db_ref = &mut *db;
                 let relations = &db_ref.relations;
@@ -617,12 +687,62 @@ pub(crate) fn run_stratum(
                     epsilon: options.epsilon,
                     provenance: options.provenance,
                 };
-                eval_round(rules, &plans, relations, &items, threads, &mut ctx)?;
+                fully_sequential = eval_round(
+                    rules,
+                    &plans,
+                    compiled.as_deref(),
+                    relations,
+                    &items,
+                    threads,
+                    &mut ctx,
+                )?;
             }
             // Canonical per-round ordering: a round's derived *set* is
             // independent of body-literal order, so sorting before
             // insertion pins row ids and provenance regardless of the
-            // plans that produced the buffer.
+            // plans that produced the buffer. Insertion keeps the first
+            // occurrence of each tuple — i.e. the (pred, tuple, prov)
+            // minimum — so collapsing in-round duplicates to that
+            // minimum *before* sorting leaves the inserted sequence
+            // untouched while the comparison-heavy sort only sees the
+            // unique survivors. Joins that re-derive one head many times
+            // per round (e.g. a close-link pair once per common
+            // shareholder) shrink by orders of magnitude here.
+            //
+            // With provenance off a fully sequential round is already
+            // duplicate-free: plain heads and conditional aggregates
+            // consult the workspace emitted set, and epsilon-guarded
+            // aggregate emissions never repeat a tuple within a round.
+            // Parallel rounds still need the pass — workers share no
+            // emitted set — as do provenance runs, where duplicates
+            // carry distinct trees and the minimum must be kept.
+            if out.len() > 1 && (options.provenance || !fully_sequential) {
+                let mut best: FxHashMap<(u32, Tuple), usize> = FxHashMap::default();
+                best.reserve(out.len());
+                let mut keep = vec![false; out.len()];
+                for (i, d) in out.iter().enumerate() {
+                    match best.entry((d.pred, d.tuple.clone())) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(i);
+                            keep[i] = true;
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let j = *e.get();
+                            if d.prov < out[j].prov {
+                                keep[j] = false;
+                                keep[i] = true;
+                                e.insert(i);
+                            }
+                        }
+                    }
+                }
+                let mut i = 0usize;
+                out.retain(|_| {
+                    let k = keep[i];
+                    i += 1;
+                    k
+                });
+            }
             out.sort_unstable_by(|a, b| {
                 a.pred
                     .cmp(&b.pred)
@@ -675,14 +795,19 @@ const PAR_MIN_DRIVER_ROWS: usize = 512;
 /// resulting `out` buffer is byte-identical to a fully sequential round:
 /// same derivations, same order, hence the same row ids and provenance
 /// downstream.
+///
+/// Returns `true` when the whole round ran sequentially against the real
+/// context — the caller can then skip its duplicate-collapse pass for
+/// provenance-free runs, since sequential emission already dedups.
 fn eval_round(
     rules: &[RRule],
     plans: &[Option<RulePlans>],
+    compiled: Option<&[Option<CompiledRulePlans>]>,
     relations: &[Relation],
     items: &[(usize, Option<(usize, u32)>)],
     threads: usize,
     ctx: &mut RunCtx<'_>,
-) -> Result<()> {
+) -> Result<bool> {
     // The plan for one work item: the naive plan on round 0, the matching
     // delta plan otherwise.
     let plan_for = |ri: usize, delta: Option<(usize, u32)>| -> &RulePlan {
@@ -699,14 +824,51 @@ fn eval_round(
             }
         }
     };
+    // The compiled twin of `plan_for`, when compiled execution is on.
+    let compiled_for = |ri: usize, delta: Option<(usize, u32)>| -> Option<&CompiledRule> {
+        let cp = compiled?[ri].as_ref().expect("stratum rules are compiled");
+        Some(match delta {
+            None => &cp.naive,
+            Some((li, _)) => {
+                let k = rules[ri]
+                    .positive_literals
+                    .iter()
+                    .position(|&p| p == li)
+                    .expect("delta literal is a positive atom");
+                &cp.delta[k]
+            }
+        })
+    };
+    // One work item (optionally chunk-restricted), through whichever
+    // executor is active — both enumerate identically.
+    let run_one = |ri: usize,
+                   delta: Option<(usize, u32)>,
+                   driver: Option<&[u32]>,
+                   ctx: &mut RunCtx<'_>|
+     -> Result<()> {
+        match compiled_for(ri, delta) {
+            Some(cr) => {
+                eval_compiled_chunk(cr, relations, delta.map_or(0, |(_, s)| s), driver, ctx)
+            }
+            None => eval_rule_chunk(
+                &rules[ri],
+                plan_for(ri, delta),
+                relations,
+                delta,
+                driver,
+                ctx,
+            ),
+        }
+    };
     let run_seq = |ctx: &mut RunCtx<'_>| -> Result<()> {
         for &(ri, delta) in items {
-            eval_rule(&rules[ri], plan_for(ri, delta), relations, delta, ctx)?;
+            run_one(ri, delta, None, ctx)?;
         }
         Ok(())
     };
     if threads <= 1 {
-        return run_seq(ctx);
+        run_seq(ctx)?;
+        return Ok(true);
     }
     // Candidate rows per chunkable item; `None` marks sequential items.
     let mut drivers: Vec<Option<Vec<u32>>> = Vec::with_capacity(items.len());
@@ -724,7 +886,8 @@ fn eval_round(
         drivers.push(rows);
     }
     if total < PAR_MIN_DRIVER_ROWS {
-        return run_seq(ctx);
+        run_seq(ctx)?;
+        return Ok(true);
     }
     // Subtasks in (item, chunk) order; a few chunks per worker so a skewed
     // chunk cannot serialize the round.
@@ -762,15 +925,7 @@ fn eval_round(
             epsilon,
             provenance,
         };
-        eval_rule_chunk(
-            &rules[ri],
-            plan_for(ri, delta),
-            relations,
-            delta,
-            Some(rows),
-            &mut wctx,
-        )
-        .map(|()| local)
+        run_one(ri, delta, Some(rows), &mut wctx).map(|()| local)
     });
     // Splice in sequential order: chunk outputs at their item's position,
     // sequential items evaluated in place with the real context.
@@ -784,10 +939,10 @@ fn eval_round(
                 cursor += 1;
             }
         } else {
-            eval_rule(&rules[ri], plan_for(ri, delta), relations, delta, ctx)?;
+            run_one(ri, delta, None, ctx)?;
         }
     }
-    Ok(())
+    Ok(false)
 }
 
 /// Applies a `@post` grouping filter: per grouping of all columns except the
@@ -1201,8 +1356,11 @@ mod tests {
     fn stratum_of_reports_layers() {
         let program = Program::parse("r(X) :- n(X), not t(X). t(X) :- e(X, _).").unwrap();
         let engine = Engine::new(&program).unwrap();
-        assert_eq!(engine.stratum_of("t"), Some(0));
-        assert_eq!(engine.stratum_of("r"), Some(1));
+        // Base relations occupy layer 0; every cross-component
+        // dependency (not just negation) bumps the layer.
+        assert_eq!(engine.stratum_of("e"), Some(0));
+        assert_eq!(engine.stratum_of("t"), Some(1));
+        assert_eq!(engine.stratum_of("r"), Some(2));
         assert_eq!(engine.stratum_of("zzz"), None);
     }
 

@@ -329,14 +329,23 @@ pub(crate) fn compile(program: &Program) -> Result<CompiledProgram> {
         }
     }
 
-    // Longest-path strata over the condensation (Kahn).
-    let mut cadj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); ncomp];
+    // Longest-path strata over the condensation (Kahn). Every
+    // cross-component dependency bumps the level — not just negation.
+    // Negation *requires* the split (the lower side must be complete
+    // before the upper side reads it); positive edges merely *benefit*:
+    // a component evaluated after its inputs converge sees them as
+    // stable relations, so the executor can promote them to the frozen
+    // columnar layout and skip re-firing its rules while the inputs are
+    // still growing. Stratified semantics is preserved — this is the
+    // standard component-wise evaluation order, strictly finer than the
+    // negation-only split.
+    let mut cadj: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
     let mut indeg = vec![0usize; ncomp];
-    let mut seen_edges: HashSet<(usize, usize, bool)> = HashSet::new();
-    for &(a, b, neg) in &edges {
+    let mut seen_edges: HashSet<(usize, usize)> = HashSet::new();
+    for &(a, b, _) in &edges {
         let (ca, cb) = (comp[a], comp[b]);
-        if ca != cb && seen_edges.insert((ca, cb, neg)) {
-            cadj[ca].push((cb, neg));
+        if ca != cb && seen_edges.insert((ca, cb)) {
+            cadj[ca].push(cb);
             indeg[cb] += 1;
         }
     }
@@ -345,8 +354,8 @@ pub(crate) fn compile(program: &Program) -> Result<CompiledProgram> {
     let mut processed = 0usize;
     while let Some(c) = queue.pop() {
         processed += 1;
-        for &(d, neg) in &cadj[c] {
-            let cand = level[c] + usize::from(neg);
+        for &d in &cadj[c] {
+            let cand = level[c] + 1;
             if cand > level[d] {
                 level[d] = cand;
             }
@@ -804,8 +813,9 @@ mod tests {
         let c = compile_src("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
         assert_eq!(c.strata.len(), 1);
         assert_eq!(c.strata[0], vec![0, 1]);
-        assert_eq!(c.pred_stratum["t"], 0);
+        // Base relations sit below the components derived from them.
         assert_eq!(c.pred_stratum["e"], 0);
+        assert_eq!(c.pred_stratum["t"], 1);
     }
 
     #[test]

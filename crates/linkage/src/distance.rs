@@ -2,40 +2,209 @@
 //!
 //! The paper's family-link classifier thresholds "some distance between the
 //! feature values … (e.g., Levenshtein distance between two strings 'name'
-//! of person)". These implementations operate on `char` sequences, so
-//! accented Italian names are handled per code point.
+//! of person)". Two tiers live here:
+//!
+//! * **Kernels** (the public functions): allocation-free fast paths for
+//!   ASCII inputs — Myers' bit-parallel Levenshtein (the whole DP row
+//!   lives in one `u64`, ~15 bit ops per text byte), a fixed-width `u32`
+//!   blocked row for longer strings, and a stack-bitmask Jaro — all
+//!   operating on byte slices over contiguous memory. Pair scoring
+//!   (`crate::score`, the Fig. 4a hot path) runs these in parallel
+//!   blocks.
+//! * **[`reference`]**: the original per-code-point scalar
+//!   implementations. Non-ASCII inputs fall back to them (accented
+//!   Italian names are still handled per code point), and the
+//!   differential tests pin the kernels to them exactly — same `usize`
+//!   distances, bit-identical `f64` similarities.
 
-/// Levenshtein edit distance (insert/delete/substitute, unit costs).
-pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() {
-        return b.len();
+/// Scalar per-code-point reference implementations. The public kernels
+/// must agree with these exactly on every input; differential tests
+/// enforce it over random ASCII and multibyte strings.
+pub mod reference {
+    /// Levenshtein edit distance (insert/delete/substitute, unit costs).
+    pub fn levenshtein(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        if a.is_empty() {
+            return b.len();
+        }
+        if b.is_empty() {
+            return a.len();
+        }
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
     }
-    if b.is_empty() {
-        return a.len();
+
+    /// Levenshtein scaled into `[0, 1]` by the longer string length
+    /// (0 = identical, 1 = completely different). Empty vs empty is 0.
+    pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+        let max = a.chars().count().max(b.chars().count());
+        if max == 0 {
+            return 0.0;
+        }
+        levenshtein(a, b) as f64 / max as f64
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, cb) in b.iter().enumerate() {
-            let cost = usize::from(ca != cb);
+
+    /// Jaro similarity in `[0, 1]`.
+    pub fn jaro(a: &str, b: &str) -> f64 {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+        let mut b_used = vec![false; b.len()];
+        let mut matches = 0usize;
+        let mut a_match = Vec::new();
+        for (i, ca) in a.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(b.len());
+            for j in lo..hi {
+                if !b_used[j] && b[j] == *ca {
+                    b_used[j] = true;
+                    matches += 1;
+                    a_match.push((i, j));
+                    break;
+                }
+            }
+        }
+        if matches == 0 {
+            return 0.0;
+        }
+        // Transpositions: matched characters out of order.
+        let mut transpositions = 0usize;
+        let b_order: Vec<usize> = {
+            let mut order: Vec<(usize, usize)> = a_match.clone();
+            order.sort_by_key(|&(i, _)| i);
+            order.into_iter().map(|(_, j)| j).collect()
+        };
+        for w in b_order.windows(2) {
+            if w[0] > w[1] {
+                transpositions += 1;
+            }
+        }
+        let m = matches as f64;
+        let t = transpositions as f64;
+        (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+    }
+
+    /// Jaro-Winkler similarity: Jaro boosted by a shared prefix
+    /// (length ≤ 4, scaling 0.1).
+    pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+        let j = jaro(a, b);
+        let prefix = a
+            .chars()
+            .zip(b.chars())
+            .take(4)
+            .take_while(|(x, y)| x == y)
+            .count();
+        j + prefix as f64 * 0.1 * (1.0 - j)
+    }
+}
+
+/// Myers' bit-parallel Levenshtein (1999): the current DP column lives in
+/// two `u64` delta vectors, so each text byte costs a constant ~15
+/// word-wide bit operations — SIMD-within-a-register, no allocation, no
+/// data-dependent branches in the loop body. Requires
+/// `1 <= pattern.len() <= 64`.
+fn myers64(pattern: &[u8], text: &[u8]) -> usize {
+    debug_assert!(!pattern.is_empty() && pattern.len() <= 64);
+    // Bitmask per alphabet symbol: bit i set ⇔ pattern[i] == symbol.
+    let mut peq = [0u64; 256];
+    for (i, &c) in pattern.iter().enumerate() {
+        peq[c as usize] |= 1u64 << i;
+    }
+    let m = pattern.len();
+    let hibit = 1u64 << (m - 1);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    for &c in text {
+        let eq = peq[c as usize];
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & hibit != 0 {
+            score += 1;
+        }
+        if mh & hibit != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        let mh = mh << 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+/// Two-row byte DP with `u32` cells for ASCII strings longer than one
+/// machine word: the same recurrence as the reference, but over
+/// contiguous byte strips with fixed-width arithmetic. Used only when
+/// both sides exceed the bit-parallel width.
+fn byte_dp(a: &[u8], b: &[u8]) -> usize {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    let mut prev: Vec<u32> = (0..=b.len() as u32).collect();
+    let mut cur = vec![0u32; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = u32::from(ca != cb);
             cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
         }
         std::mem::swap(&mut prev, &mut cur);
     }
-    prev[b.len()]
+    prev[b.len()] as usize
+}
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+///
+/// ASCII pairs run the bit-parallel kernel (shorter side ≤ 64 bytes) or
+/// the blocked `u32` row; anything else takes the per-code-point
+/// [`reference`] path. The result is identical in all cases.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        let (p, t) = if a.len() <= b.len() {
+            (a.as_bytes(), b.as_bytes())
+        } else {
+            (b.as_bytes(), a.as_bytes())
+        };
+        if p.is_empty() {
+            return t.len();
+        }
+        if p.len() <= 64 {
+            return myers64(p, t);
+        }
+        return byte_dp(p, t);
+    }
+    reference::levenshtein(a, b)
 }
 
 /// Levenshtein scaled into `[0, 1]` by the longer string length
 /// (0 = identical, 1 = completely different). Empty vs empty is 0.
 pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
-    let max = a.chars().count().max(b.chars().count());
-    if max == 0 {
-        return 0.0;
+    if a.is_ascii() && b.is_ascii() {
+        // Byte length == code-point count for ASCII.
+        let max = a.len().max(b.len());
+        if max == 0 {
+            return 0.0;
+        }
+        return levenshtein(a, b) as f64 / max as f64;
     }
-    levenshtein(a, b) as f64 / max as f64
+    reference::normalized_levenshtein(a, b)
 }
 
 /// Damerau-Levenshtein distance (adds adjacent transpositions), restricted
@@ -72,10 +241,23 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     d[n][m]
 }
 
+/// Longest side (in bytes) the stack-bitmask Jaro kernel handles; longer
+/// ASCII inputs fall back to the reference (names never get near this).
+const JARO_MAX: usize = 256;
+
 /// Jaro similarity in `[0, 1]`.
+///
+/// ASCII pairs up to [`JARO_MAX`] bytes run allocation-free: the
+/// used-positions set is a 4-word stack bitmask and transpositions are
+/// counted streaming (the reference's match list, sorted by `i`, is
+/// exactly the discovery order, so adjacent descents can be counted
+/// on the fly). Result is bit-identical to [`reference::jaro`].
 pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    if !(a.is_ascii() && b.is_ascii()) || a.len() > JARO_MAX || b.len() > JARO_MAX {
+        return reference::jaro(a, b);
+    }
+    let a = a.as_bytes();
+    let b = b.as_bytes();
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -83,35 +265,27 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
+    let mut used = [0u64; JARO_MAX / 64];
     let mut matches = 0usize;
-    let mut a_match = Vec::new();
-    for (i, ca) in a.iter().enumerate() {
+    let mut transpositions = 0usize;
+    let mut prev_j = usize::MAX;
+    for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_used[j] && b[j] == *ca {
-                b_used[j] = true;
+        for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
+            if cb == ca && used[j / 64] & (1u64 << (j % 64)) == 0 {
+                used[j / 64] |= 1u64 << (j % 64);
                 matches += 1;
-                a_match.push((i, j));
+                if prev_j != usize::MAX && prev_j > j {
+                    transpositions += 1;
+                }
+                prev_j = j;
                 break;
             }
         }
     }
     if matches == 0 {
         return 0.0;
-    }
-    // Transpositions: matched characters out of order.
-    let mut transpositions = 0usize;
-    let b_order: Vec<usize> = {
-        let mut order: Vec<(usize, usize)> = a_match.clone();
-        order.sort_by_key(|&(i, _)| i);
-        order.into_iter().map(|(_, j)| j).collect()
-    };
-    for w in b_order.windows(2) {
-        if w[0] > w[1] {
-            transpositions += 1;
-        }
     }
     let m = matches as f64;
     let t = transpositions as f64;
@@ -255,5 +429,167 @@ mod tests {
         assert_eq!(numeric_distance(0.0, 10.0, 5.0), 1.0);
         assert!((numeric_distance(0.0, 2.5, 5.0) - 0.5).abs() < 1e-12);
         assert_eq!(numeric_distance(1.0, 2.0, 0.0), 1.0);
+    }
+
+    /// Tiny deterministic PRNG (SplitMix64) so the differential corpus
+    /// is reproducible without external crates.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn range(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+        fn ascii_string(&mut self, len: usize, alphabet: &[u8]) -> String {
+            (0..len)
+                .map(|_| alphabet[self.range(alphabet.len())] as char)
+                .collect()
+        }
+        fn multibyte_string(&mut self, len: usize) -> String {
+            const CHARS: &[char] = &['a', 'b', 'è', 'ò', 'ù', 'ß', 'n', '€', '字'];
+            (0..len).map(|_| CHARS[self.range(CHARS.len())]).collect()
+        }
+    }
+
+    /// Exact-equality differential: kernels vs reference over random
+    /// ASCII pairs, including empty and length-1 edges. Distances must be
+    /// equal as integers, similarities bit-identical as floats.
+    #[test]
+    fn kernels_match_reference_on_random_ascii() {
+        let mut rng = Rng(0xEDB7_2020);
+        // Small alphabet forces matches, transpositions and repeats.
+        let alphabet = b"abcde";
+        for round in 0..4000 {
+            // Sweep lengths 0..=12 with emphasis on the small edges.
+            let la = if round % 7 == 0 {
+                round % 2
+            } else {
+                rng.range(13)
+            };
+            let lb = if round % 11 == 0 {
+                round % 2
+            } else {
+                rng.range(13)
+            };
+            let a = rng.ascii_string(la, alphabet);
+            let b = rng.ascii_string(lb, alphabet);
+            assert_eq!(
+                levenshtein(&a, &b),
+                reference::levenshtein(&a, &b),
+                "levenshtein({a:?}, {b:?})"
+            );
+            assert_eq!(
+                normalized_levenshtein(&a, &b).to_bits(),
+                reference::normalized_levenshtein(&a, &b).to_bits(),
+                "normalized_levenshtein({a:?}, {b:?})"
+            );
+            assert_eq!(
+                jaro(&a, &b).to_bits(),
+                reference::jaro(&a, &b).to_bits(),
+                "jaro({a:?}, {b:?})"
+            );
+            assert_eq!(
+                jaro_winkler(&a, &b).to_bits(),
+                reference::jaro_winkler(&a, &b).to_bits(),
+                "jaro_winkler({a:?}, {b:?})"
+            );
+        }
+    }
+
+    /// The blocked `u32` row (both sides > 64 bytes) and the asymmetric
+    /// Myers case (one side > 64) agree with the reference too.
+    #[test]
+    fn kernels_match_reference_on_long_ascii() {
+        let mut rng = Rng(0x51AB_0001);
+        let alphabet = b"abcdefgh";
+        for _ in 0..40 {
+            let (la, lb, lc) = (65 + rng.range(40), 65 + rng.range(40), rng.range(30));
+            let a = rng.ascii_string(la, alphabet);
+            let b = rng.ascii_string(lb, alphabet);
+            assert_eq!(levenshtein(&a, &b), reference::levenshtein(&a, &b));
+            let c = rng.ascii_string(lc, alphabet);
+            assert_eq!(levenshtein(&a, &c), reference::levenshtein(&a, &c));
+            assert_eq!(levenshtein(&c, &a), reference::levenshtein(&c, &a));
+        }
+    }
+
+    /// Multibyte inputs route through the reference path — the public
+    /// functions must still agree with it exactly (and with the ASCII
+    /// kernels on mixed pairs, where one side is ASCII).
+    #[test]
+    fn kernels_match_reference_on_multibyte() {
+        let mut rng = Rng(0xACCE_17ED);
+        for _ in 0..600 {
+            let (la, lb) = (rng.range(9), rng.range(9));
+            let a = rng.multibyte_string(la);
+            let b = if rng.range(2) == 0 {
+                rng.multibyte_string(lb)
+            } else {
+                rng.ascii_string(lb, b"abc")
+            };
+            assert_eq!(
+                levenshtein(&a, &b),
+                reference::levenshtein(&a, &b),
+                "levenshtein({a:?}, {b:?})"
+            );
+            assert_eq!(
+                normalized_levenshtein(&a, &b).to_bits(),
+                reference::normalized_levenshtein(&a, &b).to_bits(),
+                "normalized_levenshtein({a:?}, {b:?})"
+            );
+            assert_eq!(
+                jaro(&a, &b).to_bits(),
+                reference::jaro(&a, &b).to_bits(),
+                "jaro({a:?}, {b:?})"
+            );
+            assert_eq!(
+                jaro_winkler(&a, &b).to_bits(),
+                reference::jaro_winkler(&a, &b).to_bits(),
+                "jaro_winkler({a:?}, {b:?})"
+            );
+        }
+    }
+
+    /// Degenerate shapes the window/bit tricks must not break: empty,
+    /// length-1, equal strings, maximal mismatch, and the 64/65-byte
+    /// kernel boundary.
+    #[test]
+    fn kernel_edge_cases() {
+        let edge = [
+            "",
+            "a",
+            "b",
+            "ab",
+            "ba",
+            "aaaa",
+            "aaab",
+            &"x".repeat(63),
+            &"x".repeat(64),
+            &"x".repeat(65),
+            &"xy".repeat(40),
+        ];
+        for a in edge {
+            for b in edge {
+                assert_eq!(levenshtein(a, b), reference::levenshtein(a, b));
+                assert_eq!(
+                    jaro(a, b).to_bits(),
+                    reference::jaro(a, b).to_bits(),
+                    "jaro({a:?}, {b:?})"
+                );
+                assert_eq!(
+                    jaro_winkler(a, b).to_bits(),
+                    reference::jaro_winkler(a, b).to_bits()
+                );
+                assert_eq!(
+                    normalized_levenshtein(a, b).to_bits(),
+                    reference::normalized_levenshtein(a, b).to_bits()
+                );
+            }
+        }
     }
 }
