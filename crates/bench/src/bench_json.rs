@@ -279,31 +279,52 @@ pub(crate) fn want_num(v: &JVal, field: &str) -> Result<f64, String> {
     }
 }
 
-/// Validates a `BENCH_datalog.json` document against the
-/// `vadalink-bench-datalog/1` schema: field presence, types, and the
-/// basic sanity invariants (positive timings, non-empty program list,
-/// matched outputs).
-pub fn validate_bench_json(text: &str) -> Result<(), String> {
+/// Shared validator scaffolding: parses a benchmark document, checks the
+/// `schema` tag against `schema`, and requires each of `count_fields` to
+/// be a numeric field `>= 1`. Every `BENCH_*` validator starts here —
+/// the per-schema code only checks what is genuinely schema-specific.
+pub(crate) fn check_doc_header(
+    text: &str,
+    schema: &str,
+    count_fields: &[&str],
+) -> Result<JVal, String> {
     let doc = parse_json(text)?;
     match doc.get("schema") {
-        Some(JVal::Str(s)) if s == BENCH_SCHEMA => {}
+        Some(JVal::Str(s)) if s == schema => {}
         Some(JVal::Str(s)) => return Err(format!("unknown schema '{s}'")),
         _ => return Err("missing string field 'schema'".into()),
     }
-    for field in ["persons", "seed", "threads", "repeats"] {
+    for field in count_fields {
         let v = want_num(&doc, field)?;
         if v < 1.0 {
             return Err(format!("field '{field}' must be >= 1"));
         }
     }
-    let programs = match doc.get("programs") {
-        Some(JVal::Arr(items)) => items,
-        Some(_) => return Err("field 'programs' must be an array".into()),
-        None => return Err("missing field 'programs'".into()),
-    };
-    if programs.is_empty() {
-        return Err("'programs' must not be empty".into());
+    Ok(doc)
+}
+
+/// Shared validator scaffolding: the named field must be a non-empty
+/// array (every `BENCH_*` document carries at least one result row).
+pub(crate) fn non_empty_array<'a>(doc: &'a JVal, field: &str) -> Result<&'a Vec<JVal>, String> {
+    match doc.get(field) {
+        Some(JVal::Arr(items)) if !items.is_empty() => Ok(items),
+        Some(JVal::Arr(_)) => Err(format!("'{field}' must not be empty")),
+        Some(_) => Err(format!("field '{field}' must be an array")),
+        None => Err(format!("missing field '{field}'")),
     }
+}
+
+/// Validates a `BENCH_datalog.json` document against the
+/// `vadalink-bench-datalog/1` schema: field presence, types, and the
+/// basic sanity invariants (positive timings, non-empty program list,
+/// matched outputs).
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = check_doc_header(
+        text,
+        BENCH_SCHEMA,
+        &["persons", "seed", "threads", "repeats"],
+    )?;
+    let programs = non_empty_array(&doc, "programs")?;
     for (i, p) in programs.iter().enumerate() {
         let ctx = |msg: String| format!("programs[{i}]: {msg}");
         match p.get("name") {

@@ -1,7 +1,7 @@
 //! Reproduction driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations|incr|magic|serve|compile]
+//! repro [--exp all|t1|fig4a|fig4b|fig4c|fig4d|fig4e|threads|ablations|incr|magic|serve|compile|store]
 //!       [--scale small|full] [--threads N] [--bench-json [PATH]] [--no-compile]
 //! ```
 //!
@@ -24,7 +24,12 @@
 //! p50/p99 latency, epoch-swap stall); with `--exp compile` it benchmarks
 //! closure-chain compiled execution vs the interpreted step machine plus
 //! the linkage distance kernels vs their scalar references
-//! (`BENCH_compile.json`, schema `vadalink-bench-compile/1`). All
+//! (`BENCH_compile.json`, schema `vadalink-bench-compile/1`); with
+//! `--exp store` it benchmarks the durable sharded store — fixpoint time
+//! across shard counts (byte-identity checked), recovery time vs snapshot
+//! cadence after a simulated crash, and one large-register scale probe
+//! (1M persons at `--full`) — writing `BENCH_store.json` (schema
+//! `vadalink-bench-store/1`). All
 //! documents are validated in-process before they are written, so a
 //! malformed artifact fails loudly — CI smokes every path in release
 //! mode.
@@ -46,6 +51,9 @@ use bench::incr_bench::{render_incr_json, run_incr_bench, validate_incr_json, In
 use bench::magic_bench::{render_magic_json, run_magic_bench, validate_magic_json, MagicConfig};
 use bench::serve_bench::{
     render_serve_json, run_serve_bench, validate_serve_json, Mix, ServeBenchConfig, Workload,
+};
+use bench::store_bench::{
+    render_store_json, run_store_bench, validate_store_json, StoreBenchConfig,
 };
 
 struct Args {
@@ -408,6 +416,89 @@ fn run_compile(json_path: Option<&str>, full: bool) {
     }
 }
 
+/// Runs the durable-store sweeps (shard scaling, recovery vs snapshot
+/// cadence, register scale); optionally writes + validates the
+/// `BENCH_store.json` artifact. Exits non-zero on schema or identity
+/// failure.
+fn run_store(json_path: Option<&str>, full: bool) {
+    let cfg = StoreBenchConfig {
+        persons: if full { 8_000 } else { 2_000 },
+        seed: SEED,
+        threads: 1,
+        repeats: if full { 3 } else { 2 },
+        updates: if full { 200 } else { 50 },
+        shard_counts: vec![1, 2, 4, 8],
+        cadences: if full {
+            vec![0, 16, 64]
+        } else {
+            vec![0, 8, 32]
+        },
+        register_persons: if full { 1_000_000 } else { 20_000 },
+    };
+    println!(
+        "Durable store bench: sharded fixpoint + crash recovery \
+         ({} persons, {} committed updates, {} repeats, workers = shards)",
+        cfg.persons, cfg.updates, cfg.repeats
+    );
+    let report = run_store_bench(&cfg);
+    println!(
+        "{:>8} {:>12} {:>9} {:>8}",
+        "shards", "eval_s", "speedup", "skew"
+    );
+    for r in &report.shard_rows {
+        println!(
+            "{:>8} {:>12.3} {:>8.2}x {:>8.2}",
+            r.shards, r.eval_secs, r.speedup, r.skew
+        );
+        assert!(
+            r.outputs_match,
+            "shards {}: sharded eval diverged",
+            r.shards
+        );
+    }
+    println!(
+        "\n{:>9} {:>9} {:>12} {:>11} {:>12}",
+        "cadence", "commits", "recovery_s", "snapshots", "tail_frames"
+    );
+    for r in &report.recovery_rows {
+        println!(
+            "{:>9} {:>9} {:>12.3} {:>11} {:>12}",
+            r.cadence, r.commits, r.recovery_secs, r.snapshots_written, r.wal_tail_frames
+        );
+        assert!(r.outputs_match, "cadence {}: recovery diverged", r.cadence);
+    }
+    let reg = &report.register;
+    println!(
+        "\nregister: {} persons, {} facts — load {:.2}s, eval {:.2}s, \
+         recover {:.2}s, ~{} MiB heap",
+        reg.persons,
+        reg.total_facts,
+        reg.load_secs,
+        reg.eval_secs,
+        reg.recover_secs,
+        reg.heap_bytes / (1 << 20)
+    );
+    println!(
+        "acceptance: every shard count byte-identical; every cadence recovers \
+         canonically identical state (EXPERIMENTS.md)."
+    );
+    if let Some(path) = json_path {
+        let text = render_store_json(&cfg, &report);
+        if let Err(e) = validate_store_json(&text) {
+            eprintln!("generated benchmark JSON failed schema validation: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\nwrote {path} (schema {} — validated)",
+            bench::store_bench::STORE_SCHEMA
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.bench_json {
@@ -423,6 +514,9 @@ fn main() {
         } else if args.exp == "compile" {
             let path = path.as_deref().unwrap_or("BENCH_compile.json");
             run_compile(Some(path), args.full);
+        } else if args.exp == "store" {
+            let path = path.as_deref().unwrap_or("BENCH_store.json");
+            run_store(Some(path), args.full);
         } else {
             let path = path.as_deref().unwrap_or("BENCH_datalog.json");
             run_bench_json(path, args.full);
@@ -563,6 +657,11 @@ fn main() {
 
     if args.exp == "compile" {
         run_compile(None, args.full);
+        println!();
+    }
+
+    if args.exp == "store" {
+        run_store(None, args.full);
         println!();
     }
 }

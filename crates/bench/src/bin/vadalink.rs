@@ -58,6 +58,19 @@
 //! an ephemeral port); the process exits 0 when a client sends the
 //! `shutdown` op.
 //!
+//! `update` and `serve` accept `--data-dir DIR` for **durability**: every
+//! committed update batch is appended to a checksummed write-ahead log in
+//! DIR before it becomes visible, and snapshots are cut every
+//! `--snapshot-every N` commits (`--fsync always|never` picks the sync
+//! policy). On boot the newest snapshot is loaded and the WAL tail
+//! replayed, restoring the pre-crash state; `--nodes`/`--edges` seed the
+//! register only on the first boot of an empty directory. The directory
+//! must already exist — a missing path is a usage error (exit 2), while a
+//! directory locked by another live process or written by an incompatible
+//! store version exits 1 with a diagnostic. `--shards N` partitions the
+//! fixpoint's round work by node hash across N shards (results are
+//! byte-identical for every N).
+//!
 //! All usage errors (unknown flags or subcommands, missing values) exit 2
 //! and print the usage summary to stderr; `--help`/`-h` prints it to
 //! stdout and exits 0.
@@ -81,10 +94,12 @@ subcommands:
   control   --nodes N.csv --edges E.csv [--explain X,Y] [--explain-plan]
   closelink --nodes N.csv --edges E.csv [--threshold 0.2] [--explain-plan]
   update    PROGRAM --nodes N.csv --edges E.csv --update U [--threshold 0.2]
+            [--data-dir DIR]
             PROGRAM is a Vadalog file or a bundled shortcut
             (control | closelink); U holds one signed ground fact per
             line: +own(n0,n4,0.3) inserts, -own(n0,n4,0.8) deletes,
-            '%' starts a comment
+            '%' starts a comment. With --data-dir the batch is logged
+            durably and the session state is restored from DIR
   demo      [--out DIR]
   check     PROGRAM [--lax] [--json]
   query     PROGRAM GOAL --nodes N.csv --edges E.csv [--threshold 0.2]
@@ -92,16 +107,29 @@ subcommands:
             PROGRAM is a Vadalog file or a bundled shortcut
             (control | closelink)
   serve     PROGRAM --nodes N.csv --edges E.csv [--addr 127.0.0.1:0]
-            [--threshold 0.2]
+            [--threshold 0.2] [--data-dir DIR]
             serves point lookups, explanations and updates over
             line-delimited JSON on TCP; prints the bound address to
-            stdout and exits 0 on a client 'shutdown' op
+            stdout and exits 0 on a client 'shutdown' op. With
+            --data-dir commits are WAL-logged before their epoch swap
+            and boot restores snapshot + WAL tail
 
 global options:
   --threads N   pin the worker-thread count
+  --shards N    hash-partition round work across N shards (default 1;
+                results are byte-identical for every N)
   --no-compile  disable closure-chain compiled execution (interpreted
                 step machine; escape hatch — results are identical)
   -h, --help    print this help and exit
+
+durability options (update, serve):
+  --data-dir DIR        existing directory for the WAL and snapshots;
+                        missing DIR is a usage error (exit 2), DIR held
+                        by a live process or written by an incompatible
+                        store version exits 1
+  --fsync always|never  WAL sync policy (default always)
+  --snapshot-every N    snapshot cadence in commits (default 64;
+                        0 disables periodic snapshots)
 ";
 
 struct Opts {
@@ -118,6 +146,9 @@ struct Opts {
     lax: bool,
     json: bool,
     addr: String,
+    data_dir: Option<String>,
+    fsync: store::FsyncPolicy,
+    snapshot_every: u64,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -136,6 +167,9 @@ fn parse_opts() -> Result<Opts, String> {
         lax: false,
         json: false,
         addr: "127.0.0.1:0".to_owned(),
+        data_dir: None,
+        fsync: store::FsyncPolicy::Always,
+        snapshot_every: 64,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -177,6 +211,28 @@ fn parse_opts() -> Result<Opts, String> {
                 par::set_threads(n);
             }
             "--no-compile" => datalog::set_compile_default(false),
+            "--shards" => {
+                let n: usize = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad shard count: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                datalog::set_shards_default(n);
+            }
+            "--data-dir" => opts.data_dir = Some(next(&mut i)?),
+            "--fsync" => {
+                opts.fsync = match next(&mut i)?.as_str() {
+                    "always" => store::FsyncPolicy::Always,
+                    "never" => store::FsyncPolicy::Never,
+                    other => return Err(format!("bad --fsync {other} (always|never)")),
+                }
+            }
+            "--snapshot-every" => {
+                opts.snapshot_every = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad snapshot cadence: {e}"))?
+            }
             other if !other.starts_with('-') || other == "-" => {
                 // Positionals in order: PROGRAM first, then (for `query`)
                 // the goal.
@@ -202,6 +258,38 @@ fn load_graph(opts: &Opts) -> Result<CompanyGraph, String> {
     let ef = BufReader::new(File::open(edges).map_err(|e| format!("{edges}: {e}"))?);
     let g = io::read_csv(nf, ef).map_err(|e| format!("parse error: {e}"))?;
     Ok(CompanyGraph::new(g))
+}
+
+fn store_cfg(opts: &Opts) -> store::StoreConfig {
+    store::StoreConfig {
+        fsync: opts.fsync,
+        snapshot_every: opts.snapshot_every,
+    }
+}
+
+/// Maps a store failure onto the CLI exit scheme: a missing data
+/// directory is a usage error (exit 2, via the `Err` path like any other
+/// missing file), anything else — lock held by a live process,
+/// incompatible snapshot/WAL version, unrecoverable corruption — is an
+/// operational failure (exit 1, diagnostic only, no usage spam).
+fn store_exit(e: store::StoreError) -> Result<ExitCode, String> {
+    match e {
+        store::StoreError::MissingDir(_) => Err(e.to_string()),
+        other => {
+            eprintln!("vadalink: {other}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+/// Head predicates of a program — omitted from snapshots, re-derived on
+/// recovery.
+fn head_preds(program: &datalog::Program) -> std::collections::HashSet<String> {
+    program
+        .rules
+        .iter()
+        .flat_map(|r| r.head.iter().map(|a| a.pred.clone()))
+        .collect()
 }
 
 /// Implements `vadalink check`: parse, analyze, print, and translate the
@@ -356,20 +444,69 @@ fn run_update(opts: &Opts) -> Result<ExitCode, String> {
     };
     let upd_path = opts.update.as_ref().ok_or("--update is required")?;
     let upd_src = std::fs::read_to_string(upd_path).map_err(|e| format!("{upd_path}: {e}"))?;
-    let g = load_graph(opts)?;
-    if opts.explain_plan {
-        eprintln!("{}", plan_report(&src, &g, Some(opts.threshold)));
-    }
     let program = datalog::Program::parse(&src).map_err(|e| format!("{spec}: {e}"))?;
-    let mut db = datalog::Database::new();
-    load_facts(&g, &mut db);
-    db.assert_fact("th", &[datalog::Const::float(opts.threshold)])
-        .map_err(|e| e.to_string())?;
-    let mut session = datalog::IncrementalEngine::new(&program, db).map_err(|e| e.to_string())?;
+    let fresh_db = |opts: &Opts| -> Result<datalog::Database, String> {
+        let g = load_graph(opts)?;
+        if opts.explain_plan {
+            eprintln!("{}", plan_report(&src, &g, Some(opts.threshold)));
+        }
+        let mut db = datalog::Database::new();
+        load_facts(&g, &mut db);
+        db.assert_fact("th", &[datalog::Const::float(opts.threshold)])
+            .map_err(|e| e.to_string())?;
+        Ok(db)
+    };
+    let (mut session, mut durable) = if let Some(dir) = &opts.data_dir {
+        let (mut store, recovery) =
+            match store::DurableStore::open(std::path::Path::new(dir), store_cfg(opts)) {
+                Ok(ok) => ok,
+                Err(e) => return store_exit(e),
+            };
+        for w in &recovery.warnings {
+            eprintln!("vadalink: {w}");
+        }
+        let first_boot = recovery.base.is_none();
+        // The snapshot is the register of record; --nodes/--edges seed
+        // only the first boot of an empty directory.
+        let base = match recovery.base {
+            Some(db) => db,
+            None => fresh_db(opts)?,
+        };
+        let mut session =
+            datalog::IncrementalEngine::new(&program, base).map_err(|e| e.to_string())?;
+        let replayed =
+            store::replay_tail(&mut session, &recovery.tail).map_err(|e| e.to_string())?;
+        if first_boot {
+            store
+                .write_snapshot(session.db(), &head_preds(&program))
+                .map_err(|e| e.to_string())?;
+        } else {
+            eprintln!(
+                "vadalink: restored seq={} (replayed {replayed} update(s))",
+                recovery.seq
+            );
+        }
+        (session, Some(store))
+    } else {
+        let session = datalog::IncrementalEngine::new(&program, fresh_db(opts)?)
+            .map_err(|e| e.to_string())?;
+        (session, None)
+    };
     let update = session
         .parse_update(&upd_src)
         .map_err(|e| format!("{upd_path}: {e}"))?;
     let cs = session.apply_update(&update).map_err(|e| e.to_string())?;
+    if let Some(store) = &mut durable {
+        store
+            .append(&update, session.db())
+            .map_err(|e| e.to_string())?;
+        if store.should_snapshot() {
+            store
+                .write_snapshot(session.db(), &head_preds(&program))
+                .map_err(|e| e.to_string())?;
+        }
+        eprintln!("vadalink: committed seq={}", store.seq());
+    }
     let db = session.db();
     let render = |tuple: &[datalog::Const]| -> String {
         tuple
@@ -426,15 +563,34 @@ fn run_serve_cmd(opts: &Opts) -> Result<ExitCode, String> {
     load_facts(&g, &mut db);
     db.assert_fact("th", &[datalog::Const::float(opts.threshold)])
         .map_err(|e| e.to_string())?;
-    let svc = serve::GraphService::new(
-        &program,
-        db,
-        serve::ServiceConfig {
-            name: spec.to_owned(),
-            threads: 0,
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let cfg = serve::ServiceConfig {
+        name: spec.to_owned(),
+        threads: 0,
+    };
+    let svc = if let Some(dir) = &opts.data_dir {
+        match serve::GraphService::open_durable(
+            &program,
+            db,
+            cfg,
+            store_cfg(opts),
+            std::path::Path::new(dir),
+        ) {
+            Ok((svc, info)) => {
+                for w in &info.warnings {
+                    eprintln!("vadalink: {w}");
+                }
+                eprintln!(
+                    "vadalink: restored seq={} (replayed {} update(s))",
+                    info.seq, info.replayed
+                );
+                svc
+            }
+            Err(serve::DurableOpenError::Store(e)) => return store_exit(e),
+            Err(serve::DurableOpenError::Engine(e)) => return Err(e.to_string()),
+        }
+    } else {
+        serve::GraphService::new(&program, db, cfg).map_err(|e| e.to_string())?
+    };
     let server = serve::Server::spawn(Arc::new(svc), &opts.addr)
         .map_err(|e| format!("{}: {e}", opts.addr))?;
     // The bound address goes to stdout (and is flushed) so scripted

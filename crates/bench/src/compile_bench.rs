@@ -29,7 +29,9 @@ use linkage::distance;
 use vada_link::model::CompanyGraph;
 use vada_link::programs::{CLOSELINK_PROGRAM, CONTROL_PROGRAM, GENERIC_PIPELINE_PROGRAM};
 
-use crate::bench_json::{db_snapshot, esc, num, parse_json, timed_pair, want_num, JVal};
+use crate::bench_json::{
+    check_doc_header, db_snapshot, esc, non_empty_array, num, timed_pair, want_num, JVal,
+};
 
 /// Schema tag written into — and demanded from — every compile-bench
 /// document.
@@ -382,26 +384,12 @@ fn check_row(
 /// Validates a `BENCH_compile.json` document against the
 /// `vadalink-bench-compile/1` schema.
 pub fn validate_compile_json(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    match doc.get("schema") {
-        Some(JVal::Str(s)) if s == COMPILE_SCHEMA => {}
-        Some(JVal::Str(s)) => return Err(format!("unknown schema '{s}'")),
-        _ => return Err("missing string field 'schema'".into()),
-    }
-    for field in ["persons", "seed", "threads", "repeats", "kernel_pairs"] {
-        let v = want_num(&doc, field)?;
-        if v < 1.0 {
-            return Err(format!("field '{field}' must be >= 1"));
-        }
-    }
-    let programs = match doc.get("programs") {
-        Some(JVal::Arr(items)) => items,
-        Some(_) => return Err("field 'programs' must be an array".into()),
-        None => return Err("missing field 'programs'".into()),
-    };
-    if programs.is_empty() {
-        return Err("'programs' must not be empty".into());
-    }
+    let doc = check_doc_header(
+        text,
+        COMPILE_SCHEMA,
+        &["persons", "seed", "threads", "repeats", "kernel_pairs"],
+    )?;
+    let programs = non_empty_array(&doc, "programs")?;
     for (i, p) in programs.iter().enumerate() {
         let ctx = |msg: String| format!("programs[{i}]: {msg}");
         check_row(p, &ctx, ["compiled_secs", "interpreted_secs"])?;

@@ -37,7 +37,7 @@ use vada_link::mapping::load_facts;
 use vada_link::model::CompanyGraph;
 use vada_link::programs::CLOSELINK_PROGRAM;
 
-use crate::bench_json::{esc, num, parse_json, want_num, JVal};
+use crate::bench_json::{check_doc_header, esc, non_empty_array, num, want_num, JVal};
 
 /// Schema tag of the incremental benchmark document.
 pub const INCR_SCHEMA: &str = "vadalink-bench-incr/1";
@@ -300,26 +300,12 @@ pub fn render_incr_json(cfg: &IncrConfig, rows: &[IncrBench]) -> String {
 /// Validates a `BENCH_incr.json` document: schema tag, field presence and
 /// types, positive timings, and matched outputs on every row.
 pub fn validate_incr_json(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    match doc.get("schema") {
-        Some(JVal::Str(s)) if s == INCR_SCHEMA => {}
-        Some(JVal::Str(s)) => return Err(format!("unknown schema '{s}'")),
-        _ => return Err("missing string field 'schema'".into()),
-    }
-    for field in ["persons", "seed", "threads", "repeats"] {
-        let v = want_num(&doc, field)?;
-        if v < 1.0 {
-            return Err(format!("field '{field}' must be >= 1"));
-        }
-    }
-    let batches = match doc.get("batches") {
-        Some(JVal::Arr(items)) => items,
-        Some(_) => return Err("field 'batches' must be an array".into()),
-        None => return Err("missing field 'batches'".into()),
-    };
-    if batches.is_empty() {
-        return Err("'batches' must not be empty".into());
-    }
+    let doc = check_doc_header(
+        text,
+        INCR_SCHEMA,
+        &["persons", "seed", "threads", "repeats"],
+    )?;
+    let batches = non_empty_array(&doc, "batches")?;
     for (i, b) in batches.iter().enumerate() {
         let ctx = |msg: String| format!("batches[{i}]: {msg}");
         let batch = want_num(b, "batch").map_err(&ctx)?;

@@ -22,7 +22,7 @@ use vada_link::mapping::load_facts;
 use vada_link::model::CompanyGraph;
 use vada_link::programs::{CLOSELINK_PROGRAM, CONTROL_PROGRAM};
 
-use crate::bench_json::{esc, num, parse_json, want_num, JVal};
+use crate::bench_json::{check_doc_header, esc, non_empty_array, num, want_num, JVal};
 
 /// Schema tag written into — and demanded from — every magic bench
 /// document.
@@ -221,26 +221,12 @@ pub fn render_magic_json(cfg: &MagicConfig, rows: &[MagicBench]) -> String {
 /// full run, and won by at least an integer factor (`win_factor >= 2`,
 /// consistent with the measured ratio).
 pub fn validate_magic_json(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    match doc.get("schema") {
-        Some(JVal::Str(s)) if s == MAGIC_SCHEMA => {}
-        Some(JVal::Str(s)) => return Err(format!("unknown schema '{s}'")),
-        _ => return Err("missing string field 'schema'".into()),
-    }
-    for field in ["persons", "seed", "threads", "repeats"] {
-        let v = want_num(&doc, field)?;
-        if v < 1.0 {
-            return Err(format!("field '{field}' must be >= 1"));
-        }
-    }
-    let lookups = match doc.get("lookups") {
-        Some(JVal::Arr(items)) => items,
-        Some(_) => return Err("field 'lookups' must be an array".into()),
-        None => return Err("missing field 'lookups'".into()),
-    };
-    if lookups.is_empty() {
-        return Err("'lookups' must not be empty".into());
-    }
+    let doc = check_doc_header(
+        text,
+        MAGIC_SCHEMA,
+        &["persons", "seed", "threads", "repeats"],
+    )?;
+    let lookups = non_empty_array(&doc, "lookups")?;
     for (i, p) in lookups.iter().enumerate() {
         let ctx = |msg: String| format!("lookups[{i}]: {msg}");
         for field in ["name", "goal"] {

@@ -32,7 +32,7 @@ use vada_link::mapping::load_facts;
 use vada_link::model::CompanyGraph;
 use vada_link::programs::CONTROL_PROGRAM;
 
-use crate::bench_json::{esc, num, parse_json, want_num, JVal};
+use crate::bench_json::{check_doc_header, esc, non_empty_array, num, want_num, JVal};
 
 /// Schema tag of the serving benchmark document.
 pub const SERVE_SCHEMA: &str = "vadalink-bench-serve/1";
@@ -351,18 +351,11 @@ pub fn render_serve_json(cfg: &ServeBenchConfig, rows: &[ServeBench]) -> String 
 /// `vadalink-bench-serve/1` schema: field presence, types, at least two
 /// reader/writer mixes, positive throughput and ordered percentiles.
 pub fn validate_serve_json(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    match doc.get("schema") {
-        Some(JVal::Str(s)) if s == SERVE_SCHEMA => {}
-        Some(JVal::Str(s)) => return Err(format!("unknown schema '{s}'")),
-        _ => return Err("missing string field 'schema'".into()),
-    }
-    for field in ["persons", "seed", "threads", "ops_per_reader"] {
-        let v = want_num(&doc, field)?;
-        if v < 1.0 {
-            return Err(format!("field '{field}' must be >= 1"));
-        }
-    }
+    let doc = check_doc_header(
+        text,
+        SERVE_SCHEMA,
+        &["persons", "seed", "threads", "ops_per_reader"],
+    )?;
     let z = want_num(&doc, "zipf_s")?;
     if !(0.0..=10.0).contains(&z) {
         return Err("field 'zipf_s' out of range".into());
@@ -371,11 +364,7 @@ pub fn validate_serve_json(text: &str) -> Result<(), String> {
         Some(JVal::Str(s)) if s == "closed" || s == "open" => {}
         _ => return Err("field 'workload' must be \"closed\" or \"open\"".into()),
     }
-    let mixes = match doc.get("mixes") {
-        Some(JVal::Arr(items)) => items,
-        Some(_) => return Err("field 'mixes' must be an array".into()),
-        None => return Err("missing field 'mixes'".into()),
-    };
+    let mixes = non_empty_array(&doc, "mixes")?;
     if mixes.len() < 2 {
         return Err("'mixes' must hold at least two reader/writer mixes".into());
     }

@@ -1,7 +1,9 @@
 //! End-to-end tests of the `vadalink` binary: exit-code conventions
 //! (0 clean, 1 analyzer errors, 2 usage/parse errors with usage text),
-//! the `update` subcommand's incremental diff output, and the `serve`
-//! subcommand's bind/round-trip/shutdown lifecycle.
+//! the `update` subcommand's incremental diff output, the `serve`
+//! subcommand's bind/round-trip/shutdown lifecycle, and durability —
+//! data-dir exit codes (missing dir 2; locked / incompatible store 1)
+//! plus a real SIGKILL-and-restart recovery round trip.
 
 use std::fs;
 use std::io::{BufRead, BufReader};
@@ -173,9 +175,15 @@ fn demo_graph(name: &str) -> (PathBuf, PathBuf, PathBuf) {
     (dir, nodes, edges)
 }
 
-/// Boots `vadalink serve` on an ephemeral port and reads the bound
-/// address off the child's stdout.
-fn spawn_serve(nodes: &Path, edges: &Path) -> (std::process::Child, String) {
+/// Boots `vadalink serve` on an ephemeral port (with extra flags) and
+/// reads the bound address off the child's stdout — the last line before
+/// the address may be a restore banner, so keep reading until a line
+/// parses as an address.
+///
+/// Every caller kills or shuts the child down and `wait()`s on it; a
+/// failed assertion here leaves reaping to the test harness.
+#[allow(clippy::zombie_processes)]
+fn spawn_serve_with(nodes: &Path, edges: &Path, extra: &[&str]) -> (std::process::Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_vadalink"))
         .args([
             "serve",
@@ -187,15 +195,27 @@ fn spawn_serve(nodes: &Path, edges: &Path) -> (std::process::Child, String) {
             "--addr",
             "127.0.0.1:0",
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
         .expect("vadalink serve spawns");
-    let mut addr = String::new();
-    BufReader::new(child.stdout.take().expect("piped stdout"))
-        .read_line(&mut addr)
-        .expect("server prints its bound address");
-    (child, addr.trim().to_owned())
+    let mut reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("server stdout") > 0,
+            "server exited before printing its bound address"
+        );
+        let line = line.trim();
+        if line.starts_with("127.0.0.1:") {
+            return (child, line.to_owned());
+        }
+    }
+}
+
+fn spawn_serve(nodes: &Path, edges: &Path) -> (std::process::Child, String) {
+    spawn_serve_with(nodes, edges, &[])
 }
 
 #[test]
@@ -272,6 +292,151 @@ fn serve_answers_an_end_to_end_client_round_trip() {
         !rows.iter().any(|r| r == "control(n0, n2)"),
         "rows: {rows:?}"
     );
+
+    client.shutdown().expect("shutdown");
+    assert_eq!(child.wait().expect("exit").code(), Some(0));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Data-dir failures follow the documented exit-code scheme: a missing
+/// directory is a usage error (exit 2, with the usage text, like a
+/// typo'd file path), while a locked or version-incompatible store is an
+/// operational error (exit 1, one diagnostic line, no usage spam).
+#[test]
+fn data_dir_errors_follow_the_exit_code_scheme() {
+    let (dir, nodes, edges) = demo_graph("data-dir-codes");
+    let upd = dir.join("u.txt");
+    fs::write(&upd, "+own(n0,n3,0.1)\n").unwrap();
+    let update = |data: &Path| {
+        vadalink(&[
+            "update",
+            "control",
+            "--nodes",
+            nodes.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--update",
+            upd.to_str().unwrap(),
+            "--data-dir",
+            data.to_str().unwrap(),
+        ])
+    };
+
+    // Missing data directory: exit 2 + usage (the store never creates it).
+    let missing = dir.join("no-such-dir");
+    let out = update(&missing);
+    assert_eq!(code(&out), 2);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("does not exist"), "stderr: {err}");
+    assert!(err.contains("usage: vadalink"), "stderr: {err}");
+
+    // Locked by a live process (this test): exit 1, diagnostic only.
+    let locked = dir.join("locked");
+    fs::create_dir_all(&locked).unwrap();
+    fs::write(locked.join("LOCK"), std::process::id().to_string()).unwrap();
+    let out = update(&locked);
+    assert_eq!(code(&out), 1);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("locked"), "stderr: {err}");
+    assert!(!err.contains("usage: vadalink"), "stderr: {err}");
+
+    // Newest snapshot speaks a different format version: exit 1.
+    let incompat = dir.join("incompat");
+    fs::create_dir_all(&incompat).unwrap();
+    fs::write(
+        incompat.join("snap-00000000000000000001.vsnap"),
+        "vadalink-snapshot/999\nseq 1\nend\n",
+    )
+    .unwrap();
+    let out = update(&incompat);
+    assert_eq!(code(&out), 1);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("incompatible"), "stderr: {err}");
+    assert!(!err.contains("usage: vadalink"), "stderr: {err}");
+
+    // `serve` maps the same errors the same way.
+    let out = vadalink(&[
+        "serve",
+        "control",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+        "--data-dir",
+        missing.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2);
+    let out = vadalink(&[
+        "serve",
+        "control",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+        "--data-dir",
+        locked.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The real crash story: a durable server is SIGKILLed mid-flight and a
+/// restart on the same data dir must come back at the committed state —
+/// same WAL sequence, same fact count, same query answers.
+#[test]
+fn serve_survives_sigkill_and_recovers_from_the_data_dir() {
+    let (dir, nodes, edges) = demo_graph("serve-recover");
+    let data = dir.join("data");
+    fs::create_dir_all(&data).unwrap();
+    let extra = ["--data-dir", data.to_str().unwrap()];
+
+    let (mut child, addr) = spawn_serve_with(&nodes, &edges, &extra);
+    let mut client = serve::Client::connect(addr.as_str()).expect("connect");
+    let (epoch, _ins, del) = client
+        .update("-own(n0,n2,0.8)\n+own(n0,n2,0.3)")
+        .expect("update applies");
+    assert_eq!(epoch, 1);
+    assert!(
+        del.iter().any(|f| f == "control(n0,n2)"),
+        "deleted: {del:?}"
+    );
+    let (_, pre_rows) = client
+        .query("control(\"n0\", X)?")
+        .expect("pre-kill lookup");
+    let serve::Body::Stats {
+        total_facts: pre_facts,
+        wal_seq: pre_wal,
+        ..
+    } = client.stats().expect("pre-kill stats")
+    else {
+        panic!("stats body");
+    };
+    assert_eq!(pre_wal, 1, "the commit is on the WAL before it is visible");
+
+    // SIGKILL: no shutdown op, no flush, no Drop handlers.
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reaped");
+
+    let (mut child, addr) = spawn_serve_with(&nodes, &edges, &extra);
+    let mut client = serve::Client::connect(addr.as_str()).expect("reconnect");
+    let serve::Body::Stats {
+        total_facts,
+        wal_seq,
+        ..
+    } = client.stats().expect("post-restart stats")
+    else {
+        panic!("stats body");
+    };
+    assert_eq!(wal_seq, pre_wal, "recovered WAL sequence");
+    assert_eq!(total_facts, pre_facts, "recovered fact count");
+    let (_, rows) = client
+        .query("control(\"n0\", X)?")
+        .expect("post-restart lookup");
+    assert_eq!(rows, pre_rows, "recovered query answers");
 
     client.shutdown().expect("shutdown");
     assert_eq!(child.wait().expect("exit").code(), Some(0));

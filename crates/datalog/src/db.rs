@@ -61,6 +61,15 @@ impl SymbolTable {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// All interned strings in interning order (id = position). Snapshot
+    /// writers dump this verbatim so a reload re-interns every symbol to
+    /// its original id — the property that makes recovery byte-faithful
+    /// (round sorts compare `Const::Sym` by id, and aggregate emission
+    /// order follows the sorts).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &str> {
+        self.names.iter().map(|n| &**n)
+    }
 }
 
 /// Deterministic, injective OID invention (Skolem) table.
@@ -236,6 +245,29 @@ impl Relation {
     /// Provenance of a row, if recorded.
     pub fn provenance(&self, row: u32) -> Option<&ProvEntry> {
         self.prov.get(row as usize).and_then(|p| p.as_ref())
+    }
+
+    /// Rough heap footprint in bytes: tuple storage, the dedup map, hash
+    /// indexes and any frozen columnar image. A capacity-planning
+    /// estimate (shard skew, memory budgets), not an allocator
+    /// measurement.
+    pub fn approx_heap_bytes(&self) -> usize {
+        const CONST_BYTES: usize = std::mem::size_of::<Const>();
+        let arity = self.tuples.first().map_or(0, |t| t.len());
+        let tuple_bytes = arity * CONST_BYTES + 16; // Arc<[Const]> header
+        let mut total = self.tuples.len() * (tuple_bytes + 8); // + seen ref
+        total += self.seen.len() * 16; // map slots
+        for index in self.indexes.values() {
+            total += index.len() * (tuple_bytes + 32);
+            total += self.tuples.len() * 4; // row ids across buckets
+        }
+        if let Some(c) = &self.columnar {
+            total += c.cols.len() * self.tuples.len() * CONST_BYTES;
+            for csr in c.csr.values() {
+                total += csr.keys.len() * CONST_BYTES + csr.rows.len() * 4;
+            }
+        }
+        total
     }
 
     pub(crate) fn set_track_prov(&mut self, on: bool) {
@@ -470,6 +502,13 @@ impl Database {
         self.scratch_for(&set)
     }
 
+    /// Read-only view of the symbol interner. The durable-storage layer
+    /// iterates it in interning order when writing snapshots, so a reload
+    /// assigns every symbol its original id.
+    pub fn symbol_table(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
     /// Interns a string constant and returns it as a [`Const`].
     pub fn sym(&mut self, s: &str) -> Const {
         Const::Sym(self.symbols.intern(s))
@@ -527,6 +566,50 @@ impl Database {
     /// Number of predicates.
     pub fn pred_count(&self) -> usize {
         self.pred_names.len()
+    }
+
+    /// Declared arity of a predicate, if any fact or resolved rule has
+    /// fixed it yet.
+    pub fn arity(&self, id: u32) -> Option<usize> {
+        self.arities.get(id as usize).copied().flatten()
+    }
+
+    /// Interns a predicate and optionally pins its arity — the snapshot
+    /// loader rebuilds the predicate table in id order with this before
+    /// any rows arrive, so predicate ids survive recovery.
+    pub fn declare_pred(&mut self, name: &str, arity: Option<usize>) -> Result<u32> {
+        let id = self.pred_id(name);
+        if let Some(a) = arity {
+            self.check_arity(id, a)?;
+        }
+        Ok(id)
+    }
+
+    /// Freezes every relation to the columnar layout (strips only, no
+    /// CSR adjacency). Sharded EDB storage parks cold shards in this
+    /// form; any later mutation of a relation drops its image.
+    pub fn freeze_all_columnar(&mut self) {
+        for rel in &mut self.relations {
+            rel.freeze_columnar(&[]);
+        }
+    }
+
+    /// Rough heap footprint of the whole store in bytes: interned
+    /// symbols, predicate tables and every relation's
+    /// [`Relation::approx_heap_bytes`]. The capacity-planning lens for
+    /// the 1M-register memory-budget target and per-shard skew stats.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for name in self.symbols.iter() {
+            total += name.len() + 56; // Arc<str> header + index entry
+        }
+        for name in &self.pred_names {
+            total += name.len() + 56;
+        }
+        for rel in &self.relations {
+            total += rel.approx_heap_bytes();
+        }
+        total
     }
 
     /// The relation of a predicate (empty if the name is unknown).

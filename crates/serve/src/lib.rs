@@ -44,4 +44,7 @@ pub use client::{Client, ClientError};
 pub use epoch::{EpochRegistry, EpochStats, PinnedEpoch, WriterGuard};
 pub use protocol::{Body, ErrorCode, Op, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 pub use server::Server;
-pub use service::{AppliedDelta, GraphService, ServeError, ServiceConfig, ServiceStats};
+pub use service::{
+    AppliedDelta, DurableOpenError, GraphService, RestoreInfo, ServeError, ServiceConfig,
+    ServiceStats,
+};

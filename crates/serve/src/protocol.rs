@@ -167,6 +167,8 @@ pub enum Body {
         freed: u64,
         pinned_now: u64,
         swap_stall_max_ns: u64,
+        /// Highest durable WAL commit sequence; 0 without a data dir.
+        wal_seq: u64,
     },
     /// `ping` / `shutdown` acknowledgement.
     Ok { epoch: u64 },
@@ -326,6 +328,7 @@ impl Response {
                 freed,
                 pinned_now,
                 swap_stall_max_ns,
+                wal_seq,
             } => {
                 fields.push(("epoch".into(), Json::Num(*epoch as f64)));
                 fields.push(("version".into(), Json::Str(version.clone())));
@@ -338,6 +341,7 @@ impl Response {
                     "swap_stall_max_ns".into(),
                     Json::Num(*swap_stall_max_ns as f64),
                 ));
+                fields.push(("wal_seq".into(), Json::Num(*wal_seq as f64)));
             }
             Body::Ok { epoch } => {
                 fields.push(("epoch".into(), Json::Num(*epoch as f64)));
@@ -406,6 +410,7 @@ impl Response {
                 freed: need_u64(&v, "freed")?,
                 pinned_now: need_u64(&v, "pinned_now")?,
                 swap_stall_max_ns: need_u64(&v, "swap_stall_max_ns")?,
+                wal_seq: need_u64(&v, "wal_seq").unwrap_or(0),
             }
         } else {
             Body::Ok { epoch }

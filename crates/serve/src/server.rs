@@ -305,6 +305,7 @@ pub fn dispatch(service: &GraphService, shutdown: &AtomicBool, req: Request) -> 
                     freed: s.epochs.freed,
                     pinned_now: s.epochs.pinned_now as u64,
                     swap_stall_max_ns: s.epochs.swap_stall_max_ns,
+                    wal_seq: s.wal_seq.unwrap_or(0),
                 },
             }
         }

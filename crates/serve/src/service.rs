@@ -21,9 +21,19 @@
 //! The snapshot-isolation contract is inherited from [`EpochRegistry`]:
 //! readers see exactly one committed epoch per request, never a
 //! half-applied update.
+//!
+//! With a data directory ([`GraphService::open_durable`]) the service is
+//! also **durable**: recovery loads the newest snapshot and replays the
+//! WAL tail before the first epoch is published, and every committed
+//! update is appended to the WAL *before* its epoch swap makes it
+//! visible — a fact a reader can observe is a fact that survives a kill.
 
+use std::collections::HashSet;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+use store::{DurableStore, StoreConfig, StoreError};
 
 use datalog::ast::Literal;
 use datalog::{
@@ -102,7 +112,44 @@ pub struct ServiceStats {
     pub updates: u64,
     /// Epoch lifecycle counters.
     pub epochs: EpochStats,
+    /// Highest WAL commit sequence (`None` when running without a data
+    /// directory). Survives restarts — the kill-and-recover smoke pins
+    /// its pre-kill transcript on this.
+    pub wal_seq: Option<u64>,
 }
+
+/// What recovery found when a durable service booted.
+#[derive(Debug, Clone)]
+pub struct RestoreInfo {
+    /// Highest committed sequence restored from the store.
+    pub seq: u64,
+    /// WAL-tail updates replayed over the snapshot.
+    pub replayed: usize,
+    /// Whether a snapshot existed (false on first boot of a directory).
+    pub had_snapshot: bool,
+    /// Recovery warnings: truncated WAL tails, skipped snapshots.
+    pub warnings: Vec<String>,
+}
+
+/// A durable boot can fail in the store layer (missing directory, lock
+/// held, incompatible version) or the engine layer; the CLI maps the two
+/// onto different exit codes.
+#[derive(Debug)]
+pub enum DurableOpenError {
+    Store(StoreError),
+    Engine(DatalogError),
+}
+
+impl std::fmt::Display for DurableOpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableOpenError::Store(e) => write!(f, "{e}"),
+            DurableOpenError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableOpenError {}
 
 /// A query service over one maintained graph. Shareable across threads
 /// (`Arc<GraphService>`); all methods take `&self`.
@@ -122,6 +169,12 @@ pub struct GraphService {
     /// Extensional predicates of the program (mentioned, never a head) —
     /// the projection for the explanation re-derivation.
     edb_preds: Vec<String>,
+    /// Head predicates — omitted from snapshots (recovery re-derives).
+    derived_preds: HashSet<String>,
+    /// Durable store, when booted with a data directory. WAL appends run
+    /// under the session lock (commit order = WAL order); snapshots are
+    /// cut after the epoch swap from the committed `Arc`.
+    store: Option<Mutex<DurableStore>>,
     /// Last provenance database, keyed by epoch id.
     explain_cache: Mutex<Option<(u64, Arc<Database>)>>,
     lookups: AtomicU64,
@@ -179,6 +232,7 @@ impl GraphService {
             .filter(|p| !heads.contains(&p.as_str()))
             .collect();
         edb_preds.sort();
+        let derived_preds: HashSet<String> = heads.iter().map(|h| h.to_string()).collect();
 
         Ok(GraphService {
             name: cfg.name,
@@ -188,10 +242,86 @@ impl GraphService {
             registry,
             explain_engine,
             edb_preds,
+            derived_preds,
+            store: None,
             explain_cache: Mutex::new(None),
             lookups: AtomicU64::new(0),
             updates: AtomicU64::new(0),
         })
+    }
+
+    /// Builds a durable service over `data_dir`: recovery (newest
+    /// snapshot + WAL-tail replay) runs before the first epoch is
+    /// published, every later commit is WAL-appended before its epoch
+    /// swap, and snapshots are cut on the configured cadence. `initial_db`
+    /// seeds the register only on the first boot of an empty directory.
+    pub fn open_durable(
+        program: &Program,
+        initial_db: Database,
+        cfg: ServiceConfig,
+        store_cfg: StoreConfig,
+        data_dir: &Path,
+    ) -> Result<(Self, RestoreInfo), DurableOpenError> {
+        Self::open_durable_with(
+            program,
+            initial_db,
+            cfg,
+            store_cfg,
+            data_dir,
+            FunctionRegistry::default,
+        )
+    }
+
+    /// [`Self::open_durable`] with external functions (see
+    /// [`Self::with_registries`]).
+    pub fn open_durable_with(
+        program: &Program,
+        initial_db: Database,
+        cfg: ServiceConfig,
+        store_cfg: StoreConfig,
+        data_dir: &Path,
+        make_registry: impl Fn() -> FunctionRegistry,
+    ) -> Result<(Self, RestoreInfo), DurableOpenError> {
+        let (mut store, recovery) =
+            DurableStore::open(data_dir, store_cfg).map_err(DurableOpenError::Store)?;
+        let had_snapshot = recovery.base.is_some();
+        let base = recovery.base.unwrap_or(initial_db);
+        let service = Self::with_registries(program, base, cfg, make_registry)
+            .map_err(DurableOpenError::Engine)?;
+
+        // Replay the WAL tail through the session, then publish the
+        // replayed state as the boot epoch.
+        let replayed = {
+            let mut session = service.lock_session();
+            let n = store::replay_tail(&mut session, &recovery.tail)
+                .map_err(DurableOpenError::Engine)?;
+            if n > 0 {
+                let snapshot = Arc::new(session.db().clone());
+                drop(session);
+                let writer = service.registry.begin_write();
+                writer.commit(snapshot);
+            }
+            n
+        };
+
+        // First boot of an empty directory gets its boot snapshot right
+        // away; a long replayed tail is also folded down immediately.
+        if !had_snapshot || store.should_snapshot() {
+            let session = service.lock_session();
+            store
+                .write_snapshot(session.db(), &service.derived_preds)
+                .map_err(DurableOpenError::Store)?;
+        }
+
+        let info = RestoreInfo {
+            seq: store.seq(),
+            replayed,
+            had_snapshot,
+            warnings: recovery.warnings,
+        };
+        let mut service = service;
+        service.store = Some(Mutex::new(store));
+        Ok((service, info))
     }
 
     /// The epoch registry (pin/commit introspection for tests and stats).
@@ -275,10 +405,36 @@ impl GraphService {
         };
         let inserted = render(&cs.inserted);
         let deleted = render(&cs.deleted);
+        // Durability point: the WAL append happens under the session lock
+        // (so WAL order is commit order) and *before* the epoch swap — no
+        // reader ever observes a fact that would not survive a kill. An
+        // append failure refuses the commit and poisons the writer: the
+        // in-memory session has already applied an update the log lost.
+        if let Some(store) = &self.store {
+            let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = store.append(&update, session.db()) {
+                self.poisoned.store(true, Ordering::Release);
+                return Err(ServeError::new(
+                    ErrorCode::Internal,
+                    format!("wal append failed: {e}"),
+                ));
+            }
+        }
         let snapshot = Arc::new(db.clone());
         drop(session);
-        let epoch = writer.commit(snapshot);
+        let epoch = writer.commit(snapshot.clone());
         self.updates.fetch_add(1, Ordering::Relaxed);
+        // Cadence snapshots ride on the committed Arc, off the session
+        // lock; a failed snapshot write is reported but does not unwind a
+        // commit the WAL already made durable.
+        if let Some(store) = &self.store {
+            let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
+            if store.should_snapshot() {
+                if let Err(e) = store.write_snapshot(&snapshot, &self.derived_preds) {
+                    eprintln!("vadalink: snapshot write failed: {e}");
+                }
+            }
+        }
         Ok(AppliedDelta {
             epoch,
             inserted,
@@ -341,6 +497,10 @@ impl GraphService {
             lookups: self.lookups.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
             epochs: self.registry.snapshot_stats(),
+            wal_seq: self
+                .store
+                .as_ref()
+                .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).seq()),
         }
     }
 

@@ -107,6 +107,7 @@ proptest! {
                 freed: epoch / 5,
                 pinned_now: epoch / 7,
                 swap_stall_max_ns: epoch / 11,
+                wal_seq: epoch / 13,
             },
             4 => Body::Ok { epoch },
             _ => Body::Error {

@@ -1,0 +1,379 @@
+//! WAL frame payloads: a hand-rolled binary codec for applied [`Update`]
+//! batches, plus the CRC32 the framing layer checksums payloads with.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! payload := seq:u64  n_delete:u32 fact*  n_insert:u32 fact*
+//! fact    := pred:str  n_vals:u32 val*
+//! str     := len:u32 utf8-bytes
+//! val     := tag:u8 body
+//!   tag 0 = Sym    body = str   (symbol spelled out, re-interned on decode)
+//!   tag 1 = Int    body = i64
+//!   tag 2 = Float  body = u64   (IEEE-754 bits — lossless, unlike text)
+//!   tag 3 = Bool   body = u8
+//!   tag 4 = Null   body = u64   (labelled-null id)
+//! ```
+//!
+//! Symbols travel as strings so a frame is self-contained: decoding
+//! re-interns them against whichever database is recovering. Interning is
+//! append-only and replay runs in commit order, so every symbol lands on
+//! the id it had in the original session — the property the byte-faithful
+//! recovery contract rests on.
+
+use datalog::{Const, Database, Update};
+
+/// Decoding failure: the payload is not a well-formed frame. The WAL
+/// layer treats this exactly like a checksum mismatch — corruption at
+/// that offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError(pub String);
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One constant at the wire level: symbols spelled out, floats as bits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireVal {
+    Sym(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Null(u64),
+}
+
+impl WireVal {
+    /// Lifts an interned constant to the wire form, resolving symbols
+    /// against the database that produced the update.
+    pub fn from_const(c: Const, db: &Database) -> WireVal {
+        match c {
+            Const::Sym(_) => WireVal::Sym(db.resolve(c).unwrap_or_default().to_owned()),
+            Const::Int(i) => WireVal::Int(i),
+            Const::Float(f) => WireVal::Float(f),
+            Const::Bool(b) => WireVal::Bool(b),
+            Const::Null(n) => WireVal::Null(n),
+        }
+    }
+
+    /// Lowers back to an interned constant; `intern` supplies the
+    /// recovering database's symbol interner.
+    pub fn to_const(&self, intern: &mut dyn FnMut(&str) -> Const) -> Const {
+        match self {
+            WireVal::Sym(s) => intern(s),
+            WireVal::Int(i) => Const::Int(*i),
+            WireVal::Float(f) => Const::float(*f),
+            WireVal::Bool(b) => Const::Bool(*b),
+            WireVal::Null(n) => Const::Null(*n),
+        }
+    }
+}
+
+/// One signed fact at the wire level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFact {
+    pub pred: String,
+    pub vals: Vec<WireVal>,
+}
+
+/// One applied `Update` batch as logged: deletions then insertions, under
+/// a monotonically increasing commit sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireUpdate {
+    pub seq: u64,
+    pub delete: Vec<WireFact>,
+    pub insert: Vec<WireFact>,
+}
+
+impl WireUpdate {
+    /// Captures an applied update for the log.
+    pub fn from_update(seq: u64, u: &Update, db: &Database) -> WireUpdate {
+        let lift = |facts: &[(String, Vec<Const>)]| -> Vec<WireFact> {
+            facts
+                .iter()
+                .map(|(pred, vals)| WireFact {
+                    pred: pred.clone(),
+                    vals: vals.iter().map(|&c| WireVal::from_const(c, db)).collect(),
+                })
+                .collect()
+        };
+        WireUpdate {
+            seq,
+            delete: lift(&u.delete),
+            insert: lift(&u.insert),
+        }
+    }
+
+    /// Rebuilds the `Update` for replay; `intern` supplies the recovering
+    /// session's symbol interner (e.g. `|s| session.sym(s)`).
+    pub fn to_update(&self, intern: &mut dyn FnMut(&str) -> Const) -> Update {
+        let lower = |facts: &[WireFact], intern: &mut dyn FnMut(&str) -> Const| {
+            facts
+                .iter()
+                .map(|f| {
+                    (
+                        f.pred.clone(),
+                        f.vals.iter().map(|v| v.to_const(intern)).collect(),
+                    )
+                })
+                .collect()
+        };
+        Update {
+            insert: lower(&self.insert, intern),
+            delete: lower(&self.delete, intern),
+        }
+    }
+
+    /// Encodes the payload bytes (framing — length prefix and checksum —
+    /// is the WAL layer's job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        for facts in [&self.delete, &self.insert] {
+            out.extend_from_slice(&(facts.len() as u32).to_le_bytes());
+            for f in facts {
+                put_str(&mut out, &f.pred);
+                out.extend_from_slice(&(f.vals.len() as u32).to_le_bytes());
+                for v in &f.vals {
+                    match v {
+                        WireVal::Sym(s) => {
+                            out.push(0);
+                            put_str(&mut out, s);
+                        }
+                        WireVal::Int(i) => {
+                            out.push(1);
+                            out.extend_from_slice(&i.to_le_bytes());
+                        }
+                        WireVal::Float(f) => {
+                            out.push(2);
+                            out.extend_from_slice(&f.to_bits().to_le_bytes());
+                        }
+                        WireVal::Bool(b) => {
+                            out.push(3);
+                            out.push(*b as u8);
+                        }
+                        WireVal::Null(n) => {
+                            out.push(4);
+                            out.extend_from_slice(&n.to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a payload; every read is bounds-checked and counts are
+    /// sanity-capped against the remaining bytes, so arbitrary garbage
+    /// fails cleanly instead of over-allocating or panicking.
+    pub fn decode(bytes: &[u8]) -> Result<WireUpdate, FrameError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let seq = r.u64()?;
+        let delete = read_facts(&mut r)?;
+        let insert = read_facts(&mut r)?;
+        if r.pos != bytes.len() {
+            return Err(FrameError(format!(
+                "{} trailing bytes after update",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(WireUpdate {
+            seq,
+            delete,
+            insert,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_facts(r: &mut Reader<'_>) -> Result<Vec<WireFact>, FrameError> {
+    let n = r.count()?;
+    let mut facts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pred = r.str()?;
+        let nv = r.count()?;
+        let mut vals = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            vals.push(match r.u8()? {
+                0 => WireVal::Sym(r.str()?),
+                1 => WireVal::Int(i64::from_le_bytes(r.array()?)),
+                2 => WireVal::Float(f64::from_bits(r.u64()?)),
+                3 => WireVal::Bool(r.u8()? != 0),
+                4 => WireVal::Null(r.u64()?),
+                t => return Err(FrameError(format!("unknown value tag {t}"))),
+            });
+        }
+        facts.push(WireFact { pred, vals });
+    }
+    Ok(facts)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], FrameError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(FrameError(format!(
+                "need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], FrameError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    /// A count whose elements each take at least one byte: capped by the
+    /// remaining input so corrupt lengths cannot drive huge allocations.
+    fn count(&mut self) -> Result<usize, FrameError> {
+        let n = self.u32()? as usize;
+        if n > self.bytes.len() - self.pos {
+            return Err(FrameError(format!(
+                "count {n} exceeds remaining {} bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let n = self.count()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError("invalid utf-8".into()))
+    }
+}
+
+/// Table-driven CRC32 (IEEE 802.3 polynomial, the zlib one), computed at
+/// compile time — no dependency, deterministic across platforms.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 checksum of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard zlib check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_all_value_kinds() {
+        let w = WireUpdate {
+            seq: 42,
+            delete: vec![WireFact {
+                pred: "own".into(),
+                vals: vec![
+                    WireVal::Sym("Ægir Holding — ñ".into()),
+                    WireVal::Float(-0.1),
+                ],
+            }],
+            insert: vec![WireFact {
+                pred: "p".into(),
+                vals: vec![
+                    WireVal::Int(i64::MIN),
+                    WireVal::Bool(true),
+                    WireVal::Null(7),
+                    WireVal::Float(f64::MAX),
+                ],
+            }],
+        };
+        let bytes = w.encode();
+        assert_eq!(WireUpdate::decode(&bytes).unwrap(), w);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(WireUpdate::decode(&[]).is_err());
+        assert!(WireUpdate::decode(&[0xFF; 7]).is_err());
+        // Valid seq, then a fact count far beyond the input.
+        let mut bytes = 9u64.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(WireUpdate::decode(&bytes).is_err());
+        // Trailing bytes after a well-formed empty update.
+        let mut ok = WireUpdate {
+            seq: 1,
+            delete: vec![],
+            insert: vec![],
+        }
+        .encode();
+        ok.push(0);
+        assert!(WireUpdate::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn update_conversion_reinterns_symbols() {
+        let mut db = Database::new();
+        let a = db.sym("acme");
+        let u = Update {
+            insert: vec![("own".into(), vec![a, Const::float(0.25)])],
+            delete: vec![],
+        };
+        let w = WireUpdate::from_update(3, &u, &db);
+        assert_eq!(w.insert[0].vals[0], WireVal::Sym("acme".into()));
+        let mut db2 = Database::new();
+        let back = w.to_update(&mut |s| db2.sym(s));
+        assert_eq!(back.insert[0].0, "own");
+        assert_eq!(db2.resolve(back.insert[0].1[0]), Some("acme"));
+    }
+}

@@ -1,0 +1,402 @@
+//! Snapshots: a versioned, line-oriented dump of a database's extensional
+//! state — the canonical dump format of the durable store.
+//!
+//! Byte-faithful recovery needs more than the facts. Round insertion
+//! sorts compare `Const::Sym` by interned id, and the order-sensitive
+//! float aggregation (`msum`) emits in row order, so a reload that
+//! interned symbols in a different order would re-derive a *canonically
+//! equal* but not byte-identical database. The snapshot therefore dumps
+//! the **full symbol table in interning order**, the **predicate table in
+//! id order** (with arities), and every base relation's rows in
+//! **insertion order** — a reload rebuilds identical ids everywhere, and WAL-tail
+//! updates replayed afterwards re-intern their symbols to the ids they
+//! had originally (interning is append-only). Derived relations are
+//! listed but carry no rows: recovery re-runs the fixpoint, which is the
+//! maintained session's own contract.
+//!
+//! Format (`\n`-terminated lines; names escaped: `\\`, `\n`, `\r`, `\t`):
+//!
+//! ```text
+//! vadalink-snapshot/1
+//! seq <last committed sequence covered>
+//! symbols <n>        then n lines, one escaped symbol each
+//! preds <n>          then n lines: <escaped name>\t<arity|-> \t<b|d>
+//! rel <pred id> <rows>   then rows lines of \t-separated cells
+//! ...
+//! end
+//! ```
+//!
+//! Cells are typed by their first byte: `s<symbol id>`, `i<int>`,
+//! `f<float bits, hex>` (lossless), `bt`/`bf`, `n<null id>`.
+
+use std::collections::HashSet;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use datalog::{Const, Database};
+
+/// Format version line; bump on breaking changes.
+pub const SNAPSHOT_VERSION: &str = "vadalink-snapshot/1";
+
+/// Why a snapshot failed to load (beyond plain I/O).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// A `vadalink-snapshot/…` header with a different version.
+    Incompatible {
+        path: PathBuf,
+        found: String,
+    },
+    /// Structurally invalid content.
+    Corrupt(String),
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Incompatible { path, found } => write!(
+                f,
+                "{}: incompatible snapshot version {found:?} (want {SNAPSHOT_VERSION:?})",
+                path.display()
+            ),
+            SnapshotError::Corrupt(d) => write!(f, "corrupt snapshot: {d}"),
+            SnapshotError::Io(e) => write!(f, "snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Result<String, SnapshotError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "bad escape \\{}",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cell(c: Const) -> String {
+    match c {
+        Const::Sym(s) => format!("s{s}"),
+        Const::Int(i) => format!("i{i}"),
+        Const::Float(f) => format!("f{:x}", f.to_bits()),
+        Const::Bool(true) => "bt".into(),
+        Const::Bool(false) => "bf".into(),
+        Const::Null(n) => format!("n{n}"),
+    }
+}
+
+fn parse_cell(s: &str, symbols: usize) -> Result<Const, SnapshotError> {
+    let corrupt = || SnapshotError::Corrupt(format!("bad cell {s:?}"));
+    let rest = s.get(1..).ok_or_else(corrupt)?;
+    Ok(match s.as_bytes()[0] {
+        b's' => {
+            let id: u32 = rest.parse().map_err(|_| corrupt())?;
+            if id as usize >= symbols {
+                return Err(SnapshotError::Corrupt(format!(
+                    "symbol id {id} out of range ({symbols} symbols)"
+                )));
+            }
+            Const::Sym(id)
+        }
+        b'i' => Const::Int(rest.parse().map_err(|_| corrupt())?),
+        b'f' => Const::float(f64::from_bits(
+            u64::from_str_radix(rest, 16).map_err(|_| corrupt())?,
+        )),
+        b'b' => Const::Bool(match rest {
+            "t" => true,
+            "f" => false,
+            _ => return Err(corrupt()),
+        }),
+        b'n' => Const::Null(rest.parse().map_err(|_| corrupt())?),
+        _ => return Err(corrupt()),
+    })
+}
+
+/// Writes a snapshot of `db`'s extensional state covering commits up to
+/// `seq`. Predicates in `derived` are listed (preserving ids and arities)
+/// but their rows are omitted — recovery re-derives them by fixpoint.
+pub fn write_snapshot(
+    w: &mut impl Write,
+    db: &Database,
+    derived: &HashSet<String>,
+    seq: u64,
+) -> std::io::Result<()> {
+    writeln!(w, "{SNAPSHOT_VERSION}")?;
+    writeln!(w, "seq {seq}")?;
+    let symbols = db.symbol_table();
+    writeln!(w, "symbols {}", symbols.len())?;
+    for s in symbols.iter() {
+        writeln!(w, "{}", esc(s))?;
+    }
+    writeln!(w, "preds {}", db.pred_count())?;
+    for p in 0..db.pred_count() as u32 {
+        let arity = db
+            .arity(p)
+            .map_or_else(|| "-".to_owned(), |a| a.to_string());
+        let kind = if derived.contains(db.pred_name(p)) {
+            'd'
+        } else {
+            'b'
+        };
+        writeln!(w, "{}\t{arity}\t{kind}", esc(db.pred_name(p)))?;
+    }
+    for p in 0..db.pred_count() as u32 {
+        if derived.contains(db.pred_name(p)) {
+            continue;
+        }
+        let rel = db.relation(db.pred_name(p)).expect("pred id is valid");
+        if rel.is_empty() {
+            continue;
+        }
+        writeln!(w, "rel {p} {}", rel.len())?;
+        let mut line = String::new();
+        for row in rel.rows() {
+            line.clear();
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push('\t');
+                }
+                line.push_str(&cell(*c));
+            }
+            writeln!(w, "{line}")?;
+        }
+    }
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+/// Reads a snapshot back into a fresh database, returning it and the
+/// commit sequence it covers. Symbol and predicate ids are rebuilt
+/// exactly as dumped.
+pub fn read_snapshot(
+    r: &mut impl BufRead,
+    path: &std::path::Path,
+) -> Result<(Database, u64), SnapshotError> {
+    let mut lines = r.lines();
+    let mut next = |what: &str| -> Result<String, SnapshotError> {
+        lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| SnapshotError::Corrupt(format!("unexpected end of file, wanted {what}")))
+    };
+    let header = next("header")?;
+    if header != SNAPSHOT_VERSION {
+        if header.starts_with("vadalink-snapshot/") {
+            return Err(SnapshotError::Incompatible {
+                path: path.to_owned(),
+                found: header,
+            });
+        }
+        return Err(SnapshotError::Corrupt(format!("bad header {header:?}")));
+    }
+    let seq_line = next("seq")?;
+    let seq: u64 = seq_line
+        .strip_prefix("seq ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SnapshotError::Corrupt(format!("bad seq line {seq_line:?}")))?;
+
+    let mut db = Database::new();
+    let sym_line = next("symbols")?;
+    let nsym: usize = sym_line
+        .strip_prefix("symbols ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SnapshotError::Corrupt(format!("bad symbols line {sym_line:?}")))?;
+    for _ in 0..nsym {
+        let s = unesc(&next("symbol")?)?;
+        db.sym(&s);
+    }
+
+    let preds_line = next("preds")?;
+    let npred: usize = preds_line
+        .strip_prefix("preds ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SnapshotError::Corrupt(format!("bad preds line {preds_line:?}")))?;
+    let mut names = Vec::with_capacity(npred);
+    for _ in 0..npred {
+        let line = next("pred")?;
+        let mut parts = line.rsplitn(3, '\t');
+        let _kind = parts
+            .next()
+            .ok_or_else(|| SnapshotError::Corrupt(format!("bad pred line {line:?}")))?;
+        let arity = parts
+            .next()
+            .ok_or_else(|| SnapshotError::Corrupt(format!("bad pred line {line:?}")))?;
+        let name = unesc(
+            parts
+                .next()
+                .ok_or_else(|| SnapshotError::Corrupt(format!("bad pred line {line:?}")))?,
+        )?;
+        let arity = match arity {
+            "-" => None,
+            a => Some(
+                a.parse::<usize>()
+                    .map_err(|_| SnapshotError::Corrupt(format!("bad arity {a:?} for {name:?}")))?,
+            ),
+        };
+        db.declare_pred(&name, arity)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        names.push(name);
+    }
+
+    loop {
+        let line = next("rel or end")?;
+        if line == "end" {
+            break;
+        }
+        let rest = line
+            .strip_prefix("rel ")
+            .ok_or_else(|| SnapshotError::Corrupt(format!("expected rel/end, got {line:?}")))?;
+        let (pred, rows) = rest
+            .split_once(' ')
+            .ok_or_else(|| SnapshotError::Corrupt(format!("bad rel line {line:?}")))?;
+        let pred: usize = pred
+            .parse()
+            .map_err(|_| SnapshotError::Corrupt(format!("bad rel line {line:?}")))?;
+        let rows: usize = rows
+            .parse()
+            .map_err(|_| SnapshotError::Corrupt(format!("bad rel line {line:?}")))?;
+        let name = names
+            .get(pred)
+            .ok_or_else(|| SnapshotError::Corrupt(format!("rel id {pred} out of range")))?
+            .clone();
+        let mut tuple = Vec::new();
+        for _ in 0..rows {
+            let row = next("row")?;
+            tuple.clear();
+            for c in row.split('\t') {
+                tuple.push(parse_cell(c, nsym)?);
+            }
+            db.assert_fact(&name, &tuple)
+                .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        }
+    }
+    if lines.next().transpose()?.is_some_and(|l| !l.is_empty()) {
+        return Err(SnapshotError::Corrupt("content after end marker".into()));
+    }
+    Ok((db, seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.fact("own")
+            .sym("Ægir\nHold\\ing")
+            .sym("b\tco")
+            .float(0.6)
+            .assert();
+        db.fact("own").sym("b\tco").sym("zzz").float(-1.5).assert();
+        db.fact("person").sym("Ægir\nHold\\ing").assert();
+        db.fact("mixed")
+            .int(i64::MIN)
+            .bool(true)
+            .val(Const::Null(3))
+            .assert();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_ids_and_order() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &db, &HashSet::new(), 17).unwrap();
+        let (back, seq) = read_snapshot(&mut &buf[..], std::path::Path::new("test.vsnap")).unwrap();
+        assert_eq!(seq, 17);
+        assert_eq!(back.symbol_table().len(), db.symbol_table().len());
+        for (a, b) in back.symbol_table().iter().zip(db.symbol_table().iter()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(back.pred_count(), db.pred_count());
+        for p in 0..db.pred_count() as u32 {
+            assert_eq!(back.pred_name(p), db.pred_name(p));
+            assert_eq!(back.arity(p), db.arity(p));
+            let (ra, rb) = (
+                back.relation(db.pred_name(p)).unwrap(),
+                db.relation(db.pred_name(p)).unwrap(),
+            );
+            assert_eq!(ra.len(), rb.len());
+            for (x, y) in ra.rows().zip(rb.rows()) {
+                assert_eq!(x, y, "rows must match in insertion order");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_relations_dump_empty() {
+        let db = sample_db();
+        let mut derived = HashSet::new();
+        derived.insert("own".to_owned());
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &db, &derived, 1).unwrap();
+        let (back, _) = read_snapshot(&mut &buf[..], std::path::Path::new("t")).unwrap();
+        assert_eq!(back.fact_count("own"), 0);
+        assert_eq!(back.arity(back.find_pred("own").unwrap()), Some(3));
+        assert_eq!(back.fact_count("person"), 1);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let bad = b"vadalink-snapshot/99\nseq 0\n";
+        match read_snapshot(&mut &bad[..], std::path::Path::new("t")) {
+            Err(SnapshotError::Incompatible { found, .. }) => {
+                assert_eq!(found, "vadalink-snapshot/99")
+            }
+            other => panic!("want Incompatible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_corrupt() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &db, &HashSet::new(), 1).unwrap();
+        let cut = buf.len() / 2;
+        assert!(matches!(
+            read_snapshot(&mut &buf[..cut], std::path::Path::new("t")),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(matches!(
+            read_snapshot(&mut &b"hello world\n"[..], std::path::Path::new("t")),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,366 @@
+//! The durable store: one data directory holding a write-ahead log and
+//! periodic snapshots, plus the recovery that stitches them back into a
+//! database.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! <data-dir>/LOCK                   pid of the owning process
+//! <data-dir>/wal.log                frames of applied updates
+//! <data-dir>/snap-<seq>.vsnap      snapshots, newest two retained
+//! ```
+//!
+//! Recovery = load the newest readable snapshot (falling back to an older
+//! one if the newest is corrupt), then replay the WAL frames with
+//! sequence numbers past it. The caller rebuilds its incremental session
+//! from the recovered base and replays the tail through
+//! [`crate::replay_tail`] — byte-identical to the pre-crash session by
+//! the snapshot's id-preserving dump plus the session layer's
+//! maintained-equals-replayed contract.
+
+use std::collections::HashSet;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use datalog::{Database, Update};
+
+use crate::frame::WireUpdate;
+use crate::snapshot::{read_snapshot, write_snapshot, SnapshotError};
+use crate::wal::{FsyncPolicy, Wal, WalOpenError};
+
+/// Durability configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// When to fsync the WAL (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Write a snapshot every this many commits; `0` disables periodic
+    /// snapshots (the WAL still makes every commit recoverable).
+    pub snapshot_every: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 64,
+        }
+    }
+}
+
+/// Everything that can go wrong opening or writing a store. The CLI maps
+/// these onto its exit-code scheme: a missing data directory is a usage
+/// error (exit 2, like a missing program file), while a locked or
+/// version-incompatible store is an operational error (exit 1).
+#[derive(Debug)]
+pub enum StoreError {
+    /// The data directory does not exist (the store never creates it —
+    /// a typo'd path must not silently become a fresh empty store).
+    MissingDir(PathBuf),
+    /// Another live process holds the directory's LOCK file.
+    Locked {
+        path: PathBuf,
+        holder: String,
+    },
+    /// Snapshot or WAL written by a different format version.
+    IncompatibleVersion {
+        path: PathBuf,
+        found: String,
+    },
+    /// Unrecoverable structural damage (all snapshots unreadable).
+    Corrupt(String),
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::MissingDir(p) => {
+                write!(f, "data directory {} does not exist", p.display())
+            }
+            StoreError::Locked { path, holder } => write!(
+                f,
+                "data directory is locked by process {holder} ({})",
+                path.display()
+            ),
+            StoreError::IncompatibleVersion { path, found } => write!(
+                f,
+                "{}: incompatible store version {found:?}",
+                path.display()
+            ),
+            StoreError::Corrupt(d) => write!(f, "corrupt store: {d}"),
+            StoreError::Io(e) => write!(f, "store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What recovery found in the data directory.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The newest readable snapshot, rebuilt with original symbol and
+    /// predicate ids; `None` when the store holds no snapshot yet.
+    pub base: Option<Database>,
+    /// Commit sequence the snapshot covers (0 without one).
+    pub base_seq: u64,
+    /// WAL frames past the snapshot, in commit order — replay these
+    /// through the rebuilt session.
+    pub tail: Vec<WireUpdate>,
+    /// Highest committed sequence in the store.
+    pub seq: u64,
+    /// Human-readable notes: truncated WAL tails, skipped snapshots.
+    pub warnings: Vec<String>,
+}
+
+/// Exclusive ownership of a data directory, released on drop. Stale
+/// locks (a SIGKILLed owner) are detected by probing `/proc/<pid>` and
+/// broken automatically — the kill-and-recover path depends on it.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl LockGuard {
+    fn acquire(dir: &Path) -> Result<LockGuard, StoreError> {
+        let path = dir.join("LOCK");
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(LockGuard { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path).unwrap_or_default();
+                    let holder = holder.trim().to_owned();
+                    let stale = match holder.parse::<u32>() {
+                        // A dead pid's /proc entry is gone; treat unparsable
+                        // lock contents as stale damage too.
+                        Ok(pid) => !Path::new(&format!("/proc/{pid}")).exists(),
+                        Err(_) => true,
+                    };
+                    if stale && attempt == 0 {
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    return Err(StoreError::Locked { path, holder });
+                }
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        }
+        unreachable!("two attempts always return")
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// An open, locked data directory: appends go to the WAL, snapshots are
+/// cut on the configured cadence.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    wal: Wal,
+    /// Highest committed sequence (snapshot or WAL).
+    seq: u64,
+    /// Sequence covered by the newest snapshot on disk.
+    snapshot_seq: u64,
+    /// Commits since that snapshot — the cadence counter.
+    commits_since_snapshot: u64,
+    _lock: LockGuard,
+}
+
+impl DurableStore {
+    /// Opens the store at `dir` (which must exist), locks it, and
+    /// performs recovery: newest readable snapshot + WAL tail.
+    pub fn open(dir: &Path, cfg: StoreConfig) -> Result<(DurableStore, Recovery), StoreError> {
+        if !dir.is_dir() {
+            return Err(StoreError::MissingDir(dir.to_owned()));
+        }
+        let lock = LockGuard::acquire(dir)?;
+        let mut warnings = Vec::new();
+
+        // Snapshots, newest first. File names embed the zero-padded
+        // sequence so lexicographic order is commit order.
+        let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if let Some(seq) = name
+                .strip_prefix("snap-")
+                .and_then(|s| s.strip_suffix(".vsnap"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                snaps.push((seq, path));
+            }
+        }
+        snaps.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+
+        let mut base = None;
+        let mut base_seq = 0u64;
+        for (i, (_, path)) in snaps.iter().enumerate() {
+            let mut r = BufReader::new(File::open(path)?);
+            match read_snapshot(&mut r, path) {
+                Ok((db, seq)) => {
+                    base = Some(db);
+                    base_seq = seq;
+                    break;
+                }
+                // The *newest* snapshot speaking a different format version
+                // is a hard error — falling back to an older snapshot would
+                // silently roll back committed state written by another
+                // build. Older incompatible snapshots are simply unusable.
+                Err(SnapshotError::Incompatible { path, found }) if i == 0 => {
+                    return Err(StoreError::IncompatibleVersion { path, found });
+                }
+                Err(e) => {
+                    warnings.push(format!(
+                        "{}: unreadable snapshot ({e}); trying older",
+                        path.display()
+                    ));
+                }
+            }
+        }
+
+        let (wal, frames, wal_warnings) = match Wal::open(&dir.join("wal.log"), cfg.fsync) {
+            Ok(ok) => ok,
+            Err(WalOpenError::Incompatible { path, found }) => {
+                return Err(StoreError::IncompatibleVersion { path, found });
+            }
+            Err(WalOpenError::Io(e)) => return Err(StoreError::Io(e)),
+        };
+        warnings.extend(wal_warnings);
+        let seq = wal.last_seq().max(base_seq);
+        let tail: Vec<WireUpdate> = frames.into_iter().filter(|f| f.seq > base_seq).collect();
+        let commits_since_snapshot = tail.len() as u64;
+        let recovery = Recovery {
+            base,
+            base_seq,
+            tail,
+            seq,
+            warnings,
+        };
+        Ok((
+            DurableStore {
+                dir: dir.to_owned(),
+                cfg,
+                wal,
+                seq,
+                snapshot_seq: base_seq,
+                commits_since_snapshot,
+                _lock: lock,
+            },
+            recovery,
+        ))
+    }
+
+    /// Logs one applied update under the next sequence number, syncing
+    /// per the configured [`FsyncPolicy`]. `db` resolves the update's
+    /// symbols for the wire form. Returns the assigned sequence.
+    pub fn append(&mut self, update: &Update, db: &Database) -> Result<u64, StoreError> {
+        let seq = self.seq + 1;
+        let wire = WireUpdate::from_update(seq, update, db);
+        self.wal.append(&wire)?;
+        self.seq = seq;
+        self.commits_since_snapshot += 1;
+        Ok(seq)
+    }
+
+    /// True when the snapshot cadence says it is time to cut one.
+    pub fn should_snapshot(&self) -> bool {
+        self.cfg.snapshot_every > 0 && self.commits_since_snapshot >= self.cfg.snapshot_every
+    }
+
+    /// Cuts a snapshot of `db` covering every commit so far (written to a
+    /// temp file, fsynced, renamed), prunes snapshots beyond the newest
+    /// two, and compacts the WAL to frames the retained snapshots do not
+    /// cover.
+    pub fn write_snapshot(
+        &mut self,
+        db: &Database,
+        derived: &HashSet<String>,
+    ) -> Result<(), StoreError> {
+        let path = self.snapshot_path(self.seq);
+        let tmp = path.with_extension("vsnap.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            write_snapshot(&mut w, db, derived, self.seq)?;
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all(); // persist the rename itself
+        }
+        let prev = self.snapshot_seq;
+        self.snapshot_seq = self.seq;
+        self.commits_since_snapshot = 0;
+        // Retain the new snapshot and its predecessor; drop older ones
+        // and the WAL prefix the predecessor already covers.
+        for entry in fs::read_dir(&self.dir)? {
+            let p = entry?.path();
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if let Some(seq) = name
+                .strip_prefix("snap-")
+                .and_then(|s| s.strip_suffix(".vsnap"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                if seq < prev {
+                    let _ = fs::remove_file(&p);
+                }
+            }
+        }
+        self.wal.compact(prev)?;
+        Ok(())
+    }
+
+    fn snapshot_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("snap-{seq:020}.vsnap"))
+    }
+
+    /// Highest committed sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Sequence covered by the newest snapshot (0 when none).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+
+    /// Valid frames currently in the WAL.
+    pub fn wal_frames(&self) -> usize {
+        self.wal.frames()
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration the store was opened with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+}
+
+/// Reads a file fully (test/tool helper for corruption experiments).
+pub fn read_file(path: &Path) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}

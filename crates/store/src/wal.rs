@@ -1,0 +1,279 @@
+//! The write-ahead log: length-prefixed, checksummed frames of applied
+//! update batches.
+//!
+//! File layout: an 8-byte magic (`VLWAL` + 2 version bytes + newline),
+//! then zero or more frames of `[len: u32 LE][crc32: u32 LE][payload]`
+//! where `crc32` covers the payload and `len` is the payload length.
+//! Frames carry strictly increasing commit sequence numbers inside the
+//! payload ([`WireUpdate::seq`]).
+//!
+//! Opening scans the whole file. The first ill-formed byte — torn tail,
+//! zero or oversized length, checksum mismatch, undecodable payload,
+//! non-monotonic sequence — marks the end of the valid prefix: the file
+//! is truncated there with a warning and every earlier frame is returned.
+//! A log that does not even start with the magic is treated the same way
+//! (garbage header → empty valid prefix), *except* when the `VLWAL`
+//! brand matches but the version bytes differ — that is a log written by
+//! a different build and refusing is safer than silently wiping it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame::{crc32, WireUpdate};
+
+/// Magic + format version; bump the last byte on breaking changes.
+pub const WAL_MAGIC: &[u8; 8] = b"VLWAL01\n";
+
+/// Frames larger than this are treated as corruption — no legitimate
+/// update batch comes close, and it bounds what a corrupt length prefix
+/// can make the scanner allocate.
+pub const MAX_FRAME: u32 = 256 << 20;
+
+/// When to `fsync` the log — the durability/latency knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every appended frame: a commit acknowledged is a commit
+    /// on disk (survives power loss, not just process death).
+    Always,
+    /// Leave flushing to the OS: survives a killed process but a crashed
+    /// kernel may lose the last frames. The load-harness setting.
+    Never,
+}
+
+/// Why a WAL failed to open (beyond plain I/O).
+#[derive(Debug)]
+pub enum WalOpenError {
+    /// `VLWAL` brand with unknown version bytes.
+    Incompatible {
+        path: PathBuf,
+        found: String,
+    },
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for WalOpenError {
+    fn from(e: std::io::Error) -> Self {
+        WalOpenError::Io(e)
+    }
+}
+
+impl std::fmt::Display for WalOpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalOpenError::Incompatible { path, found } => write!(
+                f,
+                "{}: incompatible WAL version {found:?} (want {:?})",
+                path.display(),
+                String::from_utf8_lossy(WAL_MAGIC)
+            ),
+            WalOpenError::Io(e) => write!(f, "wal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalOpenError {}
+
+/// An open write-ahead log positioned for appends.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    /// Sequence number of the last valid frame (0 when none).
+    last_seq: u64,
+    /// Number of valid frames currently in the file.
+    frames: usize,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, validates the frame
+    /// stream and truncates at the first corruption. Returns the log
+    /// positioned for appends, every valid frame in order, and the
+    /// warnings describing any truncation performed.
+    pub fn open(
+        path: &Path,
+        fsync: FsyncPolicy,
+    ) -> Result<(Wal, Vec<WireUpdate>, Vec<String>), WalOpenError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut warnings = Vec::new();
+
+        if bytes.is_empty() {
+            file.write_all(WAL_MAGIC)?;
+            file.sync_data()?;
+        } else if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != WAL_MAGIC[..] {
+            if bytes.len() >= 5 && &bytes[..5] == b"VLWAL" {
+                let found = String::from_utf8_lossy(&bytes[..bytes.len().min(8)]).into_owned();
+                return Err(WalOpenError::Incompatible {
+                    path: path.to_owned(),
+                    found,
+                });
+            }
+            // Garbage header: the valid prefix is empty. Reset to a fresh
+            // log rather than panicking or refusing to serve.
+            warnings.push(format!(
+                "{}: unrecognized WAL header, discarding {} bytes",
+                path.display(),
+                bytes.len()
+            ));
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+            file.sync_data()?;
+            bytes.clear();
+            bytes.extend_from_slice(WAL_MAGIC);
+        }
+
+        let mut frames = Vec::new();
+        let mut offset = WAL_MAGIC.len().min(bytes.len());
+        let mut last_seq = 0u64;
+        let mut corrupt: Option<String> = None;
+        while offset < bytes.len() {
+            let rest = &bytes[offset..];
+            if rest.len() < 8 {
+                corrupt = Some(format!("torn frame header ({} bytes)", rest.len()));
+                break;
+            }
+            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+            let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            if len == 0 {
+                corrupt = Some("zero-length frame".into());
+                break;
+            }
+            if len > MAX_FRAME {
+                corrupt = Some(format!("frame length {len} exceeds cap"));
+                break;
+            }
+            if rest.len() - 8 < len as usize {
+                corrupt = Some(format!(
+                    "torn frame payload (want {len}, have {})",
+                    rest.len() - 8
+                ));
+                break;
+            }
+            let payload = &rest[8..8 + len as usize];
+            if crc32(payload) != crc {
+                corrupt = Some("checksum mismatch".into());
+                break;
+            }
+            let frame = match WireUpdate::decode(payload) {
+                Ok(f) => f,
+                Err(e) => {
+                    corrupt = Some(e.to_string());
+                    break;
+                }
+            };
+            if frame.seq <= last_seq {
+                corrupt = Some(format!(
+                    "non-monotonic sequence {} after {}",
+                    frame.seq, last_seq
+                ));
+                break;
+            }
+            last_seq = frame.seq;
+            frames.push(frame);
+            offset += 8 + len as usize;
+        }
+        if let Some(reason) = corrupt {
+            warnings.push(format!(
+                "{}: {} at offset {}; truncating to last valid prefix ({} frame(s))",
+                path.display(),
+                reason,
+                offset,
+                frames.len()
+            ));
+            file.set_len(offset as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let n = frames.len();
+        Ok((
+            Wal {
+                file,
+                path: path.to_owned(),
+                fsync,
+                last_seq,
+                frames: n,
+            },
+            frames,
+            warnings,
+        ))
+    }
+
+    /// Appends one frame; the update's sequence number must increase.
+    /// Syncs per the [`FsyncPolicy`].
+    pub fn append(&mut self, u: &WireUpdate) -> std::io::Result<()> {
+        assert!(u.seq > self.last_seq, "WAL sequence must increase");
+        let payload = u.encode();
+        let mut buf = Vec::with_capacity(8 + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        self.file.write_all(&buf)?;
+        if self.fsync == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        self.last_seq = u.seq;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Compacts the log after a snapshot: atomically rewrites it keeping
+    /// only frames with `seq > min_seq` (frames at or below are covered
+    /// by a retained snapshot). The handle stays positioned for appends.
+    pub fn compact(&mut self, min_seq: u64) -> std::io::Result<()> {
+        let mut bytes = Vec::new();
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.read_to_end(&mut bytes)?;
+        let mut out = WAL_MAGIC.to_vec();
+        let mut offset = WAL_MAGIC.len().min(bytes.len());
+        let mut kept = 0usize;
+        while offset + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            if len == 0 || offset + 8 + len > bytes.len() {
+                break; // open() already validated; be defensive anyway
+            }
+            let frame = &bytes[offset..offset + 8 + len];
+            if let Ok(u) = WireUpdate::decode(&frame[8..]) {
+                if u.seq > min_seq {
+                    out.extend_from_slice(frame);
+                    kept += 1;
+                }
+            }
+            offset += 8 + len;
+        }
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.frames = kept;
+        Ok(())
+    }
+
+    /// Sequence number of the last frame (0 when the log is empty).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Number of valid frames in the log.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}

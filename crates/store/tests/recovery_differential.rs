@@ -1,0 +1,320 @@
+//! Kill-and-recover differential: a durable session that dies without any
+//! shutdown handshake must come back byte-identical to the pre-crash
+//! maintained database — snapshot load plus WAL-tail replay, nothing else.
+//!
+//! The byte-identity chain: the snapshot dumps the *full* symbol table in
+//! interning order, the predicate table in id order and every base
+//! relation in insertion order, so the restored base is byte-identical to
+//! the maintained base at the snapshot's sequence; interning is
+//! append-only, so replayed tail updates land their symbols on the
+//! original ids; and the incremental layer's maintained-equals-replayed
+//! contract closes the loop for the derived relations.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use datalog::{Database, IncrementalEngine, Program};
+use gen::company::{generate, CompanyGraphConfig};
+use store::{replay_tail, DurableStore, FsyncPolicy, StoreConfig};
+use vada_link::mapping::load_facts;
+use vada_link::model::CompanyGraph;
+use vada_link::programs::{CLOSELINK_PROGRAM, CONTROL_PROGRAM};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vl-store-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn register_db(threshold: Option<f64>) -> Database {
+    let out = generate(&CompanyGraphConfig {
+        persons: 300,
+        companies: 150,
+        seed: 0xC0DE,
+        ..Default::default()
+    });
+    let g = CompanyGraph::new(out.graph);
+    let mut db = Database::new();
+    load_facts(&g, &mut db);
+    if let Some(t) = threshold {
+        db.fact("th").float(t).assert();
+    }
+    db
+}
+
+/// Full byte image: every relation's rows in insertion order (sessions
+/// run without provenance, so rows are the whole state).
+fn image(db: &Database) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in 0..db.pred_count() as u32 {
+        let pred = db.pred_name(p).to_owned();
+        let rel = db.relation(&pred).unwrap();
+        for (row, tuple) in rel.rows().enumerate() {
+            let cells: Vec<String> = tuple.iter().map(|c| format!("{c:?}")).collect();
+            out.push(format!("{pred}[{row}]({})", cells.join(",")));
+        }
+    }
+    out
+}
+
+/// Canonical image: set identity per relation, the incremental layer's
+/// own equivalence lens.
+fn canon(db: &Database) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in 0..db.pred_count() as u32 {
+        let pred = db.pred_name(p).to_owned();
+        for line in db.dump_canonical(&pred) {
+            out.push(format!("{pred}: {line}"));
+        }
+    }
+    out
+}
+
+fn symbols(db: &Database) -> Vec<String> {
+    db.symbol_table().iter().map(str::to_owned).collect()
+}
+
+/// Deterministic update stream: new ownership edges (including brand-new
+/// nodes, exercising append-only interning during replay), reweights and
+/// deletions of earlier insertions.
+fn update_batches() -> Vec<String> {
+    let mut batches = Vec::new();
+    for i in 0..12u64 {
+        let mut b = String::new();
+        let a = (i * 17 + 3) % 150;
+        let c = (i * 29 + 11) % 150;
+        b.push_str(&format!("+own(n{a}, n{c}, 0.{})\n", 3 + i % 5));
+        if i % 3 == 0 {
+            b.push_str(&format!("+company(fresh_co_{i})\n"));
+            b.push_str(&format!("+own(n{a}, fresh_co_{i}, 0.7)\n"));
+        }
+        if i >= 4 {
+            let pa = ((i - 4) * 17 + 3) % 150;
+            let pc = ((i - 4) * 29 + 11) % 150;
+            b.push_str(&format!("-own(n{pa}, n{pc}, 0.{})\n", 3 + (i - 4) % 5));
+        }
+        batches.push(b);
+    }
+    batches
+}
+
+fn derived_preds(src: &str) -> HashSet<String> {
+    match src {
+        CONTROL_PROGRAM => ["control"].iter().map(|s| s.to_string()).collect(),
+        _ => ["acc_own", "close_link"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    }
+}
+
+/// Byte image restricted to the extensional relations.
+fn base_image(db: &Database, derived: &HashSet<String>) -> Vec<String> {
+    image(db)
+        .into_iter()
+        .filter(|line| {
+            let pred = &line[..line.find('[').unwrap()];
+            !derived.contains(pred)
+        })
+        .collect()
+}
+
+/// Runs the maintained session with durable logging, "kills" it (drops
+/// everything with no shutdown protocol), recovers, and compares.
+///
+/// `derived_byte` asserts the *full* byte image, derived rows included.
+/// That holds whenever the recovered history shapes match the maintained
+/// one: always for WAL-tail-only recovery (`snapshot_every: 0`), and for
+/// programs whose derived strata are aggregate-replayed from seeds (the
+/// maintained state then *is* the fresh-fixpoint state, e.g. control).
+/// A mid-stream snapshot under a DRed-maintained recursive stratum
+/// (close_link's symmetric closure) re-derives the same set in fresh
+/// fixpoint order — there the contract is base+symbols byte-exact and
+/// derived canonically identical.
+fn kill_and_recover(
+    src: &str,
+    threshold: Option<f64>,
+    cfg: StoreConfig,
+    name: &str,
+    derived_byte: bool,
+) {
+    let dir = scratch(name);
+    let program = Program::parse(src).unwrap();
+    let derived = derived_preds(src);
+
+    // --- the pre-crash process ---
+    let (pre_crash_image, pre_crash_canon, pre_crash_syms, pre_crash_seq) = {
+        let (mut store, recovery) = DurableStore::open(&dir, cfg).unwrap();
+        assert!(recovery.base.is_none());
+        assert_eq!(recovery.seq, 0);
+        let mut session = IncrementalEngine::new(&program, register_db(threshold)).unwrap();
+        // Boot snapshot: the initial register, before any commit.
+        store.write_snapshot(session.db(), &derived).unwrap();
+        for batch in update_batches() {
+            let update = session.parse_update(&batch).unwrap();
+            session.apply_update(&update).unwrap();
+            store.append(&update, session.db()).unwrap();
+            if store.should_snapshot() {
+                store.write_snapshot(session.db(), &derived).unwrap();
+            }
+        }
+        (
+            image(session.db()),
+            canon(session.db()),
+            symbols(session.db()),
+            store.seq(),
+        )
+        // store + session dropped here with no flush/close handshake —
+        // the library-level stand-in for SIGKILL (fsync already ran per
+        // policy; the CLI test kills a real process).
+    };
+
+    // --- recovery ---
+    let (store, recovery) = DurableStore::open(&dir, cfg).unwrap();
+    assert_eq!(recovery.seq, pre_crash_seq, "recovered commit sequence");
+    assert_eq!(store.seq(), pre_crash_seq);
+    let base = recovery.base.expect("boot snapshot exists");
+    let mut session = IncrementalEngine::new(&program, base).unwrap();
+    let replayed = replay_tail(&mut session, &recovery.tail).unwrap();
+    assert_eq!(replayed as u64, recovery.seq - recovery.base_seq);
+
+    assert_eq!(symbols(session.db()), pre_crash_syms, "symbol table");
+    assert_eq!(canon(session.db()), pre_crash_canon, "canonical state");
+    if derived_byte {
+        assert_eq!(image(session.db()), pre_crash_image, "full byte image");
+    } else {
+        let want: Vec<String> = pre_crash_image
+            .iter()
+            .filter(|line| {
+                let pred = &line[..line.find('[').unwrap()];
+                !derived.contains(pred)
+            })
+            .cloned()
+            .collect();
+        assert_eq!(base_image(session.db(), &derived), want, "base byte image");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn control_recovers_byte_identical_with_cadence_snapshots() {
+    kill_and_recover(
+        CONTROL_PROGRAM,
+        None,
+        StoreConfig {
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 5,
+        },
+        "ctl-cad",
+        true,
+    );
+}
+
+#[test]
+fn close_link_recovers_byte_identical_from_wal_only() {
+    // snapshot_every: 0 — recovery replays the entire WAL over the boot
+    // snapshot. close_link's msum aggregation is float-emission-order
+    // sensitive, so the byte image catches any replay-order divergence.
+    kill_and_recover(
+        CLOSELINK_PROGRAM,
+        Some(0.3),
+        StoreConfig {
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 0,
+        },
+        "cl-wal",
+        true,
+    );
+}
+
+#[test]
+fn close_link_recovers_with_fsync_never() {
+    // FsyncPolicy::Never still survives process death (the OS flushes the
+    // file on close/crash of the process); only power loss is at risk.
+    kill_and_recover(
+        CLOSELINK_PROGRAM,
+        Some(0.3),
+        StoreConfig {
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 3,
+        },
+        "cl-nofsync",
+        false,
+    );
+}
+
+#[test]
+fn recovery_equals_log_replay_baseline() {
+    // The documented chain: recovered session ≡ log-replay baseline ≡
+    // pre-crash maintained db. This checks the middle leg directly — a
+    // fresh session over the initial register with every update applied.
+    let dir = scratch("baseline");
+    let program = Program::parse(CONTROL_PROGRAM).unwrap();
+    let derived = derived_preds(CONTROL_PROGRAM);
+    let cfg = StoreConfig {
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 4,
+    };
+    {
+        let (mut store, _) = DurableStore::open(&dir, cfg).unwrap();
+        let mut session = IncrementalEngine::new(&program, register_db(None)).unwrap();
+        store.write_snapshot(session.db(), &derived).unwrap();
+        for batch in update_batches() {
+            let update = session.parse_update(&batch).unwrap();
+            session.apply_update(&update).unwrap();
+            store.append(&update, session.db()).unwrap();
+            if store.should_snapshot() {
+                store.write_snapshot(session.db(), &derived).unwrap();
+            }
+        }
+    }
+
+    let mut baseline = IncrementalEngine::new(&program, register_db(None)).unwrap();
+    for batch in update_batches() {
+        let update = baseline.parse_update(&batch).unwrap();
+        baseline.apply_update(&update).unwrap();
+    }
+
+    let (_store, recovery) = DurableStore::open(&dir, cfg).unwrap();
+    let mut recovered = IncrementalEngine::new(&program, recovery.base.unwrap()).unwrap();
+    replay_tail(&mut recovered, &recovery.tail).unwrap();
+    assert_eq!(canon(recovered.db()), canon(baseline.db()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_open_while_locked_is_refused() {
+    let dir = scratch("locked");
+    let cfg = StoreConfig::default();
+    let (_store, _) = DurableStore::open(&dir, cfg).unwrap();
+    match DurableStore::open(&dir, cfg) {
+        Err(store::StoreError::Locked { holder, .. }) => {
+            assert_eq!(holder, std::process::id().to_string());
+        }
+        other => panic!("expected Locked, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_lock_from_dead_process_is_broken() {
+    let dir = scratch("stale");
+    // No live process has this pid (pid_max on Linux is < 2^22 by
+    // default, and 4_000_000 exceeds any real pid namespace here).
+    std::fs::write(dir.join("LOCK"), "4000000").unwrap();
+    let cfg = StoreConfig::default();
+    let (store, _) = DurableStore::open(&dir, cfg).unwrap();
+    assert_eq!(store.seq(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_data_dir_is_a_typed_error() {
+    let dir = std::env::temp_dir().join(format!("vl-store-nope-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    match DurableStore::open(&dir, StoreConfig::default()) {
+        Err(store::StoreError::MissingDir(p)) => assert_eq!(p, dir),
+        other => panic!("expected MissingDir, got {other:?}"),
+    }
+}
