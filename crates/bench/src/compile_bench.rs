@@ -16,9 +16,15 @@
 //!   as ns/pair. Equality of every output is checked while timing.
 //!
 //! The validator enforces the schema and internal consistency (matched
-//! outputs, flags agreeing with floats); like the plan benchmark it
-//! *warns* on regressions rather than failing, so a slow machine cannot
-//! turn a measurement into a build break.
+//! outputs, flags agreeing with floats). Unlike the plan benchmark —
+//! which only warns — a row flagged `regression: true` is a hard error
+//! here: the compiled executor regressing below the interpreter is
+//! exactly the claim this artifact exists to defend, so a regressed
+//! document must not validate. The flag carries a guard band
+//! ([`REGRESSION_BAND`]: `regression` iff `speedup < 0.95`) because
+//! some rows are identity witnesses sitting at ≈1.00× by design —
+//! without the band, timer noise straddling 1.0 would make the hard
+//! failure flaky. A real executor regression clears 5% easily.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -40,6 +46,13 @@ pub const COMPILE_SCHEMA: &str = "vadalink-bench-compile/1";
 /// Close-link threshold used for the benchmark run (the paper's default).
 const CLOSELINK_THRESHOLD: f64 = 0.2;
 
+/// Speedup below which a row is flagged (and the document rejected) as a
+/// regression. Strictly below 1.0 by a noise margin: the control and
+/// generic-pipeline rows are identity witnesses at ≈1.00×, and a hard
+/// failure must not hinge on which side of 1.0 a microsecond of timer
+/// noise lands.
+pub const REGRESSION_BAND: f64 = 0.95;
+
 /// Measurements for one bundled program, compiled vs interpreted.
 #[derive(Debug, Clone)]
 pub struct CompileProgramBench {
@@ -60,7 +73,8 @@ pub struct CompileProgramBench {
     /// Whether the compiled and interpreted runs produced identical
     /// databases (every relation, every tuple).
     pub outputs_match: bool,
-    /// True when compilation made the run slower (`speedup < 1.0`).
+    /// True when compilation made the run slower than the
+    /// [`REGRESSION_BAND`] noise margin allows.
     pub regression: bool,
 }
 
@@ -81,7 +95,8 @@ pub struct KernelBench {
     /// Whether kernel and reference produced identical outputs on every
     /// pair (checked exactly, bit-level for floats).
     pub outputs_match: bool,
-    /// True when the kernel was slower than the reference.
+    /// True when the kernel was slower than the reference by more than
+    /// the [`REGRESSION_BAND`] noise margin.
     pub regression: bool,
 }
 
@@ -144,7 +159,7 @@ pub fn run_compile_bench(cfg: &CompileConfig) -> Vec<CompileProgramBench> {
             facts_derived: stats.derived,
             rounds: stats.rounds,
             outputs_match,
-            regression: speedup < 1.0,
+            regression: speedup < REGRESSION_BAND,
         });
     }
     rows
@@ -256,7 +271,7 @@ pub fn run_kernel_bench(cfg: &CompileConfig) -> Vec<KernelBench> {
             speedup,
             pairs: corpus.len(),
             outputs_match: matched && ksum.to_bits() == rsum.to_bits(),
-            regression: speedup < 1.0,
+            regression: speedup < REGRESSION_BAND,
         });
     }
     rows
@@ -336,7 +351,9 @@ pub fn render_compile_json(
 // ---------------------------------------------------------------------------
 
 /// Shared row checks: positive timings, matched outputs, regression flag
-/// agreeing with the measured speedup (warn when genuinely flagged).
+/// agreeing with the measured speedup — and rejecting any row that is
+/// genuinely flagged, since a regressed compiled path invalidates the
+/// artifact's claim.
 fn check_row(
     p: &JVal,
     ctx: &dyn Fn(String) -> String,
@@ -364,16 +381,16 @@ fn check_row(
     match p.get("regression") {
         Some(JVal::Bool(flagged)) => {
             let speedup = want_num(p, "speedup").map_err(ctx)?;
-            if *flagged != (speedup < 1.0) {
+            if *flagged != (speedup < REGRESSION_BAND) {
                 return Err(ctx(format!(
                     "field 'regression' ({flagged}) disagrees with speedup {speedup}"
                 )));
             }
             if *flagged {
-                eprintln!(
-                    "warning: {name}: compiled path slower than baseline \
-                     (speedup {speedup:.3} < 1.0) — regression flagged"
-                );
+                return Err(ctx(format!(
+                    "{name}: compiled path slower than baseline \
+                     (speedup {speedup:.3} < {REGRESSION_BAND}) — regression flagged"
+                )));
             }
         }
         _ => return Err(ctx("missing boolean field 'regression'".into())),
@@ -480,6 +497,23 @@ mod tests {
         // Regression flag contradicting the speedup is a hard failure.
         let bad = good.replacen("\"regression\": false", "\"regression\": true", 1);
         assert!(validate_compile_json(&bad).is_err());
+        // So is a *consistent* regression (speedup below 1.0, flagged):
+        // unlike BENCH_datalog.json, a regressed compiled row does not
+        // merely warn — the document is rejected.
+        let mut regressed = sample_programs();
+        regressed[0].compiled_secs = 2.0;
+        regressed[0].speedup = 0.5;
+        regressed[0].regression = true;
+        let bad = render_compile_json(&sample_cfg(), &regressed, &sample_kernels());
+        let err = validate_compile_json(&bad).expect_err("regressed row must be rejected");
+        assert!(err.contains("regression"), "unexpected error: {err}");
+        // Same contract for kernel rows.
+        let mut slow_kernel = sample_kernels();
+        slow_kernel[0].kernel_ns_per_pair = 400.0;
+        slow_kernel[0].speedup = 0.5;
+        slow_kernel[0].regression = true;
+        let bad = render_compile_json(&sample_cfg(), &sample_programs(), &slow_kernel);
+        assert!(validate_compile_json(&bad).is_err());
         // Empty sections are schema violations.
         let bad = render_compile_json(&sample_cfg(), &[], &sample_kernels());
         assert!(validate_compile_json(&bad).is_err());
@@ -514,13 +548,26 @@ mod tests {
             repeats: 1,
             kernel_pairs: 50,
         };
-        let programs = run_compile_bench(&cfg);
+        let mut programs = run_compile_bench(&cfg);
         assert_eq!(programs.len(), 3);
-        for r in &programs {
+        for r in &mut programs {
             assert!(r.outputs_match, "{}: compiled diverged", r.name);
             assert!(r.compiled_secs > 0.0 && r.interpreted_secs > 0.0);
+            // A 60-person graph measures microseconds, so the speedup is
+            // timing noise; clamp it so validation exercises structure,
+            // not scheduler luck (the regression hard-fail has its own
+            // test above).
+            r.speedup = r.speedup.max(1.0);
+            r.regression = false;
         }
-        let kernels = run_kernel_bench(&cfg);
+        let mut kernels = run_kernel_bench(&cfg);
+        for k in &mut kernels {
+            assert!(k.outputs_match, "{}: kernel diverged", k.name);
+            // Same clamp for kernel rows: unoptimized builds under a
+            // loaded test runner say nothing about release kernel speed.
+            k.speedup = k.speedup.max(1.0);
+            k.regression = false;
+        }
         let text = render_compile_json(&cfg, &programs, &kernels);
         validate_compile_json(&text).expect("real bench output must validate");
     }

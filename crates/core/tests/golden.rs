@@ -204,3 +204,21 @@ fn partner_program_snapshot() {
     engine.run(&mut db).expect("fixpoint");
     check_golden("partner_household", &rendered(&db, &f, "person_link"));
 }
+
+/// The `--explain-plan` report is itself a reviewable artifact: literal
+/// orders, probe keys, cardinality estimates, and the per-rule executor
+/// choice (batched / tuple / interpreted) are all frozen here so a
+/// planner or executor-dispatch change shows up as a readable diff.
+#[test]
+fn plan_report_snapshots() {
+    use vada_link::programs::plan_report;
+    let f = figure1();
+    for (tag, src, threshold) in [
+        ("control", CONTROL_PROGRAM, None),
+        ("closelink", CLOSELINK_PROGRAM, Some(0.2)),
+    ] {
+        let report = plan_report(src, &f.graph, threshold);
+        let lines: Vec<String> = report.lines().map(str::to_owned).collect();
+        check_golden(&format!("plan_report_{tag}"), &lines);
+    }
+}

@@ -131,17 +131,17 @@ pub struct ProvEntry {
 }
 
 /// Frozen column-major image of a relation: one contiguous strip per
-/// column, plus CSR-style adjacency lists for the single-column probe
-/// keys the compiled plans use. Built by [`Relation::freeze_columnar`]
-/// for relations that are *stable* during a stratum (no rule head writes
-/// them), shared by `Arc` so cloning a database stays a refcount bump,
-/// and invalidated by any mutation.
+/// column, plus CSR-style adjacency lists for the probe keys the
+/// compiled plans use (single- or multi-column). Built by
+/// [`Relation::freeze_columnar`] for relations that are *stable* during
+/// a stratum (no rule head writes them), shared by `Arc` so cloning a
+/// database stays a refcount bump, and invalidated by any mutation.
 #[derive(Debug)]
 pub(crate) struct Columnar {
     /// `cols[c][row]` — per-column strips; scans touch only the columns
     /// their unification ops actually read, over contiguous memory.
     cols: Vec<Box<[Const]>>,
-    /// Single-column adjacency: mask (one bit set) → CSR over that column.
+    /// Adjacency per probe shape: column bitmask → CSR over those columns.
     csr: FxHashMap<u64, Csr>,
 }
 
@@ -150,51 +150,86 @@ impl Columnar {
     pub(crate) fn col(&self, c: usize) -> &[Const] {
         &self.cols[c]
     }
+
+    /// The adjacency for `mask`, if one was frozen.
+    pub(crate) fn csr(&self, mask: u64) -> Option<&Csr> {
+        self.csr.get(&mask)
+    }
 }
 
-/// Compressed sparse rows over one column: distinct keys (sorted by the
-/// total [`Const`] order), per-key offsets, and a flat row array grouped
-/// by key. Within a key, rows keep insertion order — the same enumeration
+/// Compressed sparse rows over one or more columns: distinct keys
+/// (flattened `width` consts each, sorted by the lexicographic total
+/// [`Const`] order), per-key offsets, and a flat row array grouped by
+/// key. Within a key, rows keep insertion order — the same enumeration
 /// order a hash index produces, which the byte-identity contract needs.
 #[derive(Debug)]
 pub(crate) struct Csr {
+    width: usize,
     keys: Vec<Const>,
     offsets: Vec<u32>,
     rows: Vec<u32>,
 }
 
 impl Csr {
-    fn build(col: &[Const]) -> Csr {
-        let mut pairs: Vec<(Const, u32)> = col.iter().copied().zip(0u32..).collect();
+    /// Builds the adjacency over the key columns listed in `key_cols`
+    /// (ascending mask-bit order — the same projection order as
+    /// [`key_of`]) for `n` rows of the given strips.
+    fn build(strips: &[Box<[Const]>], key_cols: &[usize], n: usize) -> Csr {
+        let width = key_cols.len();
+        let key_at = |row: u32| key_cols.iter().map(move |&c| strips[c][row as usize]);
+        let mut order: Vec<u32> = (0..n as u32).collect();
         // Stable sort: rows arrive in increasing row id, so equal keys
         // keep insertion order — identical to a hash index's push order.
-        pairs.sort_by_key(|&(key, _)| key);
-        let mut keys = Vec::new();
+        order.sort_by(|&a, &b| key_at(a).cmp(key_at(b)));
+        let mut keys: Vec<Const> = Vec::new();
         let mut offsets = vec![0u32];
-        let mut rows = Vec::with_capacity(pairs.len());
-        for (key, row) in pairs {
-            if keys.last() != Some(&key) {
+        let mut rows = Vec::with_capacity(n);
+        for row in order {
+            let prev = keys.len().wrapping_sub(width);
+            if keys.is_empty() || !key_at(row).eq(keys[prev..].iter().copied()) {
                 if !keys.is_empty() {
                     offsets.push(rows.len() as u32);
                 }
-                keys.push(key);
+                keys.extend(key_at(row));
             }
             rows.push(row);
         }
         offsets.push(rows.len() as u32);
         Csr {
+            width,
             keys,
             offsets,
             rows,
         }
     }
 
-    /// Rows whose column value equals `key`, in insertion order.
-    pub(crate) fn rows_for(&self, key: Const) -> &[u32] {
-        match self.keys.binary_search(&key) {
-            Ok(i) => &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize],
-            Err(_) => &[],
+    fn empty(width: usize) -> Csr {
+        Csr {
+            width,
+            keys: Vec::new(),
+            offsets: vec![0, 0],
+            rows: Vec::new(),
         }
+    }
+
+    /// Rows whose key-column projection equals `key` (given in ascending
+    /// mask-bit order), in insertion order.
+    pub(crate) fn rows_for(&self, key: &[Const]) -> &[u32] {
+        debug_assert_eq!(key.len(), self.width);
+        let n = self.keys.len().checked_div(self.width).unwrap_or(0);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let k = &self.keys[mid * self.width..(mid + 1) * self.width];
+            match k.cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    return &self.rows[self.offsets[mid] as usize..self.offsets[mid + 1] as usize];
+                }
+            }
+        }
+        &[]
     }
 }
 
@@ -302,9 +337,10 @@ impl Relation {
     }
 
     /// Freezes a columnar image of the current contents: per-column
-    /// strips, plus a CSR adjacency list for every single-column mask in
-    /// `csr_masks`. Idempotent while the contents are unchanged and the
-    /// requested masks are covered; any mutation drops the image.
+    /// strips, plus a CSR adjacency list for every mask in `csr_masks`
+    /// (single- or multi-column keys). Idempotent while the contents are
+    /// unchanged and the requested masks are covered; any mutation drops
+    /// the image.
     pub(crate) fn freeze_columnar(&mut self, csr_masks: &[u64]) {
         if let Some(c) = &self.columnar {
             if csr_masks.iter().all(|m| c.csr.contains_key(m)) {
@@ -318,14 +354,15 @@ impl Relation {
         }
         let mut csr = FxHashMap::default();
         for &mask in csr_masks {
-            debug_assert_eq!(mask.count_ones(), 1, "CSR masks are single-column");
-            let c = mask.trailing_zeros() as usize;
+            let key_cols: Vec<usize> = (0..64).filter(|i| mask & (1u64 << i) != 0).collect();
             // Out-of-range columns (empty relation) get an empty CSR so a
             // requested mask always answers — the hash index it replaces
             // may never have been registered.
-            let csr_for = cols
-                .get(c)
-                .map_or_else(|| Csr::build(&[]), |s| Csr::build(s));
+            let csr_for = if key_cols.iter().all(|&c| c < cols.len()) {
+                Csr::build(&cols, &key_cols, self.tuples.len())
+            } else {
+                Csr::empty(key_cols.len())
+            };
             csr.insert(mask, csr_for);
         }
         self.columnar = Some(Arc::new(Columnar { cols, csr }));
@@ -337,14 +374,12 @@ impl Relation {
     }
 
     /// Rows whose `mask`-projection equals `key`, preferring the frozen
-    /// CSR for single-column keys and falling back to the hash index
+    /// CSR when one covers the mask and falling back to the hash index
     /// (which must then be registered).
     pub(crate) fn lookup_rows(&self, mask: u64, key: &[Const]) -> &[u32] {
-        if key.len() == 1 {
-            if let Some(c) = &self.columnar {
-                if let Some(csr) = c.csr.get(&mask) {
-                    return csr.rows_for(key[0]);
-                }
+        if let Some(c) = &self.columnar {
+            if let Some(csr) = c.csr.get(&mask) {
+                return csr.rows_for(key);
             }
         }
         self.probe(mask, key)
@@ -1021,6 +1056,44 @@ mod tests {
         let col = r.columnar().unwrap().col(0);
         assert_eq!(col[0], Const::Int(3));
         assert_eq!(col[3], Const::Int(2));
+    }
+
+    #[test]
+    fn multi_column_csr_matches_probe_enumeration() {
+        // Two-column keys: the composite CSR must enumerate exactly what
+        // the two-column hash index does, in insertion order, for every
+        // present and absent key pair — including keys that share a first
+        // column (the binary search compares full key slices).
+        let mut r = Relation::default();
+        r.register_index(0b011);
+        r.register_index(0b101);
+        let rows = [(3, 1, 9), (1, 2, 8), (3, 1, 7), (3, 2, 6), (1, 2, 5)];
+        for (a, b, c) in rows {
+            r.insert(
+                vec![Const::Int(a), Const::Int(b), Const::Int(c)].into(),
+                None,
+            );
+        }
+        r.freeze_columnar(&[0b011, 0b101]);
+        for a in 0..4 {
+            for b in 0..10 {
+                let k = [Const::Int(a), Const::Int(b)];
+                assert_eq!(
+                    r.lookup_rows(0b011, &k),
+                    r.probe(0b011, &k),
+                    "key ({a},{b}) cols 0,1"
+                );
+                assert_eq!(
+                    r.lookup_rows(0b101, &k),
+                    r.probe(0b101, &k),
+                    "key ({a},{b}) cols 0,2"
+                );
+            }
+        }
+        assert_eq!(
+            r.lookup_rows(0b011, &[Const::Int(3), Const::Int(1)]),
+            &[0, 2]
+        );
     }
 
     #[test]

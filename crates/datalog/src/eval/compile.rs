@@ -36,6 +36,7 @@
 use crate::ast::{AggFunc, BinOp, CmpOp};
 use crate::db::{ProvEntry, Relation, SkolemTable};
 use crate::error::{DatalogError, Result};
+use crate::eval::batch;
 use crate::eval::exec::{arith, compare, eval_expr, Derived, RunCtx};
 use crate::eval::plan::{KeyOp, RulePlan, RulePlans, Step, TermOp};
 use crate::eval::resolve::{AggKind, RAgg, RAtom, RExpr, RRule, RTerm};
@@ -72,11 +73,16 @@ pub(crate) struct Frame<'r, 'b, 'c> {
     ctx: &'c mut RunCtx<'b>,
 }
 
-/// A rule plan lowered to a closure chain.
+/// A rule plan lowered to a closure chain, plus (for naive plans in
+/// the batch subset) the vectorized lowering of the same plan.
 pub(crate) struct CompiledRule {
     entry: Stage,
     nvars: usize,
     n_support: usize,
+    /// Batch-at-a-time lowering; taken instead of `entry` when batch
+    /// execution is enabled, provenance is off, and the plan's inputs
+    /// are frozen columnar (see [`batch::ready`]).
+    batch: Option<batch::BatchPlan>,
 }
 
 /// Compiled naive + per-delta-literal plans for one rule, parallel to
@@ -123,8 +129,16 @@ pub(crate) fn eval_compiled_chunk(
     relations: &[Relation],
     delta_start: u32,
     driver: Option<&[u32]>,
+    batch_on: bool,
     ctx: &mut RunCtx<'_>,
 ) -> Result<()> {
+    if batch_on && !ctx.provenance {
+        if let Some(bp) = &cr.batch {
+            if batch::ready(bp, relations) {
+                return batch::eval_batch(bp, relations, driver, ctx);
+            }
+        }
+    }
     let mut binding = std::mem::take(&mut ctx.ws.binding);
     binding.clear();
     binding.resize(cr.nvars, None);
@@ -203,6 +217,13 @@ fn compile_plan(rule: &RRule, plan: &RulePlan, delta_li: Option<usize>) -> Compi
         entry: next,
         nvars: rule.nvars,
         n_support: plan.n_support,
+        // Only naive plans lower to batch form: delta plans read the
+        // just-written (never frozen) delta side anyway.
+        batch: if delta_li.is_none() {
+            batch::lower(rule, plan)
+        } else {
+            None
+        },
     }
 }
 

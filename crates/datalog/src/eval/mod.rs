@@ -31,8 +31,10 @@
 //! ids, provenance — are identical for every thread count.
 
 pub(crate) mod agg;
+pub(crate) mod batch;
 pub(crate) mod compile;
 pub(crate) mod exec;
+pub(crate) mod kernels;
 pub(crate) mod plan;
 pub(crate) mod resolve;
 
@@ -131,6 +133,16 @@ pub struct EngineOptions {
     /// testing and debugging (`--no-compile`). Defaults to the
     /// process-wide value set by [`set_compile_default`] (true).
     pub compile: bool,
+    /// Batch-at-a-time execution tier on top of compiled plans: naive
+    /// plans whose inputs are all frozen [`Columnar`](crate::db) images
+    /// run scan/filter/probe/compare over column slices in fixed-width
+    /// batches with selection vectors ([`batch`](compile) lowering)
+    /// instead of materializing tuples, falling back to the tuple
+    /// closures for delta rounds, provenance-carrying runs, aggregates
+    /// and anything else outside the batch subset. Byte-identical to
+    /// tuple execution — the switch exists for differential testing and
+    /// benchmarking. Ignored when `compile` is off.
+    pub batch: bool,
     /// Predicates the cost planner should assume are small before any
     /// statistics exist — the demand (`magic_*`) relations of a
     /// goal-directed rewrite, whose extent is bounded by the query's
@@ -161,6 +173,7 @@ impl Default for EngineOptions {
             threads: 0,
             plan: true,
             compile: compile_default(),
+            batch: true,
             demand_hints: Vec::new(),
             shards: shards_default(),
         }
@@ -294,10 +307,40 @@ impl Engine {
             let _ = writeln!(out, "stratum {si}:");
             let stats = StratumStats::collect(&rules, stratum, &db.relations);
             let plans = plan_stratum(&rules, stratum, &stats, self.options.plan);
+            // In-stratum predicates are never frozen mid-fixpoint, so a
+            // rule reading one can never take the batched path at run
+            // time, however its plan lowers.
+            let stratum_preds: std::collections::HashSet<u32> = stratum
+                .iter()
+                .flat_map(|&ri| rules[ri].head.iter().map(|h| h.pred))
+                .collect();
             for &ri in stratum {
                 let rp = plans[ri].as_ref().expect("stratum rules are planned");
                 let vars = &self.program.rules[ri].vars;
-                out.push_str(&plan::render_rule_report(ri, &rules[ri], rp, vars, &db));
+                let reads_stratum = rules[ri].body.iter().any(|l| match l {
+                    RLiteral::Atom { atom, .. } | RLiteral::Negated(atom) => {
+                        stratum_preds.contains(&atom.pred)
+                    }
+                    _ => false,
+                });
+                // The executor each round would use under the current
+                // options: batched rules still fall back to tuple chains
+                // for delta rounds (the delta side is never frozen).
+                let executor = if !self.options.compile {
+                    "interpreted"
+                } else if !(self.options.batch
+                    && !self.options.provenance
+                    && batch::batch_eligible(&rules[ri], &rp.naive))
+                {
+                    "tuple"
+                } else if reads_stratum {
+                    "tuple (batch-eligible, but recursive inputs stay unfrozen)"
+                } else {
+                    "batched (tuple for delta rounds)"
+                };
+                out.push_str(&plan::render_rule_report(
+                    ri, &rules[ri], rp, vars, &db, executor,
+                ));
             }
         }
         Ok(out)
@@ -584,9 +627,9 @@ pub(crate) fn run_stratum(
             // into them, so the round loop's inserts cannot invalidate a
             // frozen image mid-stratum — are promoted to the columnar
             // layout: per-column strips, plus CSR adjacency for the
-            // single-column probes the plans use (those skip the hash
-            // index entirely). Unstable (delta-side) relations keep the
-            // on-demand hash indexes.
+            // probe masks the plans use, multi-column keys included
+            // (those skip the hash index entirely). Unstable
+            // (delta-side) relations keep the on-demand hash indexes.
             let mut freeze: crate::fx::FxHashMap<u32, Vec<u64>> = crate::fx::FxHashMap::default();
             for rp in plans.iter().flatten() {
                 for p in std::iter::once(&rp.naive).chain(rp.delta.iter()) {
@@ -595,7 +638,7 @@ pub(crate) fn run_stratum(
                             let stable = compile_on && !stratum_preds_ref.contains(&a.pred);
                             if stable {
                                 let masks = freeze.entry(a.pred).or_default();
-                                if a.mask != 0 && !a.full_key() && a.mask.count_ones() == 1 {
+                                if a.mask != 0 && !a.full_key() {
                                     if !masks.contains(&a.mask) {
                                         masks.push(a.mask);
                                     }
@@ -724,6 +767,7 @@ pub(crate) fn run_stratum(
                     &items,
                     threads,
                     options.shards.max(1),
+                    options.batch,
                     &mut ctx,
                 )?;
             }
@@ -861,6 +905,7 @@ fn eval_round(
     items: &[(usize, Option<(usize, u32)>)],
     threads: usize,
     shards: usize,
+    batch: bool,
     ctx: &mut RunCtx<'_>,
 ) -> Result<bool> {
     // The plan for one work item: the naive plan on round 0, the matching
@@ -902,9 +947,14 @@ fn eval_round(
                    ctx: &mut RunCtx<'_>|
      -> Result<()> {
         match compiled_for(ri, delta) {
-            Some(cr) => {
-                eval_compiled_chunk(cr, relations, delta.map_or(0, |(_, s)| s), driver, ctx)
-            }
+            Some(cr) => eval_compiled_chunk(
+                cr,
+                relations,
+                delta.map_or(0, |(_, s)| s),
+                driver,
+                batch,
+                ctx,
+            ),
             None => eval_rule_chunk(
                 &rules[ri],
                 plan_for(ri, delta),

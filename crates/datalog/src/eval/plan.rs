@@ -765,6 +765,7 @@ pub(crate) fn render_rule_report(
     plans: &RulePlans,
     vars: &[String],
     db: &Database,
+    executor: &str,
 ) -> String {
     let mut out = String::new();
     let heads: Vec<String> = rule.head.iter().map(|h| render_atom(h, vars, db)).collect();
@@ -776,6 +777,7 @@ pub(crate) fn render_rule_report(
         "identity (order-sensitive rule)"
     };
     let _ = writeln!(out, "  rule {ri}: {} [{tag}]", heads.join(", "));
+    let _ = writeln!(out, "    executor: {executor}");
     let _ = writeln!(
         out,
         "    naive: {}",

@@ -245,13 +245,82 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
 /// ASCII inputs fall back to the reference (names never get near this).
 const JARO_MAX: usize = 256;
 
+/// Chunked-load padding past the live bytes of the Jaro window buffer:
+/// enough for one full SSE2 vector, and more than the SWAR word needs.
+const JARO_PAD: usize = 16;
+
+/// First index in `avail[lo..hi]` whose byte equals `needle` (ASCII, so
+/// never the `0xFF` burn/padding marker). The scalar path is SWAR: eight
+/// window bytes per `u64` load, XOR against the broadcast needle, and
+/// the zero-byte trick `(x - 0x01…) & !x & 0x80…` — borrows only ever
+/// propagate *upward* from a genuine zero byte, so the lowest set high
+/// bit is always a real match and `trailing_zeros` finds it exactly.
+#[inline]
+fn window_find(
+    avail: &[u8; JARO_MAX + JARO_PAD],
+    lo: usize,
+    hi: usize,
+    needle: u8,
+) -> Option<usize> {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        // SSE2 is x86_64 baseline: 16 window bytes per compare, match
+        // mask via movemask — no runtime feature detection needed.
+        use core::arch::x86_64::{
+            _mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_set1_epi8,
+        };
+        unsafe {
+            let nv = _mm_set1_epi8(needle as i8);
+            let mut p = lo;
+            while p < hi {
+                let v = _mm_loadu_si128(avail.as_ptr().add(p).cast());
+                let mut m = _mm_movemask_epi8(_mm_cmpeq_epi8(v, nv)) as u32;
+                let valid = hi - p;
+                if valid < 16 {
+                    m &= (1u32 << valid) - 1;
+                }
+                if m != 0 {
+                    return Some(p + m.trailing_zeros() as usize);
+                }
+                p += 16;
+            }
+        }
+        None
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        const LO7: u64 = 0x0101_0101_0101_0101;
+        const HI8: u64 = 0x8080_8080_8080_8080;
+        let bcast = needle as u64 * LO7;
+        let mut p = lo;
+        while p < hi {
+            let w = u64::from_le_bytes(avail[p..p + 8].try_into().expect("8-byte chunk"));
+            let x = w ^ bcast;
+            let mut z = x.wrapping_sub(LO7) & !x & HI8;
+            let valid = hi - p;
+            if valid < 8 {
+                z &= (1u64 << (valid * 8)) - 1;
+            }
+            if z != 0 {
+                return Some(p + (z.trailing_zeros() as usize >> 3));
+            }
+            p += 8;
+        }
+        None
+    }
+}
+
 /// Jaro similarity in `[0, 1]`.
 ///
-/// ASCII pairs up to [`JARO_MAX`] bytes run allocation-free: the
-/// used-positions set is a 4-word stack bitmask and transpositions are
-/// counted streaming (the reference's match list, sorted by `i`, is
-/// exactly the discovery order, so adjacent descents can be counted
-/// on the fly). Result is bit-identical to [`reference::jaro`].
+/// ASCII pairs up to [`JARO_MAX`] bytes run allocation-free: the second
+/// string lives in a stack buffer whose matched positions are burned to
+/// `0xFF` (never an ASCII byte), so the match-window scan is a pure
+/// first-equal-byte search that [`window_find`] runs eight (SWAR) or
+/// sixteen (SSE2, under the `simd` feature) bytes at a time.
+/// Transpositions are counted streaming (the reference's match list,
+/// sorted by `i`, is exactly the discovery order, so adjacent descents
+/// can be counted on the fly). Result is bit-identical to
+/// [`reference::jaro`].
 pub fn jaro(a: &str, b: &str) -> f64 {
     if !(a.is_ascii() && b.is_ascii()) || a.len() > JARO_MAX || b.len() > JARO_MAX {
         return reference::jaro(a, b);
@@ -265,23 +334,21 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut used = [0u64; JARO_MAX / 64];
+    let mut avail = [0xFFu8; JARO_MAX + JARO_PAD];
+    avail[..b.len()].copy_from_slice(b);
     let mut matches = 0usize;
     let mut transpositions = 0usize;
     let mut prev_j = usize::MAX;
     for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
-        for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
-            if cb == ca && used[j / 64] & (1u64 << (j % 64)) == 0 {
-                used[j / 64] |= 1u64 << (j % 64);
-                matches += 1;
-                if prev_j != usize::MAX && prev_j > j {
-                    transpositions += 1;
-                }
-                prev_j = j;
-                break;
+        if let Some(j) = window_find(&avail, lo, hi, ca) {
+            avail[j] = 0xFF;
+            matches += 1;
+            if prev_j != usize::MAX && prev_j > j {
+                transpositions += 1;
             }
+            prev_j = j;
         }
     }
     if matches == 0 {
